@@ -1,0 +1,177 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation retrains and re-evaluates SMiTe on the SPEC split with one
+modelling ingredient removed or altered, quantifying how much that
+ingredient contributes to prediction quality:
+
+- **feature form**: Sen x Con interaction products (Equation 3) vs the
+  same regression on concatenated raw Sen/Con features;
+- **nonnegative weights**: constrained vs unconstrained least squares;
+- **split parity**: train-on-even/test-on-odd vs the reverse;
+- **measurement jitter**: the error floor without run-to-run noise;
+- **contention-inflation kappa**: softer/harsher port queueing;
+- **PMU defects**: the baseline's structural limit vs counter quality;
+- **cross-machine**: retraining on the other Table I machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.linreg import fit_least_squares
+from repro.core import SMiTe, build_pair_dataset, evaluate_model
+from repro.core.model import SMiTeModel
+from repro.smt.params import IVY_BRIDGE
+from repro.smt.simulator import Simulator
+from repro.workloads.spec import spec_even, spec_odd
+
+
+def _smite_error(machine=IVY_BRIDGE, *, jitter=0.01, nonnegative=True,
+                 train=None, test=None):
+    simulator = Simulator(machine, jitter=jitter)
+    train = train if train is not None else spec_even()
+    test = test if test is not None else spec_odd()
+    predictor = SMiTe(simulator)
+    predictor.model = SMiTeModel(nonnegative=nonnegative)
+    predictor.fit(train, mode="smt")
+    dataset = build_pair_dataset(simulator, test, mode="smt")
+    return evaluate_model("smite", predictor.predict, dataset).mean_error
+
+
+def _raw_feature_error():
+    """Same data, but concatenated Sen/Con vectors instead of products."""
+    simulator = Simulator(IVY_BRIDGE)
+    predictor = SMiTe(simulator).fit(spec_even(), mode="smt")
+    train = build_pair_dataset(simulator, spec_even(), mode="smt")
+    test = build_pair_dataset(simulator, spec_odd(), mode="smt")
+
+    def features(victim, aggressor):
+        v = predictor.characterization(victim)
+        a = predictor.characterization(aggressor)
+        return np.concatenate([v.sensitivity_vector(),
+                               v.contentiousness_vector(),
+                               a.sensitivity_vector(),
+                               a.contentiousness_vector()])
+
+    x = np.vstack([features(s.victim, s.aggressor) for s in train])
+    y = [s.degradation for s in train]
+    model = fit_least_squares(x, y, ridge=1e-6)
+    report = evaluate_model(
+        "raw", lambda v, a: model.predict(features(v, a)), test
+    )
+    return report.mean_error
+
+
+def test_ablation_feature_form(benchmark):
+    """The interaction products are the model's core design choice."""
+    def run():
+        return _smite_error(), _raw_feature_error()
+
+    product_error, raw_error = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSen*Con products: {product_error:.4f}  "
+          f"raw concatenated features: {raw_error:.4f}")
+    # Raw features cannot express "sensitive victim meets contentious
+    # aggressor on the same resource"; products must not be worse.
+    assert product_error <= raw_error * 1.15
+
+
+def test_ablation_nonnegative_weights(benchmark):
+    def run():
+        return (_smite_error(nonnegative=True),
+                _smite_error(nonnegative=False))
+
+    constrained, unconstrained = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    print(f"\nnonnegative: {constrained:.4f}  unconstrained: {unconstrained:.4f}")
+    # The constraint must not cost accuracy on the test split.
+    assert constrained <= unconstrained * 1.10
+
+
+def test_ablation_split_parity(benchmark):
+    def run():
+        return (
+            _smite_error(train=spec_even(), test=spec_odd()),
+            _smite_error(train=spec_odd(), test=spec_even()),
+        )
+
+    even_train, odd_train = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntrain-even: {even_train:.4f}  train-odd: {odd_train:.4f}")
+    # The methodology cannot hinge on which half trains.
+    assert abs(even_train - odd_train) < 0.03
+
+
+def test_ablation_measurement_jitter(benchmark):
+    def run():
+        return _smite_error(jitter=0.0), _smite_error(jitter=0.01)
+
+    clean, noisy = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\njitter=0: {clean:.4f}  jitter=1%: {noisy:.4f}")
+    # Noise can only hurt, and the model must stay robust to it.
+    assert clean <= noisy + 0.005
+    assert noisy < 0.06
+
+
+def test_ablation_port_contention_kappa(benchmark):
+    def run():
+        soft = _smite_error(IVY_BRIDGE.with_knobs(port_contention_kappa=0.3))
+        base = _smite_error()
+        hard = _smite_error(IVY_BRIDGE.with_knobs(port_contention_kappa=1.6))
+        return soft, base, hard
+
+    soft, base, hard = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nkappa=0.3: {soft:.4f}  kappa=0.8: {base:.4f}  "
+          f"kappa=1.6: {hard:.4f}")
+    # Prediction quality must not collapse anywhere in the knob's range.
+    assert max(soft, base, hard) < 0.08
+
+
+def test_ablation_pmu_defects(benchmark):
+    """Split the PMU baseline's error into structural vs counter-quality.
+
+    Even a defect-free PMU cannot express Sen x Con interactions
+    (structural limit); realistic counter bias adds on top.
+    """
+    from repro.core import PmuModel, build_pair_dataset, evaluate_model
+    from repro.smt.pmu import PERFECT_PMU, PmuDefectModel
+
+    def pmu_error(defects):
+        simulator = Simulator(IVY_BRIDGE, pmu_defects=defects)
+        train = build_pair_dataset(simulator, spec_even(), mode="smt")
+        model = PmuModel()
+        model.fit([
+            (simulator.read_solo_pmu(s.victim),
+             simulator.read_solo_pmu(s.aggressor), s.degradation)
+            for s in train
+        ])
+        test = build_pair_dataset(simulator, spec_odd(), mode="smt")
+        return evaluate_model(
+            "pmu",
+            lambda v, a: model.predict(simulator.read_solo_pmu(v),
+                                       simulator.read_solo_pmu(a)),
+            test,
+        ).mean_error
+
+    def run():
+        return pmu_error(PERFECT_PMU), pmu_error(PmuDefectModel())
+
+    perfect, defective = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nperfect PMU: {perfect:.4f}  defective PMU: {defective:.4f}")
+    # The structural limit alone already exceeds SMiTe's error...
+    assert perfect > _smite_error()
+    # ...and realistic counter defects make it worse, not better.
+    assert defective >= perfect * 0.9
+
+
+def test_ablation_cross_machine(benchmark):
+    """The methodology is machine-agnostic: retraining on the other
+    Table I machine keeps prediction quality."""
+    from repro.smt.params import SANDY_BRIDGE_EN
+
+    def run():
+        return (_smite_error(IVY_BRIDGE),
+                _smite_error(SANDY_BRIDGE_EN))
+
+    ivy, snb = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nivy-bridge: {ivy:.4f}  sandy-bridge-en: {snb:.4f}")
+    assert ivy < 0.07
+    assert snb < 0.07

@@ -1,0 +1,11 @@
+"""Figure 2: functional-unit sensitivity and contentiousness."""
+
+from conftest import run_and_report
+
+
+def test_fig02_fu_sensitivity_contentiousness(benchmark, config):
+    result = run_and_report(benchmark, "fig2", config)
+    # Paper: 5%-70% degradation from single-FU contention.
+    assert result.metric("max_fu_sensitivity") > 0.5
+    # Finding 5: CloudSuite behaves like SPEC_INT on functional units.
+    assert result.metric("cloud_vs_int_gap") < 0.15

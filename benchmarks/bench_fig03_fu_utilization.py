@@ -1,0 +1,9 @@
+"""Figure 3: CDFs of FU-port utilization over all SPEC pairs."""
+
+from conftest import run_and_report
+
+
+def test_fig03_fu_utilization_cdfs(benchmark, config):
+    result = run_and_report(benchmark, "fig3", config)
+    # Finding 6: ports 0 and 1 distribute alike; port 5 differs.
+    assert result.metric("port0_port1_median_gap") < 0.05

@@ -1,0 +1,11 @@
+"""Figure 4: memory-subsystem sensitivity and contentiousness."""
+
+from conftest import run_and_report
+
+
+def test_fig04_memory_sensitivity_contentiousness(benchmark, config):
+    result = run_and_report(benchmark, "fig4", config)
+    # Finding 7: memory behaviour is comparatively monolithic.
+    assert result.metric("l1_l2_sensitivity_correlation") > 0.7
+    # Finding 8: CloudSuite is markedly more L3-contentious than SPEC.
+    assert result.metric("cloud_over_spec_l3_con") > 1.1

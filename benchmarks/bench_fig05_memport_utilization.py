@@ -1,0 +1,10 @@
+"""Figure 5: CDFs of memory-port utilization over all SPEC pairs."""
+
+from conftest import run_and_report
+
+
+def test_fig05_memory_port_cdfs(benchmark, config):
+    result = run_and_report(benchmark, "fig5", config)
+    # The store port is heavily underutilized vs the load ports.
+    assert result.metric("median_store_port") < \
+        result.metric("median_load_ports")

@@ -1,0 +1,10 @@
+"""Figure 6: the full sensitivity/contentiousness summary."""
+
+from conftest import run_and_report
+
+
+def test_fig06_characterization_summary(benchmark, config):
+    result = run_and_report(benchmark, "fig6", config)
+    # Large variance within dimensions and across dimensions.
+    assert result.metric("mean_std_across_apps") > 0.03
+    assert result.metric("mean_std_across_dims") > 0.03

@@ -1,0 +1,12 @@
+"""Figure 7: Pearson correlation among the 14 sharing dimensions."""
+
+from conftest import run_and_report
+
+
+def test_fig07_cross_dimension_correlation(benchmark, config):
+    result = run_and_report(benchmark, "fig7", config)
+    # Finding 9 (directional): most pairs weakly correlated.
+    # Paper: 97.96% below |r|=0.8; the clean simulator retains more
+    # structural correlation than noisy hardware measurements.
+    assert result.metric("fraction_below_080") > 0.70
+    assert result.metric("fraction_below_050") >= 0.35

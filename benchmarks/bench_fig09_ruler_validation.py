@@ -1,0 +1,13 @@
+"""Figure 9: Ruler implementations and design validation."""
+
+from conftest import run_and_report
+
+
+def test_fig09_ruler_purity_and_linearity(benchmark, config):
+    result = run_and_report(benchmark, "fig9", config)
+    # Paper: >99.99% target-port utilization for every FU ruler.
+    for dim in ("fp_mul", "fp_add", "fp_shf", "int_add"):
+        assert result.metric(f"purity_{dim}") >= 0.9999
+    # Paper: working-set/degradation Pearson 0.92/0.89/0.95 (L1/L2/L3).
+    for level in ("l1", "l2", "l3"):
+        assert result.metric(f"linearity_{level}") >= 0.85

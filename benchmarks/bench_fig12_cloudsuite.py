@@ -1,0 +1,12 @@
+"""Figure 12: CloudSuite prediction accuracy (SMT and CMP servers)."""
+
+from conftest import run_and_report
+
+
+def test_fig12_cloudsuite_prediction(benchmark, config):
+    result = run_and_report(benchmark, "fig12", config)
+    # Paper: SMiTe 1.79%/1.36% vs PMU 17.45%/27.01%. Shape: SMiTe wins
+    # in both topologies.
+    assert result.metric("smite_smt_error") < result.metric("pmu_smt_error")
+    assert result.metric("smite_cmp_error") < result.metric("pmu_cmp_error")
+    assert result.metric("smite_smt_error") < 0.08

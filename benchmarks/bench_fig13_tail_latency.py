@@ -1,0 +1,11 @@
+"""Figure 13: 90th-percentile latency prediction accuracy."""
+
+from conftest import run_and_report
+
+
+def test_fig13_tail_latency_prediction(benchmark, config):
+    result = run_and_report(benchmark, "fig13", config)
+    # Paper: 4.61% (Web-Search) and 6.17% (Data-Caching) average error.
+    assert result.metric("web-search_tail_error") < 0.10
+    assert result.metric("data-caching_tail_error") < 0.10
+    assert result.metric("web-search_fit_r2") > 0.9

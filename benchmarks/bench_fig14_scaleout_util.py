@@ -1,0 +1,13 @@
+"""Figure 14: utilization improvement under average-performance QoS."""
+
+from conftest import run_and_report
+
+
+def test_fig14_utilization_improvement(benchmark, config):
+    result = run_and_report(benchmark, "fig14", config)
+    # Paper shape: gains grow as the target loosens; SMiTe tracks Oracle.
+    assert result.metric("smite_85") > result.metric("smite_90") > \
+        result.metric("smite_95") > 0.0
+    for level in (95, 90, 85):
+        assert result.metric(f"smite_{level}") <= \
+            result.metric(f"oracle_{level}") + 0.02

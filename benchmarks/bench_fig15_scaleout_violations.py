@@ -1,0 +1,14 @@
+"""Figure 15: QoS violations, SMiTe vs gain-matched Random."""
+
+from conftest import run_and_report
+
+
+def test_fig15_qos_violations(benchmark, config):
+    result = run_and_report(benchmark, "fig15", config)
+    # Paper: Random violates up to 26%; SMiTe's worst magnitude 1.67%;
+    # 78.57% average violation reduction.
+    for level in (95, 90, 85):
+        assert result.metric(f"random_rate_{level}") >= \
+            result.metric(f"smite_rate_{level}")
+    assert result.metric("mean_violation_reduction") > 0.5
+    assert result.metric("smite_worst_95") < 0.05

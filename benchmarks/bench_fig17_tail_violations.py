@@ -1,0 +1,12 @@
+"""Figure 17: tail-latency QoS violations, SMiTe vs Random."""
+
+from conftest import run_and_report
+
+
+def test_fig17_tail_violations(benchmark, config):
+    result = run_and_report(benchmark, "fig17", config)
+    # Paper: Random reaches 110% violation (queueing blow-up); SMiTe's
+    # violations stay small in magnitude.
+    assert result.metric("random_worst_90") > 1.0
+    assert result.metric("smite_worst_90") < 0.10
+    assert result.metric("smite_worst_85") < 0.10

@@ -1,0 +1,13 @@
+"""Figure 18: 3-year TCO improvement."""
+
+from conftest import run_and_report
+
+
+def test_fig18_tco_savings(benchmark, config):
+    result = run_and_report(benchmark, "fig18", config)
+    # Paper shape: positive savings, average-performance QoS saves roughly
+    # twice what the (harder) tail-latency QoS saves.
+    avg = result.metric("max_saving_average_qos")
+    tail = result.metric("max_saving_tail_qos")
+    assert avg > tail > 0.0
+    assert avg > 0.05

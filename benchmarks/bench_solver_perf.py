@@ -1,0 +1,38 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These measure real wall-clock cost (multiple rounds) for the operations
+the methodology performs thousands of times: solo solves, SMT pair
+solves, and the full 12-context server solve.
+"""
+
+from __future__ import annotations
+
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.solver import ContextPlacement, solve
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import SPEC_CPU2006
+
+
+def test_perf_solo_solve(benchmark):
+    profile = SPEC_CPU2006["403.gcc"]
+    result = benchmark(
+        solve, SANDY_BRIDGE_EN, [ContextPlacement(profile, core=0)]
+    )
+    assert result[0].ipc > 0
+
+
+def test_perf_smt_pair_solve(benchmark):
+    a = SPEC_CPU2006["444.namd"]
+    b = SPEC_CPU2006["429.mcf"]
+    placements = [ContextPlacement(a, core=0), ContextPlacement(b, core=0)]
+    result = benchmark(solve, SANDY_BRIDGE_EN, placements)
+    assert len(result.contexts) == 2
+
+
+def test_perf_full_server_solve(benchmark):
+    web = cloudsuite_apps()[0].profile
+    batch = SPEC_CPU2006["470.lbm"]
+    placements = [ContextPlacement(web, core=i) for i in range(6)]
+    placements += [ContextPlacement(batch, core=i) for i in range(6)]
+    result = benchmark(solve, SANDY_BRIDGE_EN, placements)
+    assert len(result.contexts) == 12

@@ -1,0 +1,8 @@
+"""Table I: machine specifications."""
+
+from conftest import run_and_report
+
+
+def test_table1_machines(benchmark, config):
+    result = run_and_report(benchmark, "table1", config)
+    assert result.metric("machines") == 2.0

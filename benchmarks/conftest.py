@@ -1,0 +1,36 @@
+"""Shared helpers for the paper-figure benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints its rows, so ``pytest benchmarks/ --benchmark-only`` doubles as
+the reproduction run. Experiments share memoized fixtures through
+``repro.experiments.context``, so the first benchmark in a session pays
+the characterization cost and the rest reuse it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Benchmarks run the fast configuration (same shape, smaller cluster)."""
+    return ExperimentConfig(fast=True)
+
+
+def run_and_report(benchmark, experiment_id: str,
+                   config: ExperimentConfig):
+    """Run one experiment exactly once under the benchmark timer."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, config),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    return result

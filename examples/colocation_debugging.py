@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Operator tooling: explain a bad co-location, admit a new job online.
+
+Two workflows an operator runs against a production-like cluster:
+
+1. *Why is this service slow?* — decompose a co-location's slowdown into
+   its CPI-stack components (port queueing vs cache loss vs DRAM), the
+   causal story behind a single degradation number.
+2. *A new batch job just arrived.* — profile it against the Rulers within
+   a measurement budget (the paper's "order of seconds" online profiling)
+   and decide how many instances may share a web-search server at a 90%
+   QoS target.
+
+Run:  python examples/colocation_debugging.py
+"""
+
+from repro import SANDY_BRIDGE_EN, Simulator, SMiTe
+from repro.core import ProfilingBudget, admission_check
+from repro.scheduler import QosTarget
+from repro.smt import cpi_stack, explain_pair, utilization_report
+from repro.workloads import CLOUDSUITE, SPEC_CPU2006, spec_odd
+
+
+def main() -> None:
+    simulator = Simulator(SANDY_BRIDGE_EN)
+    web_search = CLOUDSUITE["web-search"]
+    noisy_neighbor = SPEC_CPU2006["470.lbm"]
+
+    # ------------------------------------------------------------------
+    # Workflow 1: explain an observed slowdown.
+    print("== why is web-search slow next to 470.lbm? ==\n")
+    print(cpi_stack(simulator.run_solo(web_search.profile)))
+    print()
+    breakdown = explain_pair(simulator, web_search.profile,
+                             noisy_neighbor, "smt")
+    print(breakdown.render())
+    print()
+    print(utilization_report(
+        simulator.run_pair(web_search.profile, noisy_neighbor, "smt")
+    ))
+
+    # ------------------------------------------------------------------
+    # Workflow 2: online admission for an arriving batch job.
+    print("\n== admitting arriving batch jobs at a 90% QoS target ==\n")
+    predictor = SMiTe(simulator).fit(spec_odd(), mode="smt")
+    predictor.fit_server(spec_odd(), instance_counts=(1, 2, 4, 6))
+    target = QosTarget.average(0.90)
+    for name in ("416.gamess", "444.namd", "470.lbm"):
+        decision = admission_check(
+            predictor, web_search, SPEC_CPU2006[name], target,
+            budget=ProfilingBudget(max_seconds=10, seconds_per_corun=1),
+        )
+        verdict = (f"admit {decision.admitted_instances} instance(s), "
+                   f"predicted {decision.predicted_degradation:.1%} "
+                   f"of a {decision.degradation_budget:.1%} budget"
+                   if decision.admitted else "reject (no safe count)")
+        print(f"  {name:14s} [{decision.profiling}] -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize two applications and predict their co-location.
+
+This walks the whole SMiTe pipeline on the Ivy Bridge machine:
+
+1. build the simulator and the seven-Ruler suite;
+2. characterize two applications' sensitivity/contentiousness (Eqs. 1-2);
+3. train the Equation 3 regression on the even-numbered SPEC half;
+4. predict the degradation of an unseen odd-numbered pair and compare it
+   to the measured co-run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IVY_BRIDGE, Simulator, SMiTe
+from repro.analysis.tables import format_table
+from repro.workloads import SPEC_CPU2006, spec_even
+
+
+def main() -> None:
+    simulator = Simulator(IVY_BRIDGE)
+    print(f"machine: {IVY_BRIDGE.processor} "
+          f"({IVY_BRIDGE.cores} cores, {IVY_BRIDGE.total_contexts} contexts)")
+
+    # ------------------------------------------------------------------
+    # Step 1-2: characterize two applications with the Ruler suite.
+    smite = SMiTe(simulator)
+    victim = SPEC_CPU2006["444.namd"]       # FP-port-bound compute app
+    aggressor = SPEC_CPU2006["470.lbm"]     # memory-streaming app
+
+    print("\n-- Ruler characterization (Equations 1-2) --")
+    rows = []
+    for profile in (victim, aggressor):
+        char = smite.characterization(profile, mode="smt")
+        for dimension in char.dimensions:
+            rows.append((
+                profile.name, dimension.name,
+                char.sensitivity[dimension],
+                char.contentiousness[dimension],
+            ))
+    print(format_table(
+        ("workload", "dimension", "sensitivity", "contentiousness"), rows
+    ))
+
+    # ------------------------------------------------------------------
+    # Step 3: train the prediction model on the even-numbered SPEC half.
+    print("\ntraining on the even-numbered SPEC benchmarks ...")
+    smite.fit(spec_even(), mode="smt")
+    print("fitted Equation 3:", smite.model.describe())
+
+    # ------------------------------------------------------------------
+    # Step 4: predict an unseen co-location and check against the machine.
+    predicted = smite.predict(victim, aggressor)
+    measured = simulator.measure_pair(victim, aggressor, "smt").degradation_a
+    print(f"\n{victim.name} co-located with {aggressor.name} (SMT):")
+    print(f"  predicted degradation: {predicted:6.2%}")
+    print(f"  measured degradation:  {measured:6.2%}")
+    print(f"  absolute error:        {abs(predicted - measured):6.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: the offline environment's setuptools predates PEP 660
+editable installs, so `pip install -e .` needs the legacy setup.py path.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

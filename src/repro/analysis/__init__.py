@@ -1,0 +1,35 @@
+"""Statistics and regression utilities shared across the library.
+
+This package deliberately implements the small amount of statistics the
+paper needs (Pearson correlation, empirical CDFs, ordinary least squares)
+directly on numpy so the core library depends on nothing heavier.
+"""
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_difference,
+    bootstrap_mean,
+)
+from repro.analysis.linreg import LinearModel, fit_least_squares
+from repro.analysis.stats import (
+    empirical_cdf,
+    mean_absolute_error,
+    pearson,
+    pearson_matrix,
+    summarize,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_difference",
+    "bootstrap_mean",
+    "LinearModel",
+    "fit_least_squares",
+    "empirical_cdf",
+    "mean_absolute_error",
+    "pearson",
+    "pearson_matrix",
+    "summarize",
+    "format_table",
+]

@@ -1,0 +1,147 @@
+"""Ordinary least squares with an optional ridge penalty.
+
+Both the SMiTe model (Equation 3) and the PMU baseline (Equation 9) are
+linear regressions; this module is the single fitting backend for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinearModel", "fit_least_squares"]
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted linear model ``y = X @ coefficients + intercept``."""
+
+    coefficients: np.ndarray
+    intercept: float
+    r_squared: float
+    feature_names: tuple[str, ...] = ()
+
+    @property
+    def n_features(self) -> int:
+        return int(self.coefficients.size)
+
+    def predict(self, features: Sequence[float] | np.ndarray) -> float:
+        """Predict the response for one feature vector."""
+        x = np.asarray(features, dtype=float)
+        if x.ndim != 1 or x.size != self.coefficients.size:
+            raise ConfigurationError(
+                f"expected {self.coefficients.size} features, got shape {x.shape}"
+            )
+        return float(x @ self.coefficients + self.intercept)
+
+    def predict_many(self, matrix: np.ndarray) -> np.ndarray:
+        """Predict responses for a 2-D feature matrix (rows = samples)."""
+        m = np.asarray(matrix, dtype=float)
+        if m.ndim != 2 or m.shape[1] != self.coefficients.size:
+            raise ConfigurationError(
+                f"expected (n, {self.coefficients.size}) matrix, got {m.shape}"
+            )
+        return m @ self.coefficients + self.intercept
+
+    def describe(self) -> str:
+        """Human-readable coefficient listing for reports."""
+        names = self.feature_names or tuple(
+            f"x{i}" for i in range(self.coefficients.size)
+        )
+        parts = [f"{name}: {c:+.4f}" for name, c in zip(names, self.coefficients)]
+        parts.append(f"intercept: {self.intercept:+.4f}")
+        parts.append(f"R^2: {self.r_squared:.4f}")
+        return ", ".join(parts)
+
+
+def fit_least_squares(
+    matrix: np.ndarray,
+    response: Sequence[float],
+    *,
+    ridge: float = 0.0,
+    nonnegative: bool = False,
+    feature_names: Sequence[str] = (),
+) -> LinearModel:
+    """Fit ``response ~ matrix`` with an intercept.
+
+    ``ridge`` adds an L2 penalty (not applied to the intercept); useful when
+    feature columns are nearly collinear, which happens for the PMU baseline
+    where several counters move together.
+
+    ``nonnegative`` constrains every feature coefficient (not the
+    intercept) to be >= 0 — appropriate when features are interference
+    terms, which can only ever add degradation. Collinear unconstrained
+    fits produce large sign-flipping coefficient pairs that extrapolate
+    catastrophically outside the training population.
+    """
+    x = np.asarray(matrix, dtype=float)
+    y = np.asarray(response, dtype=float)
+    if x.ndim != 2:
+        raise ConfigurationError(f"feature matrix must be 2-D, got shape {x.shape}")
+    if y.ndim != 1 or y.size != x.shape[0]:
+        raise ConfigurationError(
+            f"response must be 1-D with {x.shape[0]} rows, got shape {y.shape}"
+        )
+    if x.shape[0] <= x.shape[1]:
+        raise ConfigurationError(
+            f"need more samples ({x.shape[0]}) than features ({x.shape[1]})"
+        )
+    if ridge < 0.0:
+        raise ConfigurationError(f"ridge penalty must be >= 0, got {ridge}")
+    if feature_names and len(feature_names) != x.shape[1]:
+        raise ConfigurationError(
+            f"got {len(feature_names)} feature names for {x.shape[1]} features"
+        )
+
+    design = np.hstack([x, np.ones((x.shape[0], 1))])
+    if nonnegative:
+        beta = _fit_nonnegative(design, y, ridge)
+    elif ridge > 0.0:
+        penalty = ridge * np.eye(design.shape[1])
+        penalty[-1, -1] = 0.0  # leave the intercept unpenalized
+        gram = design.T @ design + penalty
+        beta = np.linalg.solve(gram, design.T @ y)
+    else:
+        beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+
+    fitted = design @ beta
+    ss_res = float(((y - fitted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearModel(
+        coefficients=beta[:-1],
+        intercept=float(beta[-1]),
+        r_squared=r_squared,
+        feature_names=tuple(feature_names),
+    )
+
+
+def _fit_nonnegative(design: np.ndarray, y: np.ndarray,
+                     ridge: float) -> np.ndarray:
+    """NNLS over the features; the intercept stays unconstrained.
+
+    The intercept (last design column) is split into +1/-1 columns so its
+    net coefficient can take either sign while scipy's NNLS constrains
+    everything it sees.
+    """
+    from scipy.optimize import nnls
+
+    features = design[:, :-1]
+    n = features.shape[1]
+    ones = np.ones((features.shape[0], 1))
+    augmented = np.hstack([features, ones, -ones])
+    if ridge > 0.0:
+        # Tikhonov rows shrink the feature coefficients only.
+        penalty = np.sqrt(ridge) * np.eye(n)
+        penalty = np.hstack([penalty, np.zeros((n, 2))])
+        augmented = np.vstack([augmented, penalty])
+        y = np.concatenate([y, np.zeros(n)])
+    solution, _residual = nnls(augmented, y)
+    beta = np.empty(n + 1)
+    beta[:n] = solution[:n]
+    beta[n] = solution[n] - solution[n + 1]
+    return beta

@@ -1,0 +1,178 @@
+"""Command-line interface for one-off predictions and characterizations.
+
+A thin operational wrapper over the library for quick questions:
+
+    python -m repro.cli characterize 444.namd
+    python -m repro.cli predict 444.namd 470.lbm --mode smt
+    python -m repro.cli safe-batch web-search --qos 0.9
+    python -m repro.cli workloads
+
+The predictor is trained on the machine-appropriate SPEC half on first
+use (even-numbered for Ivy Bridge pair predictions, odd-numbered for
+Sandy Bridge-EN server questions, matching the paper's splits).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.predictor import SMiTe
+from repro.errors import ReproError
+from repro.scheduler.qos import QosTarget
+from repro.smt.params import IVY_BRIDGE, MACHINES, SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import CLOUDSUITE
+from repro.workloads.insights import classify
+from repro.workloads.registry import all_profiles, get_profile
+from repro.workloads.spec import spec_even, spec_odd
+
+__all__ = ["main"]
+
+
+def _machine(name: str):
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown machine {name!r}; known: {', '.join(MACHINES)}"
+        ) from None
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        (p.name, p.suite.value, classify(p).value,
+         f"{p.total_footprint_bytes / (1024 * 1024):.1f} MB"
+         if p.strata else "-",
+         p.mlp, p.dependency_factor)
+        for p in all_profiles()
+    ]
+    print(format_table(
+        ("workload", "suite", "class", "footprint", "mlp", "dependency"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    simulator = Simulator(_machine(args.machine))
+    predictor = SMiTe(simulator)
+    profile = get_profile(args.workload)
+    char = predictor.characterization(profile, mode=args.mode)
+    rows = [
+        (d.name, char.sensitivity[d], char.contentiousness[d])
+        for d in char.dimensions
+    ]
+    print(format_table(
+        ("dimension", "sensitivity", "contentiousness"), rows,
+        title=f"{profile.name} on {args.machine} ({args.mode.upper()})",
+    ))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    simulator = Simulator(_machine(args.machine))
+    predictor = SMiTe(simulator).fit(spec_even(), mode=args.mode)
+    victim = get_profile(args.victim)
+    aggressor = get_profile(args.aggressor)
+    predicted = predictor.predict(victim, aggressor)
+    print(f"{victim.name} co-located with {aggressor.name} "
+          f"({args.mode.upper()}, {args.machine}):")
+    print(f"  predicted degradation: {predicted:.2%}")
+    if args.verify:
+        measured = simulator.measure_pair(victim, aggressor,
+                                          args.mode).degradation_a
+        print(f"  measured degradation:  {measured:.2%}")
+        print(f"  absolute error:        {abs(predicted - measured):.2%}")
+    return 0
+
+
+def _cmd_safe_batch(args: argparse.Namespace) -> int:
+    if args.latency_app not in CLOUDSUITE:
+        raise ReproError(
+            f"{args.latency_app!r} is not a latency-sensitive app; "
+            f"known: {', '.join(CLOUDSUITE)}"
+        )
+    simulator = Simulator(SANDY_BRIDGE_EN)
+    predictor = SMiTe(simulator).fit(spec_odd(), mode="smt")
+    predictor.fit_server(spec_odd(), instance_counts=(1, 2, 4, 6))
+    app = CLOUDSUITE[args.latency_app]
+    target = QosTarget.average(args.qos)
+    budget = target.degradation_budget()
+    rows = []
+    for batch in spec_even():
+        best = 0
+        predicted_best = 0.0
+        for instances in range(simulator.machine.cores, 0, -1):
+            predicted = predictor.predict_server(app.profile, batch,
+                                                 instances=instances)
+            if predicted <= budget:
+                best, predicted_best = instances, predicted
+                break
+        rows.append((batch.name, best, predicted_best))
+    rows.sort(key=lambda r: (-r[1], r[2]))
+    print(format_table(
+        ("batch candidate", "safe instances", "predicted degradation"),
+        rows,
+        title=f"{app.name} at a {args.qos:.0%} QoS target "
+              f"(budget {budget:.1%})",
+    ))
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="SMiTe one-off predictions and characterizations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list known workloads")
+
+    characterize = sub.add_parser("characterize",
+                                  help="Ruler-characterize one workload")
+    characterize.add_argument("workload")
+    characterize.add_argument("--machine", default=IVY_BRIDGE.name,
+                              choices=sorted(MACHINES))
+    characterize.add_argument("--mode", default="smt",
+                              choices=("smt", "cmp"))
+
+    predict = sub.add_parser("predict",
+                             help="predict a pair's degradation")
+    predict.add_argument("victim")
+    predict.add_argument("aggressor")
+    predict.add_argument("--machine", default=IVY_BRIDGE.name,
+                         choices=sorted(MACHINES))
+    predict.add_argument("--mode", default="smt", choices=("smt", "cmp"))
+    predict.add_argument("--verify", action="store_true",
+                         help="also measure the pair and report the error")
+
+    safe = sub.add_parser("safe-batch",
+                          help="safe instance counts for a latency app")
+    safe.add_argument("latency_app")
+    safe.add_argument("--qos", type=float, default=0.90,
+                      help="QoS level on average performance (default 0.90)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    handlers = {
+        "workloads": _cmd_workloads,
+        "characterize": _cmd_characterize,
+        "predict": _cmd_predict,
+        "safe-batch": _cmd_safe_batch,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into something like `head`; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Prediction-error accounting (Equations 7-8).
+
+``PairPrediction`` records one co-location's measured and predicted
+degradation; ``EvaluationReport`` aggregates them per victim benchmark
+and overall, matching how Figures 10-12 report results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import summarize
+from repro.errors import ConfigurationError
+
+__all__ = ["PairPrediction", "BenchmarkErrors", "EvaluationReport"]
+
+
+@dataclass(frozen=True)
+class PairPrediction:
+    """One co-location: who ran with whom, what happened, what was predicted."""
+
+    victim: str
+    aggressor: str
+    measured_degradation: float
+    predicted_degradation: float
+
+    @property
+    def error(self) -> float:
+        """Equation 8: absolute prediction error."""
+        return abs(self.predicted_degradation - self.measured_degradation)
+
+
+@dataclass(frozen=True)
+class BenchmarkErrors:
+    """Per-victim aggregation, one bar of Figures 10-12."""
+
+    victim: str
+    mean_measured_degradation: float
+    min_measured_degradation: float
+    max_measured_degradation: float
+    mean_error: float
+    pair_count: int
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """All predictions of one model over one test set."""
+
+    model_name: str
+    predictions: tuple[PairPrediction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predictions:
+            raise ConfigurationError(
+                f"{self.model_name}: empty evaluation report"
+            )
+
+    @property
+    def mean_error(self) -> float:
+        """The headline number: mean absolute prediction error."""
+        return sum(p.error for p in self.predictions) / len(self.predictions)
+
+    @property
+    def max_error(self) -> float:
+        return max(p.error for p in self.predictions)
+
+    @property
+    def victims(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for p in self.predictions:
+            seen.setdefault(p.victim, None)
+        return tuple(seen)
+
+    def for_victim(self, victim: str) -> BenchmarkErrors:
+        """Aggregate this victim's pairings (one figure bar)."""
+        mine = [p for p in self.predictions if p.victim == victim]
+        if not mine:
+            raise ConfigurationError(f"no predictions for victim {victim!r}")
+        measured = summarize([p.measured_degradation for p in mine])
+        return BenchmarkErrors(
+            victim=victim,
+            mean_measured_degradation=measured.mean,
+            min_measured_degradation=measured.minimum,
+            max_measured_degradation=measured.maximum,
+            mean_error=sum(p.error for p in mine) / len(mine),
+            pair_count=len(mine),
+        )
+
+    def per_victim(self) -> list[BenchmarkErrors]:
+        return [self.for_victim(v) for v in self.victims]
+
+    def summary_rows(self) -> list[Sequence[object]]:
+        """Rows for the experiment tables: victim, measured, error."""
+        rows: list[Sequence[object]] = []
+        for bench in self.per_victim():
+            rows.append((
+                bench.victim,
+                bench.mean_measured_degradation,
+                bench.mean_error,
+                bench.pair_count,
+            ))
+        rows.append(("AVERAGE", float("nan"), self.mean_error,
+                     len(self.predictions)))
+        return rows

@@ -1,0 +1,128 @@
+"""The SMiTe prediction model (Equation 3).
+
+Degradation of A co-located with B is modelled as a linear combination of
+per-dimension interaction terms::
+
+    Deg(A | B) = sum_i c_i * Sen_i(A) * Con_i(B) + c_0
+
+The product captures that interference in dimension ``i`` requires *both*
+a sensitive victim and a contentious aggressor; the weights ``c_i`` learn
+how much each dimension's Ruler-scale pressure translates into co-run
+degradation, and ``c_0`` absorbs resources outside the seven dimensions
+(the static cost of SMT sharing itself).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.linreg import LinearModel, fit_least_squares
+from repro.core.characterize import Characterization
+from repro.errors import CharacterizationError, ModelNotFittedError
+from repro.rulers.base import Dimension
+
+__all__ = ["SMiTeModel"]
+
+
+class SMiTeModel:
+    """Equation 3, fit by least squares over co-run training pairs.
+
+    ``nonnegative`` (default) constrains the per-dimension weights to be
+    >= 0: contention on a resource can only add degradation, and the
+    constraint keeps collinear dimensions from producing sign-flipping
+    weight pairs that extrapolate badly beyond the training population.
+    """
+
+    def __init__(self, *, ridge: float = 0.0,
+                 nonnegative: bool = True) -> None:
+        self._ridge = ridge
+        self._nonnegative = nonnegative
+        self._model: LinearModel | None = None
+        self._dimensions: tuple[Dimension, ...] = ()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    @property
+    def dimensions(self) -> tuple[Dimension, ...]:
+        return self._dimensions
+
+    @property
+    def coefficients(self) -> dict[Dimension, float]:
+        """Fitted per-dimension weights ``c_i``."""
+        model = self._require_fitted()
+        return dict(zip(self._dimensions, model.coefficients.tolist()))
+
+    @property
+    def intercept(self) -> float:
+        """The fitted constant ``c_0``."""
+        return self._require_fitted().intercept
+
+    @property
+    def r_squared(self) -> float:
+        return self._require_fitted().r_squared
+
+    # ------------------------------------------------------------------
+
+    def features(self, victim: Characterization,
+                 aggressor: Characterization) -> np.ndarray:
+        """The Sen_i(A) * Con_i(B) interaction vector for one pair."""
+        dims = self._dimensions or victim.dimensions
+        if victim.dimensions != aggressor.dimensions:
+            raise CharacterizationError(
+                f"dimension mismatch between {victim.workload} and "
+                f"{aggressor.workload}"
+            )
+        return np.array([
+            victim.sensitivity[d] * aggressor.contentiousness[d] for d in dims
+        ])
+
+    def fit(
+        self,
+        pairs: Sequence[tuple[Characterization, Characterization, float]],
+    ) -> "SMiTeModel":
+        """Fit on (victim, aggressor, measured degradation) triples."""
+        if not pairs:
+            raise CharacterizationError("cannot fit SMiTe on zero pairs")
+        self._dimensions = pairs[0][0].dimensions
+        rows = []
+        degradations = []
+        for victim, aggressor, degradation in pairs:
+            if victim.dimensions != self._dimensions:
+                raise CharacterizationError(
+                    f"{victim.workload} characterized over different "
+                    f"dimensions than the training set"
+                )
+            rows.append(self.features(victim, aggressor))
+            degradations.append(degradation)
+        self._model = fit_least_squares(
+            np.vstack(rows),
+            degradations,
+            ridge=self._ridge,
+            nonnegative=self._nonnegative,
+            feature_names=[f"sen*con[{d.name}]" for d in self._dimensions],
+        )
+        return self
+
+    def predict(self, victim: Characterization,
+                aggressor: Characterization) -> float:
+        """Predicted degradation of ``victim`` co-located with ``aggressor``."""
+        model = self._require_fitted()
+        return model.predict(self.features(victim, aggressor))
+
+    def describe(self) -> str:
+        return self._require_fitted().describe()
+
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> LinearModel:
+        if self._model is None:
+            raise ModelNotFittedError(
+                "SMiTeModel.fit must be called before prediction"
+            )
+        return self._model

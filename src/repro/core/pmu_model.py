@@ -1,0 +1,92 @@
+"""The PMU-counter baseline model (Equation 9, Section IV-B1).
+
+The strongest PMU model the paper found: a linear regression over 11
+solo-run performance-counter rates of *both* co-runners::
+
+    Deg(A | B) = sum_i (c_i^A * PMU_i(A) + c_i^B * PMU_i(B)) + c_0
+
+Its structural handicap versus SMiTe is the absence of interaction terms —
+it cannot express "degradation happens when a sensitive victim meets a
+contentious aggressor *on the same resource*" — and it inherits the
+counter-granularity and counter-bug defects of real PMUs (simulated in
+:mod:`repro.smt.pmu`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.linreg import LinearModel, fit_least_squares
+from repro.errors import CharacterizationError, ModelNotFittedError
+from repro.smt.pmu import PMU_COUNTERS
+
+__all__ = ["PmuModel"]
+
+PmuReading = Mapping[str, float]
+
+
+class PmuModel:
+    """Equation 9: linear regression on both co-runners' solo PMU rates."""
+
+    def __init__(self, *, counters: Sequence[str] = PMU_COUNTERS,
+                 ridge: float = 1e-6) -> None:
+        if not counters:
+            raise CharacterizationError("PMU model needs at least one counter")
+        self._counters = tuple(counters)
+        self._ridge = ridge
+        self._model: LinearModel | None = None
+
+    @property
+    def counters(self) -> tuple[str, ...]:
+        return self._counters
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    @property
+    def r_squared(self) -> float:
+        return self._require_fitted().r_squared
+
+    def features(self, victim: PmuReading, aggressor: PmuReading) -> np.ndarray:
+        """Concatenated victim/aggressor counter vector."""
+        try:
+            row = [victim[c] for c in self._counters]
+            row += [aggressor[c] for c in self._counters]
+        except KeyError as exc:
+            raise CharacterizationError(
+                f"PMU reading is missing counter {exc.args[0]!r}"
+            ) from exc
+        return np.array(row)
+
+    def fit(
+        self,
+        pairs: Sequence[tuple[PmuReading, PmuReading, float]],
+    ) -> "PmuModel":
+        """Fit on (victim counters, aggressor counters, degradation)."""
+        if not pairs:
+            raise CharacterizationError("cannot fit the PMU model on zero pairs")
+        rows = [self.features(victim, aggressor) for victim, aggressor, _ in pairs]
+        degradations = [deg for _, _, deg in pairs]
+        names = [f"A:{c}" for c in self._counters] + \
+                [f"B:{c}" for c in self._counters]
+        self._model = fit_least_squares(
+            np.vstack(rows), degradations, ridge=self._ridge,
+            feature_names=names,
+        )
+        return self
+
+    def predict(self, victim: PmuReading, aggressor: PmuReading) -> float:
+        return self._require_fitted().predict(self.features(victim, aggressor))
+
+    def describe(self) -> str:
+        return self._require_fitted().describe()
+
+    def _require_fitted(self) -> LinearModel:
+        if self._model is None:
+            raise ModelNotFittedError(
+                "PmuModel.fit must be called before prediction"
+            )
+        return self._model

@@ -1,0 +1,131 @@
+"""Tail-latency prediction (Section III-C3, Figure 13).
+
+Equation 6 says the p-th percentile under degradation ``Deg`` is
+
+    t_p = -ln(1 - p) / ((1 - Deg) * mu - lambda)
+
+so its reciprocal is *linear in Deg*:
+
+    1 / t_p = (mu - lambda)/c - (mu / c) * Deg,      c = -ln(1 - p)
+
+The paper trains the latency model from the degradation/percentile pairs
+observed while the latency-sensitive app is co-located with Rulers; we fit
+the same line by least squares, which recovers the effective ``mu`` and
+``lambda`` of the service, then invert Equation 6 for prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.linreg import fit_least_squares
+from repro.errors import ModelNotFittedError, QueueingError
+from repro.queueing.mm1 import Mm1Queue
+
+__all__ = ["TailLatencyModel"]
+
+
+@dataclass
+class TailLatencyModel:
+    """Equation 6, with (mu, lambda) recovered from profiled co-runs."""
+
+    percentile: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile < 1.0:
+            raise QueueingError(
+                f"percentile must be in (0, 1), got {self.percentile}"
+            )
+        self._queue: Mm1Queue | None = None
+        self._r_squared: float = float("nan")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._queue is not None
+
+    @property
+    def queue(self) -> Mm1Queue:
+        """The recovered baseline (undegraded) queue."""
+        return self._require_fitted()
+
+    @property
+    def fit_r_squared(self) -> float:
+        self._require_fitted()
+        return self._r_squared
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        degradations: Sequence[float],
+        percentile_latencies: Sequence[float],
+    ) -> "TailLatencyModel":
+        """Fit from observed (Deg, t_p) pairs (Ruler co-run profiling)."""
+        degs = np.asarray(degradations, dtype=float)
+        lats = np.asarray(percentile_latencies, dtype=float)
+        if degs.size != lats.size or degs.size < 3:
+            raise QueueingError(
+                "tail-latency fit needs >= 3 matched (Deg, latency) samples"
+            )
+        if (lats <= 0).any():
+            raise QueueingError("observed percentile latencies must be positive")
+        c = -math.log(1.0 - self.percentile)
+        model = fit_least_squares(degs.reshape(-1, 1), 1.0 / lats)
+        slope = float(model.coefficients[0])
+        intercept = model.intercept
+        mu = -slope * c
+        lam = mu - intercept * c
+        if mu <= 0 or lam <= 0 or lam >= mu:
+            raise QueueingError(
+                f"fit produced an invalid queue (mu={mu:.4g}, lambda={lam:.4g}); "
+                f"the profiled latencies do not follow Equation 6"
+            )
+        self._queue = Mm1Queue(arrival_rate=lam, service_rate=mu)
+        self._r_squared = model.r_squared
+        return self
+
+    def fit_from_queue(self, queue: Mm1Queue) -> "TailLatencyModel":
+        """Adopt known (mu, lambda) directly instead of regression."""
+        self._queue = queue
+        self._r_squared = 1.0
+        return self
+
+    def predict_latency(self, degradation: float) -> float:
+        """Equation 6: the p-th percentile under the given degradation."""
+        return self._require_fitted().degraded_percentile(
+            self.percentile, degradation
+        )
+
+    def baseline_latency(self) -> float:
+        """The p-th percentile with no co-location."""
+        return self._require_fitted().percentile(self.percentile)
+
+    def max_safe_degradation(self, qos_target: float) -> float:
+        """Largest degradation keeping t_p within ``baseline / qos_target``.
+
+        A QoS target of 0.90 allows the 90th-percentile latency to grow by
+        at most 1/0.90 - 1 ~= 11%; this inverts Equation 6 for the
+        scheduler.
+        """
+        if not 0.0 < qos_target <= 1.0:
+            raise QueueingError(
+                f"QoS target must be in (0, 1], got {qos_target}"
+            )
+        queue = self._require_fitted()
+        budget = queue.percentile(self.percentile) / qos_target
+        return queue.max_safe_degradation(self.percentile, budget)
+
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> Mm1Queue:
+        if self._queue is None:
+            raise ModelNotFittedError(
+                "TailLatencyModel.fit must be called before prediction"
+            )
+        return self._queue

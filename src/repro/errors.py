@@ -1,0 +1,47 @@
+"""Exception hierarchy for the SMiTe reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type at API boundaries while still distinguishing failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, workload, or model parameter is invalid."""
+
+
+class ConvergenceError(ReproError):
+    """The fixed-point co-run solver failed to converge."""
+
+
+class AsmSyntaxError(ReproError):
+    """An assembly-text ruler listing could not be parsed."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A workload name was not found in the registry."""
+
+
+class CharacterizationError(ReproError):
+    """Sensitivity/contentiousness characterization failed."""
+
+
+class ModelNotFittedError(ReproError):
+    """A prediction model was used before ``fit`` was called."""
+
+
+class ValidationError(ReproError):
+    """A Ruler failed its purity/linearity validation criteria."""
+
+
+class QueueingError(ReproError):
+    """A queueing model was configured with an unstable or invalid load."""
+
+
+class SchedulingError(ReproError):
+    """The cluster scheduler was driven into an invalid state."""

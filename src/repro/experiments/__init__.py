@@ -1,0 +1,26 @@
+"""Experiment drivers: one per table and figure of the paper's evaluation.
+
+Every experiment is a callable registered under its paper identifier
+(``table1``, ``fig2`` ... ``fig18``) that returns an
+:class:`~repro.experiments.base.ExperimentResult` with the rows the paper
+reports plus headline metrics. Run them all with::
+
+    python -m repro.experiments.runner --all
+
+or individually through :func:`repro.experiments.registry.run_experiment`.
+"""
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import (
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,76 @@
+"""Figure 4: sensitivity and contentiousness on the memory subsystem.
+
+Reports Sen/Con against the L1/L2/L3 Rulers and checks Findings 7-8:
+memory-dimension behaviour is more monolithic than functional units
+(higher cross-level correlation), applications like 454.calculix show
+near-equal L1/L2 sensitivity (L1 reliance), and CloudSuite is markedly
+more L3-contentious than SPEC while similarly sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import pearson
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.context import characterized_population
+from repro.rulers.base import Dimension
+from repro.workloads.profile import Suite
+from repro.workloads.registry import get_profile
+
+__all__ = ["run"]
+
+_MEM_DIMS = (Dimension.L1, Dimension.L2, Dimension.L3)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    population = characterized_population()
+    rows = []
+    for name, char in sorted(population.items()):
+        profile = get_profile(name)
+        row = [name, profile.suite.value]
+        for dim in _MEM_DIMS:
+            row.append(char.sensitivity[dim])
+            row.append(char.contentiousness[dim])
+        rows.append(tuple(row))
+
+    names = sorted(population)
+    sen_l1 = [population[n].sensitivity[Dimension.L1] for n in names]
+    sen_l2 = [population[n].sensitivity[Dimension.L2] for n in names]
+    l1_l2_corr = abs(pearson(sen_l1, sen_l2))
+
+    calculix = population["454.calculix"]
+    calculix_gap = abs(calculix.sensitivity[Dimension.L1]
+                       - calculix.sensitivity[Dimension.L2])
+
+    cloud_l3 = _suite_mean_con_l3(population, Suite.CLOUDSUITE)
+    spec_l3 = (_suite_mean_con_l3(population, Suite.SPEC_INT)
+               + _suite_mean_con_l3(population, Suite.SPEC_FP)) / 2.0
+
+    headers = ["workload", "suite"]
+    for dim in _MEM_DIMS:
+        headers += [f"sen[{dim.name}]", f"con[{dim.name}]"]
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Memory-subsystem sensitivity and contentiousness",
+        paper_claim="memory contention is more monolithic than FUs; "
+                    "454.calculix has near-equal L1/L2 sensitivity; "
+                    "CloudSuite is much more L3-contentious than SPEC "
+                    "(Findings 7-8)",
+        headers=tuple(headers),
+        rows=tuple(rows),
+        metrics={
+            "l1_l2_sensitivity_correlation": l1_l2_corr,
+            "calculix_l1_l2_sen_gap": calculix_gap,
+            "cloud_mean_l3_contentiousness": cloud_l3,
+            "spec_mean_l3_contentiousness": spec_l3,
+            "cloud_over_spec_l3_con": cloud_l3 / spec_l3 if spec_l3 else 0.0,
+        },
+    )
+
+
+def _suite_mean_con_l3(population, suite: Suite) -> float:
+    values = [
+        char.contentiousness[Dimension.L3]
+        for name, char in population.items()
+        if get_profile(name).suite is suite
+    ]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,36 @@
+"""Figure 7: Pearson correlation among the 14 sharing dimensions.
+
+The paper's Finding 9 — the empirical foundation of the decoupled
+methodology: 97.96% of dimension pairs correlate below |r| = 0.80 and
+the majority below 0.50.
+"""
+
+from __future__ import annotations
+
+from repro.core.correlation import correlation_report
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.context import characterized_population
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    report = correlation_report(characterized_population())
+    rows = [
+        (a, b, r) for a, b, r in report.strongest_pairs(count=10)
+    ]
+    below_080 = report.fraction_below(0.80)
+    below_050 = report.fraction_below(0.50)
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Cross-dimension Pearson correlations (strongest 10 shown)",
+        paper_claim="97.96% of dimension pairs have |r| < 0.80 and the "
+                    "majority have |r| < 0.50 (Finding 9)",
+        headers=("dimension A", "dimension B", "|pearson r|"),
+        rows=tuple(rows),
+        metrics={
+            "fraction_below_080": below_080,
+            "fraction_below_050": below_050,
+            "dimension_pairs": float(len(report.off_diagonal())),
+        },
+    )

@@ -1,0 +1,75 @@
+"""The experiment registry: paper identifier -> driver."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig02_fu_sencon,
+    fig03_fu_utilization,
+    fig04_mem_sencon,
+    fig05_memport_utilization,
+    fig06_summary,
+    fig07_correlation,
+    fig09_rulers,
+    fig10_spec_smt,
+    fig11_spec_cmp,
+    fig12_cloudsuite,
+    fig13_tail_latency,
+    fig18_tco,
+    table1,
+)
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.fig14_17_scaleout import (
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+)
+
+__all__ = ["EXPERIMENTS", "all_experiment_ids", "get_experiment",
+           "run_experiment"]
+
+ExperimentFn = Callable[[ExperimentConfig], ExperimentResult]
+
+EXPERIMENTS: dict[str, ExperimentFn] = {
+    "table1": table1.run,
+    "fig2": fig02_fu_sencon.run,
+    "fig3": fig03_fu_utilization.run,
+    "fig4": fig04_mem_sencon.run,
+    "fig5": fig05_memport_utilization.run,
+    "fig6": fig06_summary.run,
+    "fig7": fig07_correlation.run,
+    "fig9": fig09_rulers.run,
+    "fig10": fig10_spec_smt.run,
+    "fig11": fig11_spec_cmp.run,
+    "fig12": fig12_cloudsuite.run,
+    "fig13": fig13_tail_latency.run,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": fig18_tco.run,
+}
+
+
+def all_experiment_ids() -> list[str]:
+    """Every registered experiment, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        ) from exc
+
+
+def run_experiment(experiment_id: str,
+                   config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Run one experiment by its paper identifier."""
+    return get_experiment(experiment_id)(config or ExperimentConfig())

@@ -1,0 +1,79 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner fig10 fig11
+    python -m repro.experiments.runner --all [--fast] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.registry import all_experiment_ids, run_experiment
+
+__all__ = ["main"]
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="smite-experiments",
+        description="Reproduce the SMiTe paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig10 fig14); "
+                             "see --list")
+    parser.add_argument("--all", action="store_true",
+                        help="run every registered experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink the expensive studies (CI mode)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump results (rows + metrics) as JSON")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    if args.list:
+        for experiment_id in all_experiment_ids():
+            print(experiment_id)
+        return 0
+    ids = all_experiment_ids() if args.all else args.experiments
+    if not ids:
+        print("nothing to run; pass experiment ids or --all (see --list)",
+              file=sys.stderr)
+        return 2
+
+    config = ExperimentConfig(fast=args.fast, seed=args.seed)
+    dumps = {}
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, config)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+        dumps[experiment_id] = {
+            "title": result.title,
+            "paper_claim": result.paper_claim,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "metrics": dict(result.metrics),
+        }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(dumps, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

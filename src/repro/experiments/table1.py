@@ -1,0 +1,31 @@
+"""Table I: machine specifications of the experimental setup."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.smt.params import MACHINES
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rows = []
+    for machine in MACHINES.values():
+        rows.append((
+            machine.processor,
+            machine.microarchitecture,
+            machine.kernel_version,
+            machine.cores,
+            machine.total_contexts,
+            machine.l3.size_bytes // (1024 * 1024),
+        ))
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Machine specifications",
+        paper_claim="Intel Xeon E5-2420 (Sandy Bridge-EN) and "
+                    "Intel i7-3770 (Ivy Bridge), kernel 3.8.0",
+        headers=("processor", "microarchitecture", "kernel", "cores",
+                 "smt contexts", "L3 (MB)"),
+        rows=tuple(rows),
+        metrics={"machines": float(len(rows))},
+    )

@@ -1,0 +1,39 @@
+"""A miniature ISA for authoring and analyzing stressor kernels.
+
+The paper's Rulers (Figure 9) are tiny assembly loops built from
+port-specific instructions. This package models just enough of that world
+to keep the Ruler-design contribution executable:
+
+- :mod:`repro.isa.opcodes` — uop kinds, execution-port bindings, latencies
+  (the Sandy Bridge execution-cluster model of Figure 1);
+- :mod:`repro.isa.kernel` — kernels as loops of abstract instructions;
+- :mod:`repro.isa.asmtext` — a parser for the paper's assembly listings;
+- :mod:`repro.isa.analyzer` — static analysis turning a kernel into a
+  :class:`~repro.workloads.profile.WorkloadProfile` the simulator can run.
+"""
+
+from repro.isa.analyzer import analyze_kernel
+from repro.isa.asmtext import parse_asm
+from repro.isa.kernel import Instruction, Kernel, MemRef
+from repro.isa.opcodes import (
+    ALL_PORTS,
+    FUNCTIONAL_UNIT_PORTS,
+    MEMORY_PORTS,
+    PORT_BINDINGS,
+    UOP_LATENCY,
+    UopKind,
+)
+
+__all__ = [
+    "analyze_kernel",
+    "parse_asm",
+    "Instruction",
+    "Kernel",
+    "MemRef",
+    "ALL_PORTS",
+    "FUNCTIONAL_UNIT_PORTS",
+    "MEMORY_PORTS",
+    "PORT_BINDINGS",
+    "UOP_LATENCY",
+    "UopKind",
+]

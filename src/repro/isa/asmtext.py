@@ -1,0 +1,182 @@
+"""Parser for the assembly-text Ruler listings of Figure 9.
+
+Supports the small AT&T-syntax subset the paper's functional-unit rulers
+use::
+
+    loop:
+    mulps  %xmm0, %xmm0
+    mulps  %xmm7, %xmm7
+    jmp loop
+
+Memory instructions may be written with a bracketed footprint annotation so
+the memory rulers are expressible in the same notation::
+
+    movl   [footprint=32768,pattern=random], %eax     # load
+    movl   %eax, [footprint=8388608,pattern=stride]   # store
+
+The parser produces a :class:`~repro.isa.kernel.Kernel`; the trailing
+``jmp`` back-edge is implicit in the kernel model and therefore dropped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AsmSyntaxError
+from repro.isa.kernel import Instruction, Kernel, MemRef
+from repro.isa.opcodes import UopKind
+
+__all__ = ["parse_asm", "MNEMONICS"]
+
+#: Mnemonic table. SSE packed single-precision ops match Figure 9(a-d);
+#: scalar variants are accepted as aliases.
+MNEMONICS: dict[str, UopKind] = {
+    "mulps": UopKind.FP_MUL,
+    "mulss": UopKind.FP_MUL,
+    "addps": UopKind.FP_ADD,
+    "addss": UopKind.FP_ADD,
+    "shufps": UopKind.FP_SHF,
+    "addl": UopKind.INT_ALU,
+    "addq": UopKind.INT_ALU,
+    "incl": UopKind.INT_ALU,
+    "nop": UopKind.NOP,
+    "jmp": UopKind.BRANCH,
+}
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.][\w.]*)\s*:\s*$")
+_MEMREF_RE = re.compile(
+    r"^\[footprint=(\d+)"
+    r"(?:,pattern=(random|stride))?"
+    r"(?:,stride=(\d+))?"
+    r"(?:,addr=(%[a-z0-9]+))?\]$"
+)
+_REGISTER_RE = re.compile(r"^%[a-z0-9]+$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _parse_memref(token: str, lineno: int) -> tuple[MemRef, str] | None:
+    """Parse a bracketed memory operand; returns (ref, address_register)."""
+    match = _MEMREF_RE.match(token)
+    if match is None:
+        return None
+    footprint = int(match.group(1))
+    pattern = match.group(2) or "random"
+    stride = int(match.group(3)) if match.group(3) else 64
+    addr_reg = match.group(4) or ""
+    try:
+        ref = MemRef(footprint_bytes=footprint, pattern=pattern,  # type: ignore[arg-type]
+                     stride_bytes=stride)
+    except Exception as exc:
+        raise AsmSyntaxError(f"line {lineno}: bad memory reference: {exc}") from exc
+    return ref, addr_reg
+
+
+def _split_operands(rest: str) -> list[str]:
+    if not rest:
+        return []
+    # Bracketed operands contain commas; protect them before splitting.
+    protected = re.sub(r"\[([^\]]*)\]", lambda m: "[" + m.group(1).replace(",", "|") + "]", rest)
+    tokens = [t.strip().replace("|", ",") for t in protected.split(",")]
+    return [t for t in tokens if t]
+
+
+def parse_asm(text: str, *, name: str = "kernel", unroll: int = 1) -> Kernel:
+    """Parse an assembly listing into a :class:`Kernel`.
+
+    Raises :class:`~repro.errors.AsmSyntaxError` on unknown mnemonics,
+    malformed operands, or a listing with no executable instructions.
+    """
+    body: list[Instruction] = []
+    labels: set[str] = set()
+    saw_backedge = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        label = _LABEL_RE.match(line)
+        if label:
+            labels.add(label.group(1))
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        kind = MNEMONICS.get(mnemonic)
+        if kind is None and mnemonic in ("movl", "movq", "mov"):
+            kind = None  # resolved below from operand shapes
+        elif kind is None:
+            raise AsmSyntaxError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+        operands = _split_operands(rest)
+
+        if kind is UopKind.BRANCH:
+            if operands and operands[0] not in labels:
+                raise AsmSyntaxError(
+                    f"line {lineno}: jmp target {operands[0]!r} is not a label"
+                )
+            saw_backedge = True
+            continue  # the kernel model adds the loop branch implicitly
+
+        if mnemonic in ("movl", "movq", "mov"):
+            body.append(_parse_mov(operands, lineno))
+            continue
+
+        assert kind is not None
+        if kind is UopKind.NOP:
+            body.append(Instruction(kind=UopKind.NOP))
+            continue
+
+        if len(operands) != 2:
+            raise AsmSyntaxError(
+                f"line {lineno}: {mnemonic} expects 2 operands, got {len(operands)}"
+            )
+        src, dst = operands
+        for op in (src, dst):
+            if not _REGISTER_RE.match(op):
+                raise AsmSyntaxError(
+                    f"line {lineno}: {mnemonic} operand {op!r} is not a register"
+                )
+        body.append(Instruction(kind=kind, dest=dst, sources=(src, dst)))
+
+    if not body:
+        raise AsmSyntaxError("listing contains no executable instructions")
+    if not saw_backedge:
+        raise AsmSyntaxError("listing has no jmp back-edge; rulers must loop")
+    return Kernel(name=name, body=tuple(body), unroll=unroll)
+
+
+def _parse_mov(operands: list[str], lineno: int) -> Instruction:
+    """Classify a mov as LOAD or STORE from its operand shapes.
+
+    An ``addr=%reg`` annotation inside the bracketed operand records the
+    address-generating register, so the analyzer sees the dependency of
+    the access on the address computation (the LFSR chain in Figure 9e).
+    """
+    if len(operands) != 2:
+        raise AsmSyntaxError(f"line {lineno}: mov expects 2 operands")
+    src, dst = operands
+    src_mem = _parse_memref(src, lineno)
+    dst_mem = _parse_memref(dst, lineno)
+    if src_mem is not None and dst_mem is None:
+        ref, addr = src_mem
+        if not _REGISTER_RE.match(dst):
+            raise AsmSyntaxError(f"line {lineno}: load destination must be a register")
+        sources = (addr,) if addr else ()
+        return Instruction(kind=UopKind.LOAD, dest=dst, sources=sources, mem=ref)
+    if dst_mem is not None and src_mem is None:
+        ref, addr = dst_mem
+        if not _REGISTER_RE.match(src):
+            raise AsmSyntaxError(f"line {lineno}: store source must be a register")
+        sources = (src, addr) if addr else (src,)
+        return Instruction(kind=UopKind.STORE, sources=sources, mem=ref)
+    raise AsmSyntaxError(
+        f"line {lineno}: mov must reference memory on exactly one side"
+    )

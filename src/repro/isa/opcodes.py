@@ -1,0 +1,73 @@
+"""Uop kinds and their execution-port bindings.
+
+This mirrors the Intel Sandy Bridge execution cluster of the paper's
+Figure 1: six ports, where ports 0/1/5 host functional units and ports
+2/3/4 host memory operations, and several operations are port-specific
+(FP_MUL only on port 0, FP_ADD only on port 1, FP_SHF only on port 5,
+INT_ADD on any of 0/1/5, loads on 2/3, stores on 4, branches on 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+__all__ = [
+    "UopKind",
+    "PORT_BINDINGS",
+    "UOP_LATENCY",
+    "ALL_PORTS",
+    "FUNCTIONAL_UNIT_PORTS",
+    "MEMORY_PORTS",
+    "is_memory_kind",
+]
+
+ALL_PORTS: tuple[int, ...] = (0, 1, 2, 3, 4, 5)
+FUNCTIONAL_UNIT_PORTS: tuple[int, ...] = (0, 1, 5)
+MEMORY_PORTS: tuple[int, ...] = (2, 3, 4)
+
+
+class UopKind(enum.Enum):
+    """The micro-operation kinds the simulator distinguishes."""
+
+    FP_MUL = "fp_mul"
+    FP_ADD = "fp_add"
+    FP_SHF = "fp_shf"
+    INT_ALU = "int_alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    def __repr__(self) -> str:  # terse reprs keep test output readable
+        return f"UopKind.{self.name}"
+
+
+#: Ports each uop kind may dispatch to (Figure 1's port-specific operations).
+PORT_BINDINGS: Mapping[UopKind, tuple[int, ...]] = {
+    UopKind.FP_MUL: (0,),
+    UopKind.FP_ADD: (1,),
+    UopKind.FP_SHF: (5,),
+    UopKind.INT_ALU: (0, 1, 5),
+    UopKind.LOAD: (2, 3),
+    UopKind.STORE: (4,),
+    UopKind.BRANCH: (5,),
+    UopKind.NOP: (),
+}
+
+#: Result latency in cycles; drives the dependency-chain bound.
+UOP_LATENCY: Mapping[UopKind, float] = {
+    UopKind.FP_MUL: 5.0,
+    UopKind.FP_ADD: 3.0,
+    UopKind.FP_SHF: 1.0,
+    UopKind.INT_ALU: 1.0,
+    UopKind.LOAD: 4.0,  # L1-hit load-to-use latency
+    UopKind.STORE: 1.0,
+    UopKind.BRANCH: 1.0,
+    UopKind.NOP: 0.0,
+}
+
+
+def is_memory_kind(kind: UopKind) -> bool:
+    """True for uop kinds that access the data-memory hierarchy."""
+    return kind in (UopKind.LOAD, UopKind.STORE)

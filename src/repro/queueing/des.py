@@ -1,0 +1,90 @@
+"""Discrete-event simulation of an FCFS single-server queue.
+
+The analytic M/M/1 percentile prediction needs something to be judged
+against; on the paper's testbed that is the measured query latency
+distribution. Here it is this simulator: exponential inter-arrivals and
+service times, FCFS discipline, waiting time by the Lindley recursion
+
+    W_{k+1} = max(0, W_k + S_k - A_{k+1})
+
+and sojourn time ``W + S``. The generator is seeded, so "measurements"
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueueingError
+
+__all__ = ["FcfsQueueSimulation", "simulate_fcfs_mm1"]
+
+
+@dataclass(frozen=True)
+class FcfsQueueSimulation:
+    """Sojourn-time sample from one simulated queue run."""
+
+    arrival_rate: float
+    service_rate: float
+    sojourn_times: np.ndarray
+
+    def percentile(self, p: float) -> float:
+        """Empirical p-th percentile of the response time."""
+        if not 0.0 < p < 1.0:
+            raise QueueingError(f"percentile must be in (0, 1), got {p}")
+        return float(np.quantile(self.sojourn_times, p))
+
+    @property
+    def mean_response_time(self) -> float:
+        return float(self.sojourn_times.mean())
+
+    @property
+    def jobs(self) -> int:
+        return int(self.sojourn_times.size)
+
+
+def simulate_fcfs_mm1(
+    arrival_rate: float,
+    service_rate: float,
+    *,
+    jobs: int = 200_000,
+    seed: int = 0,
+    warmup_fraction: float = 0.05,
+) -> FcfsQueueSimulation:
+    """Simulate an FCFS M/M/1 queue and return its sojourn times.
+
+    The first ``warmup_fraction`` of jobs is discarded so the sample
+    reflects the steady state rather than the empty-queue start.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise QueueingError("rates must be positive")
+    if arrival_rate >= service_rate:
+        raise QueueingError(
+            f"unstable queue: lambda {arrival_rate} >= mu {service_rate}"
+        )
+    if jobs < 100:
+        raise QueueingError(f"need at least 100 jobs, got {jobs}")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise QueueingError("warmup fraction must be in [0, 1)")
+
+    rng = np.random.default_rng(seed)
+    inter_arrivals = rng.exponential(1.0 / arrival_rate, size=jobs)
+    services = rng.exponential(1.0 / service_rate, size=jobs)
+
+    waits = np.empty(jobs)
+    wait = 0.0
+    for k in range(jobs):
+        waits[k] = wait
+        # Lindley: next wait = max(0, this wait + service - next gap).
+        if k + 1 < jobs:
+            wait = max(0.0, wait + services[k] - inter_arrivals[k + 1])
+    sojourn = waits + services
+
+    skip = int(jobs * warmup_fraction)
+    return FcfsQueueSimulation(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        sojourn_times=sojourn[skip:],
+    )

@@ -1,0 +1,83 @@
+"""The linear-feedback shift register of Figure 9(e).
+
+The paper's L1/L2 cache Rulers generate access addresses with a Galois
+LFSR (``lfsr = (lfsr >> 1) ^ (-(lfsr & 1) & 0xd0000001)``) because it is a
+few ALU ops per draw — cheap enough not to perturb the functional-unit
+dimensions. This module implements that exact generator; the memory-ruler
+kernels account for its per-access ALU cost, and the tests verify its
+statistical fitness for cache stressing (long period, uniform coverage of
+a power-of-two footprint).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Lfsr", "MASK"]
+
+#: The feedback polynomial mask from Figure 9(e).
+MASK = 0xD0000001
+
+_WORD = 0xFFFFFFFF
+
+
+class Lfsr:
+    """32-bit Galois LFSR matching the paper's RAND macro."""
+
+    def __init__(self, seed: int = 1, mask: int = MASK) -> None:
+        if not 0 < seed <= _WORD:
+            raise ConfigurationError(
+                f"LFSR seed must be a non-zero 32-bit value, got {seed}"
+            )
+        if not 0 < mask <= _WORD:
+            raise ConfigurationError(f"LFSR mask must be a 32-bit value")
+        self._state = seed
+        self._mask = mask
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def next(self) -> int:
+        """Advance one step and return the new state.
+
+        Mirrors ``lfsr = (lfsr >> 1) ^ (unsigned)(-(lfsr & 1) & MASK)``:
+        shift right, and XOR in the polynomial when the dropped bit was 1.
+        """
+        lsb = self._state & 1
+        self._state >>= 1
+        if lsb:
+            self._state ^= self._mask
+        return self._state
+
+    def addresses(self, footprint_bytes: int, count: int) -> Iterator[int]:
+        """Yield ``count`` access offsets within a power-of-two footprint.
+
+        This is ``RAND % FOOTPRINT`` from Figure 9(e); the footprint must
+        be a power of two so the modulo is a single AND on real hardware.
+        """
+        if footprint_bytes <= 0 or footprint_bytes & (footprint_bytes - 1):
+            raise ConfigurationError(
+                f"ruler footprint must be a positive power of two, "
+                f"got {footprint_bytes}"
+            )
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        mask = footprint_bytes - 1
+        for _ in range(count):
+            yield self.next() & mask
+
+    def period_lower_bound(self, limit: int = 1 << 20) -> int:
+        """Steps until the state first repeats, scanning at most ``limit``.
+
+        Returns ``limit`` if no repeat is seen — i.e. the period is at
+        least ``limit``, which is all a cache stressor needs.
+        """
+        start = self._state
+        probe = Lfsr(seed=start, mask=self._mask)
+        for step in range(1, limit + 1):
+            if probe.next() == start:
+                return step
+        return limit

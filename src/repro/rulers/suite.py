@@ -1,0 +1,37 @@
+"""The default seven-Ruler suite for a machine."""
+
+from __future__ import annotations
+
+from repro.rulers.base import Dimension, Ruler, RulerSuite
+from repro.rulers.functional_unit import functional_unit_rulers
+from repro.rulers.memory import memory_rulers
+from repro.smt.params import MachineSpec
+
+__all__ = ["default_suite", "intensity_sweep"]
+
+
+def default_suite(machine: MachineSpec) -> RulerSuite:
+    """The seven Rulers of Section III-B1 tuned for ``machine``.
+
+    Functional-unit Rulers are machine-independent (port bindings are the
+    microarchitectural contract); memory Rulers size their working sets to
+    the machine's caches.
+    """
+    rulers: dict[Dimension, Ruler] = {}
+    rulers.update(functional_unit_rulers())
+    rulers.update(memory_rulers(machine))
+    return RulerSuite(rulers)
+
+
+def intensity_sweep(ruler: Ruler, points: int = 5) -> list[Ruler]:
+    """The same Ruler at ``points`` evenly spaced intensities up to full.
+
+    Used to measure sensitivity curves and to validate the linearity
+    principle that lets the paper sample only the curve's end points.
+    """
+    if points < 2:
+        raise ValueError("an intensity sweep needs at least 2 points")
+    return [
+        ruler.at_intensity((i + 1) / points)
+        for i in range(points)
+    ]

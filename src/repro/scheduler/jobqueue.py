@@ -1,0 +1,252 @@
+"""Job-queue scheduling: matching arriving batch jobs to suitable servers.
+
+The scale-out study (Section IV-C) fixes one batch candidate per server
+and asks "how many instances?". The paper's operational sketch in
+Section III-D goes further: the cluster scheduler profiles an arriving
+job online and then *chooses where to put it*. This module implements
+that extension — a greedy, prediction-steered bin-packer:
+
+- every server advertises its remaining QoS headroom (the degradation
+  budget minus what already-placed jobs are predicted to consume);
+- each arriving job is placed on the server where it fits and leaves the
+  most balanced residual headroom (best-fit decreasing, the classic
+  bin-packing heuristic);
+- jobs that fit nowhere are left in the backlog, exactly what a real
+  cluster would requeue.
+
+The result quantifies the *placement* value of precise prediction: the
+same jobs, placed by a prediction-blind round-robin, violate QoS or
+strand capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.predictor import SMiTe
+from repro.core.tail import TailLatencyModel
+from repro.errors import SchedulingError
+from repro.scheduler.qos import QosTarget
+from repro.workloads.cloudsuite import LatencySensitiveWorkload
+from repro.workloads.profile import WorkloadProfile
+
+__all__ = ["BatchJob", "ServerSlot", "Placement", "PackingResult",
+           "JobQueueScheduler", "round_robin_baseline"]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One arriving batch job: a workload plus how many copies it wants."""
+
+    profile: WorkloadProfile
+    instances: int = 1
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise SchedulingError(
+                f"{self.profile.name}: a job needs at least one instance"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+@dataclass
+class ServerSlot:
+    """A server's co-location state during packing.
+
+    ``resident`` maps placed batch profiles to instance counts; only one
+    batch application per server is allowed (the paper's topology — each
+    sibling context runs the same batch binary), so a server is either
+    empty or committed to one job's profile.
+    """
+
+    index: int
+    latency_app: LatencySensitiveWorkload
+    capacity: int
+    resident_profile: WorkloadProfile | None = None
+    resident_instances: int = 0
+
+    @property
+    def free_contexts(self) -> int:
+        return self.capacity - self.resident_instances
+
+    def accepts(self, profile: WorkloadProfile) -> bool:
+        return (self.resident_profile is None
+                or self.resident_profile.name == profile.name)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One job's assignment across servers."""
+
+    job: BatchJob
+    assignments: tuple[tuple[int, int], ...]  # (server index, instances)
+
+    @property
+    def placed_instances(self) -> int:
+        return sum(count for _, count in self.assignments)
+
+    @property
+    def fully_placed(self) -> bool:
+        return self.placed_instances == self.job.instances
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Outcome of packing a job stream onto the fleet."""
+
+    placements: tuple[Placement, ...]
+    backlog: tuple[BatchJob, ...]
+    servers: tuple[ServerSlot, ...]
+
+    @property
+    def placed_instances(self) -> int:
+        return sum(p.placed_instances for p in self.placements)
+
+    @property
+    def utilization_improvement(self) -> float:
+        baseline = sum(s.capacity for s in self.servers)
+        return self.placed_instances / baseline if baseline else 0.0
+
+    def headroom_of(self, index: int) -> ServerSlot:
+        return self.servers[index]
+
+
+class JobQueueScheduler:
+    """Greedy best-fit packing steered by SMiTe predictions."""
+
+    def __init__(
+        self,
+        predictor: SMiTe,
+        servers: Sequence[tuple[LatencySensitiveWorkload, int]],
+        target: QosTarget,
+        *,
+        tail_models: dict[str, TailLatencyModel] | None = None,
+    ) -> None:
+        """``servers`` is (latency app, batch capacity) per server."""
+        if not predictor.model.is_fitted:
+            raise SchedulingError("the scheduler needs a fitted predictor")
+        if not servers:
+            raise SchedulingError("the scheduler needs at least one server")
+        self.predictor = predictor
+        self.target = target
+        self._tail_models = tail_models or {}
+        self.servers = [
+            ServerSlot(index=i, latency_app=app, capacity=capacity)
+            for i, (app, capacity) in enumerate(servers)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _budget_for(self, server: ServerSlot) -> float:
+        tail_model = self._tail_models.get(server.latency_app.name)
+        if (self.target.metric.value == "tail_latency"
+                and tail_model is None):
+            raise SchedulingError(
+                f"no tail model for {server.latency_app.name}"
+            )
+        return self.target.degradation_budget(tail_model)
+
+    def _max_safe_instances(self, server: ServerSlot,
+                            profile: WorkloadProfile) -> int:
+        """Largest total instance count this server can predictably host."""
+        budget = self._budget_for(server)
+        for total in range(server.capacity, server.resident_instances, -1):
+            predicted = self.predictor.predict_server(
+                server.latency_app.profile, profile, instances=total,
+            )
+            if predicted <= budget:
+                return total
+        return server.resident_instances
+
+    def place(self, job: BatchJob) -> Placement:
+        """Place one job greedily over the fleet (best fit first)."""
+        remaining = job.instances
+        assignments: list[tuple[int, int]] = []
+        # Best fit: consider servers by how snugly the job fits — the
+        # smallest sufficient headroom first keeps large holes for large
+        # later jobs.
+        candidates = []
+        for server in self.servers:
+            if remaining == 0:
+                break
+            if not server.accepts(job.profile) or server.free_contexts == 0:
+                continue
+            safe_total = self._max_safe_instances(server, job.profile)
+            available = safe_total - server.resident_instances
+            if available > 0:
+                candidates.append((available, server))
+        candidates.sort(key=lambda item: (item[0], item[1].index))
+        for available, server in candidates:
+            if remaining == 0:
+                break
+            take = min(available, remaining)
+            server.resident_profile = job.profile
+            server.resident_instances += take
+            assignments.append((server.index, take))
+            remaining -= take
+        return Placement(job=job, assignments=tuple(assignments))
+
+    def pack(self, jobs: Sequence[BatchJob]) -> PackingResult:
+        """Pack a whole queue, largest jobs first (best-fit decreasing)."""
+        placements: list[Placement] = []
+        backlog: list[BatchJob] = []
+        ordered = sorted(jobs, key=lambda j: -j.instances)
+        for job in ordered:
+            placement = self.place(job)
+            if placement.placed_instances == 0:
+                backlog.append(job)
+            else:
+                placements.append(placement)
+                shortfall = job.instances - placement.placed_instances
+                if shortfall > 0:
+                    backlog.append(BatchJob(profile=job.profile,
+                                            instances=shortfall))
+        return PackingResult(
+            placements=tuple(placements),
+            backlog=tuple(backlog),
+            servers=tuple(self.servers),
+        )
+
+
+def round_robin_baseline(
+    servers: Sequence[tuple[LatencySensitiveWorkload, int]],
+    jobs: Sequence[BatchJob],
+) -> PackingResult:
+    """Prediction-blind placement: fill servers in order until full.
+
+    The comparison point for :class:`JobQueueScheduler` — it places at
+    least as many instances but has no idea what it does to QoS.
+    """
+    slots = [
+        ServerSlot(index=i, latency_app=app, capacity=capacity)
+        for i, (app, capacity) in enumerate(servers)
+    ]
+    placements: list[Placement] = []
+    backlog: list[BatchJob] = []
+    for job in jobs:
+        remaining = job.instances
+        assignments: list[tuple[int, int]] = []
+        for server in slots:
+            if remaining == 0:
+                break
+            if not server.accepts(job.profile):
+                continue
+            take = min(server.free_contexts, remaining)
+            if take == 0:
+                continue
+            server.resident_profile = job.profile
+            server.resident_instances += take
+            assignments.append((server.index, take))
+            remaining -= take
+        if assignments:
+            placements.append(Placement(job=job,
+                                        assignments=tuple(assignments)))
+        if remaining:
+            backlog.append(BatchJob(profile=job.profile,
+                                    instances=remaining))
+    return PackingResult(placements=tuple(placements),
+                         backlog=tuple(backlog), servers=tuple(slots))

@@ -1,0 +1,76 @@
+"""Scale-out outcome metrics: utilization gains and QoS violations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tail import TailLatencyModel
+from repro.errors import SchedulingError
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.qos import QosTarget
+
+__all__ = ["ViolationStats", "ScaleOutResult", "violation_stats"]
+
+
+@dataclass(frozen=True)
+class ViolationStats:
+    """QoS-violation accounting over a cluster's co-located servers.
+
+    ``rate`` is violations / co-locations (the paper's percentage of QoS
+    violation); ``worst_magnitude`` is the largest normalized violation.
+    """
+
+    colocated_servers: int
+    violated_servers: int
+    worst_magnitude: float
+    mean_magnitude: float
+
+    @property
+    def rate(self) -> float:
+        if self.colocated_servers == 0:
+            return 0.0
+        return self.violated_servers / self.colocated_servers
+
+
+@dataclass(frozen=True)
+class ScaleOutResult:
+    """One (policy, QoS target) cell of Figures 14-17."""
+
+    policy: str
+    target: QosTarget
+    utilization_improvement: float
+    violations: ViolationStats
+
+
+def violation_stats(
+    cluster: Cluster,
+    target: QosTarget,
+    *,
+    tail_models: dict[str, TailLatencyModel] | None = None,
+) -> ViolationStats:
+    """Check every co-located server's actual degradation against the QoS."""
+    colocated = [s for s in cluster.servers if s.is_colocated]
+    violated = 0
+    worst = 0.0
+    total_magnitude = 0.0
+    for server in colocated:
+        tail_model = None
+        if tail_models is not None:
+            tail_model = tail_models.get(server.latency_app.name)
+            if tail_model is None:
+                raise SchedulingError(
+                    f"no tail model for {server.latency_app.name}"
+                )
+        if not target.is_met(server.actual_degradation, tail_model):
+            violated += 1
+            magnitude = target.violation_magnitude(
+                server.actual_degradation, tail_model
+            )
+            worst = max(worst, magnitude)
+            total_magnitude += magnitude
+    return ViolationStats(
+        colocated_servers=len(colocated),
+        violated_servers=violated,
+        worst_magnitude=worst,
+        mean_magnitude=(total_magnitude / violated) if violated else 0.0,
+    )

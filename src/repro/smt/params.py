@@ -1,0 +1,168 @@
+"""Machine specifications and simulator model parameters.
+
+Two machines mirror the paper's Table I: an Intel Xeon E5-2420 (Sandy
+Bridge-EN) and an Intel i7-3770 (Ivy Bridge). Beyond the architectural
+facts (frequency, core count, cache sizes), :class:`MachineSpec` carries
+the interference-model knobs — contention inflation, capacity-share floor,
+bandwidth queueing — which DESIGN.md calls out for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheSpec", "MachineSpec", "SANDY_BRIDGE_EN", "IVY_BRIDGE", "MACHINES"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level: capacity and hit latency (cycles)."""
+
+    size_bytes: int
+    latency_cycles: float
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError("cache size must be positive")
+        if self.latency_cycles < 0:
+            raise ConfigurationError("cache latency must be non-negative")
+        if self.line_bytes <= 0:
+            raise ConfigurationError("cache line size must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine description plus interference-model parameters.
+
+    Sharing scopes are fixed by the architecture: under SMT, contexts on
+    one core share the front end, all six ports, and the private L1/L2;
+    every context on the chip shares the L3 and DRAM bandwidth. CMP
+    co-locations therefore only contend on L3 and bandwidth.
+    """
+
+    name: str
+    processor: str
+    microarchitecture: str
+    kernel_version: str
+    frequency_ghz: float
+    cores: int
+    smt_contexts_per_core: int
+    issue_width: float
+    l1d: CacheSpec
+    l2: CacheSpec
+    l3: CacheSpec
+    dram_latency_cycles: float
+    dram_bandwidth_gbps: float
+    branch_penalty_cycles: float = 15.0
+    tlb_walk_cycles: float = 30.0
+    icache_miss_cycles: float = 12.0
+    # --- interference model knobs (ablation targets) ---
+    #: scales port/front-end queueing delay: f = 1 + k * rho / (1 - rho)
+    port_contention_kappa: float = 0.8
+    frontend_contention_kappa: float = 0.15
+    #: competitor utilization is capped here to keep inflation finite
+    contention_rho_cap: float = 0.92
+    #: multiplicative CPI overhead for merely sharing a core (ROB/queues
+    #: partitioning and other resources Eq. 3 folds into its constant)
+    smt_static_overhead: float = 0.04
+    #: mild divisor on memory-level parallelism per active sibling
+    #: (load-queue entry competition felt by every memory access)
+    smt_mlp_penalty: float = 0.05
+    #: miss-status-holding registers per core, competitively shared by
+    #: SMT siblings: a sibling's in-flight misses reduce the overlap this
+    #: context can sustain (Little's law gives the sibling occupancy)
+    mshr_count: float = 14.0
+    #: exponent of the capacity-capture curve: resident = (C/F)^e for C < F
+    capture_exponent: float = 0.65
+    #: reuse discount on occupancy pressure for footprints dwarfing a
+    #: level: occupancy scales by (C/F)^e (0 disables the discount)
+    reuse_exponent: float = 0.0
+    #: no context's shared-cache allocation falls below this share
+    capacity_share_floor: float = 0.08
+    #: DRAM queueing latency: lat * (1 + beta * rho / (1 - rho)), rho capped
+    bandwidth_beta: float = 0.35
+    bandwidth_rho_cap: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if self.cores < 1:
+            raise ConfigurationError("need at least one core")
+        if self.smt_contexts_per_core < 1:
+            raise ConfigurationError("need at least one SMT context per core")
+        if self.issue_width <= 0:
+            raise ConfigurationError("issue width must be positive")
+        if not (self.l1d.size_bytes < self.l2.size_bytes < self.l3.size_bytes):
+            raise ConfigurationError("cache sizes must grow strictly L1 < L2 < L3")
+        if self.dram_latency_cycles <= 0 or self.dram_bandwidth_gbps <= 0:
+            raise ConfigurationError("DRAM parameters must be positive")
+        if not 0.0 < self.contention_rho_cap < 1.0:
+            raise ConfigurationError("contention rho cap must be in (0, 1)")
+        if not 0.0 < self.bandwidth_rho_cap < 1.0:
+            raise ConfigurationError("bandwidth rho cap must be in (0, 1)")
+        if not 0.0 < self.capture_exponent <= 1.0:
+            raise ConfigurationError("capture exponent must be in (0, 1]")
+        if not 0.0 <= self.capacity_share_floor < 0.5:
+            raise ConfigurationError("capacity share floor must be in [0, 0.5)")
+
+    @property
+    def total_contexts(self) -> int:
+        return self.cores * self.smt_contexts_per_core
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Peak DRAM bandwidth expressed in bytes per core cycle."""
+        return self.dram_bandwidth_gbps / self.frequency_ghz
+
+    def cache_levels(self) -> tuple[CacheSpec, CacheSpec, CacheSpec]:
+        return (self.l1d, self.l2, self.l3)
+
+    def with_knobs(self, **changes: float) -> "MachineSpec":
+        """A copy with model knobs altered (used by the ablation benches)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: Table I, row 1 — the CloudSuite/scale-out machine (6C/12T).
+SANDY_BRIDGE_EN = MachineSpec(
+    name="sandy-bridge-en",
+    processor="Intel Xeon E5-2420 @ 1.90GHz",
+    microarchitecture="Sandy Bridge-EN",
+    kernel_version="3.8.0",
+    frequency_ghz=1.9,
+    cores=6,
+    smt_contexts_per_core=2,
+    issue_width=4.0,
+    l1d=CacheSpec(size_bytes=32 * KB, latency_cycles=0.0),
+    l2=CacheSpec(size_bytes=256 * KB, latency_cycles=12.0),
+    l3=CacheSpec(size_bytes=15 * MB, latency_cycles=30.0),
+    dram_latency_cycles=140.0,
+    dram_bandwidth_gbps=32.0,
+)
+
+#: Table I, row 2 — the SPEC prediction-accuracy machine (4C/8T).
+IVY_BRIDGE = MachineSpec(
+    name="ivy-bridge",
+    processor="Intel i7-3770 @ 3.40GHz",
+    microarchitecture="Ivy Bridge",
+    kernel_version="3.8.0",
+    frequency_ghz=3.4,
+    cores=4,
+    smt_contexts_per_core=2,
+    issue_width=4.0,
+    l1d=CacheSpec(size_bytes=32 * KB, latency_cycles=0.0),
+    l2=CacheSpec(size_bytes=256 * KB, latency_cycles=12.0),
+    l3=CacheSpec(size_bytes=8 * MB, latency_cycles=28.0),
+    dram_latency_cycles=190.0,
+    dram_bandwidth_gbps=25.6,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    SANDY_BRIDGE_EN.name: SANDY_BRIDGE_EN,
+    IVY_BRIDGE.name: IVY_BRIDGE,
+}

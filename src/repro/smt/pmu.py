@@ -1,0 +1,118 @@
+"""Simulated performance monitoring units (PMUs).
+
+``read_pmu`` derives the counter set the paper's PMU baseline model uses
+(Section IV-B1: 11 per-cycle event rates) plus the per-port dispatch
+counters (UOPS_DISPATCHED_PORT:PORT0..5) used to validate Ruler purity and
+to build the Figure 3/5 utilization CDFs.
+
+Real PMUs are imperfect in ways the paper calls out explicitly: some
+events only count at core granularity rather than per SMT context, some
+counters are known-buggy, and the exposed events do not fully cover
+resource usage. :class:`PmuDefectModel` reproduces these defects
+deterministically — a per-(counter, workload) multiplicative bias, larger
+for the counters Intel errata flag — so the PMU baseline inherits the
+handicaps it has on real hardware.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.smt.results import ContextResult
+
+__all__ = ["PMU_COUNTERS", "PORT_COUNTERS", "PmuDefectModel", "read_pmu"]
+
+#: The 11 counters of the paper's best PMU model (Section IV-B1), in order.
+PMU_COUNTERS: tuple[str, ...] = (
+    "instructions_per_cycle",
+    "itlb_misses_per_cycle",
+    "dtlb_load_misses_per_cycle",
+    "dtlb_store_misses_per_cycle",
+    "icache_misses_per_cycle",
+    "l1d_hits_per_cycle",
+    "l2_hits_per_cycle",
+    "l2_misses_per_cycle",
+    "l3_hits_per_cycle",
+    "mem_hits_per_cycle",
+    "branch_mispredictions_per_cycle",
+)
+
+PORT_COUNTERS: tuple[str, ...] = tuple(
+    f"uops_dispatched_port{p}" for p in range(6)
+)
+
+#: Counters Intel errata historically flag as unreliable; they get the
+#: larger defect amplitude.
+_BUGGY_COUNTERS = frozenset(
+    {"l1d_hits_per_cycle", "mem_hits_per_cycle", "dtlb_load_misses_per_cycle"}
+)
+
+
+@dataclass(frozen=True)
+class PmuDefectModel:
+    """Deterministic multiplicative counter bias.
+
+    ``bias(counter, workload)`` returns a factor in
+    ``[1 - amplitude, 1 + amplitude]`` derived from a CRC of the names, so
+    repeated reads of the same counter for the same workload are stable —
+    exactly how a systematic counter bug behaves.
+    """
+
+    amplitude: float = 0.10
+    buggy_amplitude: float = 0.28
+    salt: str = "smite-pmu"
+
+    def bias(self, counter: str, workload: str) -> float:
+        amp = self.buggy_amplitude if counter in _BUGGY_COUNTERS else self.amplitude
+        if amp == 0.0:
+            return 1.0
+        digest = zlib.crc32(f"{self.salt}|{counter}|{workload}".encode())
+        unit = (digest % 100_000) / 100_000.0  # [0, 1)
+        return 1.0 + amp * (2.0 * unit - 1.0)
+
+
+#: A defect-free PMU, for ablations that isolate the structural limit of
+#: the PMU model from the counter-quality limit.
+PERFECT_PMU = PmuDefectModel(amplitude=0.0, buggy_amplitude=0.0)
+
+
+def read_pmu(
+    context: ContextResult,
+    defects: PmuDefectModel | None = None,
+) -> dict[str, float]:
+    """Read the full counter set for one solved context.
+
+    Returns both the 11 model counters and the 6 port-dispatch counters.
+    """
+    profile = context.profile
+    ipc = context.ipc
+    apki = profile.accesses_per_instruction
+    hits = context.hits
+    load_share = (profile.load / apki) if apki > 0 else 0.0
+
+    true_values: dict[str, float] = {
+        "instructions_per_cycle": ipc,
+        "itlb_misses_per_cycle": profile.itlb_mpki / 1000.0 * ipc,
+        "dtlb_load_misses_per_cycle":
+            profile.dtlb_mpki / 1000.0 * load_share * ipc,
+        "dtlb_store_misses_per_cycle":
+            profile.dtlb_mpki / 1000.0 * (1.0 - load_share) * ipc,
+        "icache_misses_per_cycle": profile.icache_mpki / 1000.0 * ipc,
+        "l1d_hits_per_cycle": apki * hits.l1 * ipc,
+        "l2_hits_per_cycle": apki * hits.l2 * ipc,
+        "l2_misses_per_cycle": apki * hits.beyond_l2 * ipc,
+        "l3_hits_per_cycle": apki * hits.l3 * ipc,
+        "mem_hits_per_cycle": apki * hits.memory * ipc,
+        "branch_mispredictions_per_cycle":
+            profile.branch_misprediction_rate * ipc,
+    }
+    for port, util in context.port_utilization.items():
+        true_values[f"uops_dispatched_port{port}"] = util
+
+    if defects is None:
+        defects = PmuDefectModel()
+    return {
+        counter: value * defects.bias(counter, profile.name)
+        for counter, value in true_values.items()
+    }

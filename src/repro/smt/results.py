@@ -1,0 +1,104 @@
+"""Result types produced by the SMT simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.smt.cache import HitFractions
+from repro.workloads.profile import WorkloadProfile
+
+__all__ = ["CpiBreakdown", "ContextResult", "RunResult"]
+
+
+@dataclass(frozen=True)
+class CpiBreakdown:
+    """Where a context's cycles per instruction come from.
+
+    ``compute`` is the binding throughput bound — the max of the front-end,
+    per-port, and dependency-chain terms (the individual terms are kept for
+    inspection); ``memory`` is stall cycles in the cache/DRAM hierarchy;
+    the rest are fixed penalties.
+    """
+
+    frontend: float
+    port: float
+    dependency: float
+    compute: float
+    contention: float
+    smt_overhead: float
+    memory: float
+    branch: float
+    tlb: float
+    icache: float
+
+    @property
+    def total(self) -> float:
+        return (self.compute + self.contention + self.smt_overhead
+                + self.memory + self.branch + self.tlb + self.icache)
+
+
+@dataclass(frozen=True)
+class ContextResult:
+    """Steady-state outcome for one hardware context."""
+
+    profile: WorkloadProfile
+    core: int
+    ipc: float
+    breakdown: CpiBreakdown
+    hits: HitFractions
+    port_utilization: Mapping[int, float]
+    effective_capacities: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if self.ipc <= 0:
+            raise ConfigurationError(
+                f"{self.profile.name}: non-positive IPC {self.ipc}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def cpi(self) -> float:
+        return 1.0 / self.ipc
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one multi-context steady-state solve."""
+
+    machine_name: str
+    contexts: tuple[ContextResult, ...]
+    dram_utilization: float
+    iterations: int
+    extras: Mapping[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, index: int) -> ContextResult:
+        return self.contexts[index]
+
+    def by_name(self, name: str) -> ContextResult:
+        """First context running the named profile."""
+        for ctx in self.contexts:
+            if ctx.name == name:
+                return ctx
+        raise KeyError(name)
+
+    def all_named(self, name: str) -> list[ContextResult]:
+        """Every context running the named profile (multi-instance runs)."""
+        return [ctx for ctx in self.contexts if ctx.name == name]
+
+    @property
+    def aggregate_port_utilization(self) -> dict[int, float]:
+        """Chip-wide per-port utilization summed over same-core contexts.
+
+        Used for the Figure 3/5 utilization CDFs, which aggregate the two
+        co-located contexts of a core.
+        """
+        agg: dict[int, float] = {}
+        for ctx in self.contexts:
+            for port, util in ctx.port_utilization.items():
+                agg[port] = agg.get(port, 0.0) + util
+        return agg

@@ -1,0 +1,265 @@
+"""The user-facing simulator facade.
+
+:class:`Simulator` wraps the fixed-point solver with the co-location
+topologies the paper uses, memoizes solves (profiles are immutable), and
+applies deterministic *measurement jitter* to everything it reports as a
+measurement — real IPC readings vary run to run, and the paper's 2-3%
+prediction-error floor partly reflects that.
+
+Topologies:
+
+- ``run_solo`` — one context, whole machine to itself;
+- ``run_pair(a, b, mode="smt")`` — both contexts on core 0 (SMT siblings);
+- ``run_pair(a, b, mode="cmp")`` — one context on each of two cores
+  (shared L3/bandwidth only);
+- ``run_server`` — the CloudSuite topology: one latency-sensitive thread
+  per core, plus 0..cores batch instances on sibling contexts (SMT) or on
+  otherwise-idle cores (CMP).
+
+Degradations follow the paper's Equation 7 on the *measured* (jittered)
+IPCs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.errors import ConfigurationError
+from repro.smt.params import IVY_BRIDGE, MachineSpec
+from repro.smt.pmu import PmuDefectModel, read_pmu
+from repro.smt.results import ContextResult, RunResult
+from repro.smt.solver import ContextPlacement, solve
+from repro.workloads.profile import WorkloadProfile
+
+__all__ = ["Simulator", "ContextPlacement", "PairMode"]
+
+PairMode = Literal["smt", "cmp"]
+
+
+@dataclass(frozen=True)
+class PairMeasurement:
+    """Jittered IPC measurements and Eq. 7 degradations for a co-run pair."""
+
+    ipc_a: float
+    ipc_b: float
+    degradation_a: float
+    degradation_b: float
+
+
+class Simulator:
+    """Analytic SMT/CMP interference simulator for one machine.
+
+    ``jitter`` is the half-width of the uniform multiplicative measurement
+    noise (0 disables it); it is derived deterministically from the
+    workload names and topology so repeated measurements agree, as they
+    would for a pinned, steady-state real measurement.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec = IVY_BRIDGE,
+        *,
+        jitter: float = 0.01,
+        seed: int = 0,
+        pmu_defects: PmuDefectModel | None = None,
+    ) -> None:
+        if jitter < 0 or jitter >= 0.5:
+            raise ConfigurationError(f"jitter must be in [0, 0.5), got {jitter}")
+        self.machine = machine
+        self.jitter = jitter
+        self.seed = seed
+        self.pmu_defects = pmu_defects if pmu_defects is not None else PmuDefectModel()
+        self._cache: dict[tuple, RunResult] = {}
+        self._solve_count = 0
+
+    # ------------------------------------------------------------------
+    # Raw solves (no measurement jitter)
+
+    def run(self, placements: Sequence[ContextPlacement]) -> RunResult:
+        """Solve an arbitrary placement, memoized."""
+        key = tuple((p.profile, p.core) for p in placements)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = solve(self.machine, placements)
+        self._cache[key] = result
+        self._solve_count += 1
+        return result
+
+    def run_solo(self, profile: WorkloadProfile) -> ContextResult:
+        """One context alone on the machine."""
+        return self.run([ContextPlacement(profile, core=0)])[0]
+
+    def run_pair(self, a: WorkloadProfile, b: WorkloadProfile,
+                 mode: PairMode = "smt") -> RunResult:
+        """Two contexts: SMT siblings on core 0, or CMP on cores 0 and 1."""
+        self._check_mode(mode)
+        core_b = 0 if mode == "smt" else 1
+        return self.run([ContextPlacement(a, core=0),
+                         ContextPlacement(b, core=core_b)])
+
+    def run_server(
+        self,
+        latency_profile: WorkloadProfile,
+        batch_profile: WorkloadProfile,
+        *,
+        instances: int,
+        mode: PairMode = "smt",
+        latency_threads: int | None = None,
+    ) -> RunResult:
+        """The CloudSuite server topology (Section IV-B2).
+
+        SMT mode: ``latency_threads`` (default: one per core, i.e. a
+        half-loaded server) latency contexts on distinct cores, plus
+        ``instances`` batch contexts on the sibling SMT slots of the first
+        cores. CMP mode: latency threads on the first cores, batch
+        instances on the remaining (otherwise idle) cores.
+        """
+        self._check_mode(mode)
+        cores = self.machine.cores
+        if mode == "smt":
+            threads = latency_threads if latency_threads is not None else cores
+            if not 0 < threads <= cores:
+                raise ConfigurationError(
+                    f"latency threads must be in 1..{cores}, got {threads}"
+                )
+            if not 0 <= instances <= threads:
+                raise ConfigurationError(
+                    f"SMT batch instances must be in 0..{threads}, got {instances}"
+                )
+            placements = [ContextPlacement(latency_profile, core=i)
+                          for i in range(threads)]
+            placements += [ContextPlacement(batch_profile, core=i)
+                           for i in range(instances)]
+        else:
+            threads = latency_threads if latency_threads is not None else cores // 2
+            if not 0 < threads <= cores:
+                raise ConfigurationError(
+                    f"latency threads must be in 1..{cores}, got {threads}"
+                )
+            if not 0 <= instances <= cores - threads:
+                raise ConfigurationError(
+                    f"CMP batch instances must be in 0..{cores - threads}, "
+                    f"got {instances}"
+                )
+            placements = [ContextPlacement(latency_profile, core=i)
+                          for i in range(threads)]
+            placements += [ContextPlacement(batch_profile, core=threads + i)
+                           for i in range(instances)]
+        return self.run(placements)
+
+    # ------------------------------------------------------------------
+    # Measurements (with jitter) and Eq. 7 degradations
+
+    def measure_solo_ipc(self, profile: WorkloadProfile) -> float:
+        """Solo IPC as a measurement (jittered)."""
+        ipc = self.run_solo(profile).ipc
+        return ipc * self._jitter_factor("solo", profile.name)
+
+    def measure_pair(self, a: WorkloadProfile, b: WorkloadProfile,
+                     mode: PairMode = "smt") -> PairMeasurement:
+        """Co-run IPCs and Eq. 7 degradations, as measurements."""
+        result = self.run_pair(a, b, mode)
+        ipc_a = result[0].ipc * self._jitter_factor(mode, a.name, b.name, "a")
+        ipc_b = result[1].ipc * self._jitter_factor(mode, a.name, b.name, "b")
+        solo_a = self.measure_solo_ipc(a)
+        solo_b = self.measure_solo_ipc(b)
+        return PairMeasurement(
+            ipc_a=ipc_a,
+            ipc_b=ipc_b,
+            degradation_a=(solo_a - ipc_a) / solo_a,
+            degradation_b=(solo_b - ipc_b) / solo_b,
+        )
+
+    def measure_server(
+        self,
+        latency_profile: WorkloadProfile,
+        batch_profile: WorkloadProfile,
+        *,
+        instances: int,
+        mode: PairMode = "smt",
+        latency_threads: int | None = None,
+    ) -> PairMeasurement:
+        """Measured server-topology IPCs and Eq. 7 degradations.
+
+        The latency side is averaged over the latency app's threads (they
+        are identical copies; some share a core with a batch instance,
+        some do not, and all share the L3/bandwidth with everything); the
+        batch side is averaged over the batch instances and compared to a
+        solo run of one instance.
+        """
+        if instances <= 0:
+            raise ConfigurationError(
+                "measure_server needs at least one batch instance"
+            )
+        solo = self.run_server(latency_profile, batch_profile, instances=0,
+                               mode=mode, latency_threads=latency_threads)
+        loaded = self.run_server(latency_profile, batch_profile,
+                                 instances=instances, mode=mode,
+                                 latency_threads=latency_threads)
+        solo_threads = solo.all_named(latency_profile.name)
+        loaded_threads = loaded.all_named(latency_profile.name)
+        solo_ipc = sum(t.ipc for t in solo_threads) / len(solo_threads)
+        loaded_ipc = sum(t.ipc for t in loaded_threads) / len(loaded_threads)
+        loaded_ipc *= self._jitter_factor(
+            mode, latency_profile.name, batch_profile.name, f"server{instances}"
+        )
+        batch_threads = loaded.all_named(batch_profile.name)
+        batch_ipc = sum(t.ipc for t in batch_threads) / len(batch_threads)
+        batch_ipc *= self._jitter_factor(
+            mode, latency_profile.name, batch_profile.name,
+            f"server-batch{instances}"
+        )
+        batch_solo = self.measure_solo_ipc(batch_profile)
+        return PairMeasurement(
+            ipc_a=loaded_ipc,
+            ipc_b=batch_ipc,
+            degradation_a=(solo_ipc - loaded_ipc) / solo_ipc,
+            degradation_b=(batch_solo - batch_ipc) / batch_solo,
+        )
+
+    def measure_server_degradation(
+        self,
+        latency_profile: WorkloadProfile,
+        batch_profile: WorkloadProfile,
+        *,
+        instances: int,
+        mode: PairMode = "smt",
+        latency_threads: int | None = None,
+    ) -> float:
+        """Measured Eq. 7 degradation of the latency app on a server."""
+        if instances == 0:
+            return 0.0
+        return self.measure_server(
+            latency_profile, batch_profile, instances=instances, mode=mode,
+            latency_threads=latency_threads,
+        ).degradation_a
+
+    def read_solo_pmu(self, profile: WorkloadProfile) -> dict[str, float]:
+        """Solo-run PMU counters with the configured defect model."""
+        return read_pmu(self.run_solo(profile), self.pmu_defects)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def solve_count(self) -> int:
+        """Number of distinct (uncached) steady-state solves performed."""
+        return self._solve_count
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @staticmethod
+    def _check_mode(mode: str) -> None:
+        if mode not in ("smt", "cmp"):
+            raise ConfigurationError(f"mode must be 'smt' or 'cmp', got {mode!r}")
+
+    def _jitter_factor(self, *key_parts: str) -> float:
+        if self.jitter == 0.0:
+            return 1.0
+        key = "|".join((self.machine.name, str(self.seed), *key_parts))
+        digest = zlib.crc32(key.encode())
+        unit = (digest % 1_000_003) / 1_000_003.0
+        return 1.0 + self.jitter * (2.0 * unit - 1.0)

@@ -1,0 +1,21 @@
+"""Total-cost-of-ownership analysis (Section IV-E, Figure 18).
+
+A Barroso–Hölzle-style analytical TCO model [21]: servers are amortized
+over 3 years, datacenter capital over its provisioned power, and energy
+is burdened by the facility PUE. Co-location lets the same batch
+throughput run on the latency-tier's idle SMT contexts, eliminating
+batch servers — the saving the paper quantifies per QoS target.
+"""
+
+from repro.tco.analysis import ColocationTcoAnalysis, TcoSavings
+from repro.tco.model import TcoBreakdown, TcoModel
+from repro.tco.params import GOOGLE_PUE_2014, TcoParams
+
+__all__ = [
+    "ColocationTcoAnalysis",
+    "TcoSavings",
+    "TcoBreakdown",
+    "TcoModel",
+    "GOOGLE_PUE_2014",
+    "TcoParams",
+]

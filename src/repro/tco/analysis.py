@@ -1,0 +1,92 @@
+"""Co-location TCO savings (Figure 18).
+
+Baseline: half the fleet serves latency-sensitive traffic half-loaded
+(one of two SMT contexts per core busy), the other half runs batch work
+with every core busy on one context (the no-SMT-co-location policy
+applies fleet-wide). Applying SMiTe, the latency tier's idle contexts
+absorb batch instances, so a matching amount of batch-tier capacity —
+whole servers — is decommissioned. The utilization improvement per QoS
+target comes straight from the scale-out study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tco.model import TcoModel
+
+__all__ = ["TcoSavings", "ColocationTcoAnalysis"]
+
+
+@dataclass(frozen=True)
+class TcoSavings:
+    """Baseline vs. co-located fleet cost at one QoS target."""
+
+    qos_level: float
+    baseline_tco: float
+    colocated_tco: float
+    servers_removed: int
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.baseline_tco == 0:
+            return 0.0
+        return 1.0 - self.colocated_tco / self.baseline_tco
+
+
+@dataclass(frozen=True)
+class ColocationTcoAnalysis:
+    """Turn scale-out utilization improvements into fleet TCO savings."""
+
+    model: TcoModel
+    latency_servers: int = 2000
+    batch_servers: int = 2000
+    #: contexts a latency server's idle SMT slots can absorb (= cores)
+    slots_per_latency_server: int = 6
+    #: batch instances a dedicated batch server runs in the baseline
+    #: (one per core — the baseline disallows SMT co-location everywhere)
+    instances_per_batch_server: int = 6
+
+    def __post_init__(self) -> None:
+        if self.latency_servers < 0 or self.batch_servers < 0:
+            raise ConfigurationError("server counts must be >= 0")
+        if self.slots_per_latency_server <= 0:
+            raise ConfigurationError("slots per latency server must be positive")
+        if self.instances_per_batch_server <= 0:
+            raise ConfigurationError("instances per batch server must be positive")
+
+    def savings_for(self, qos_level: float,
+                    utilization_improvement: float) -> TcoSavings:
+        """TCO saving for one QoS target's utilization improvement.
+
+        ``utilization_improvement`` is the scale-out study's relative gain
+        (admitted instances / baseline busy contexts); each admitted
+        instance displaces 1/instances_per_batch_server of a batch server.
+        """
+        if utilization_improvement < 0:
+            raise ConfigurationError("utilization improvement must be >= 0")
+        absorbed_instances = (utilization_improvement
+                              * self.latency_servers
+                              * self.slots_per_latency_server)
+        removable = int(absorbed_instances / self.instances_per_batch_server)
+        removable = min(removable, self.batch_servers)
+
+        # Utilization by hardware context: latency servers are half busy in
+        # the baseline; batch servers run one of two contexts per core.
+        baseline = (
+            self.model.fleet_tco(self.latency_servers, 0.5).total
+            + self.model.fleet_tco(self.batch_servers, 0.5).total
+        )
+        colocated_latency_util = 0.5 * (1.0 + utilization_improvement)
+        colocated = (
+            self.model.fleet_tco(self.latency_servers,
+                                 min(1.0, colocated_latency_util)).total
+            + self.model.fleet_tco(self.batch_servers - removable, 0.5).total
+        )
+        return TcoSavings(
+            qos_level=qos_level,
+            baseline_tco=baseline,
+            colocated_tco=colocated,
+            servers_removed=removable,
+        )

@@ -1,0 +1,72 @@
+"""The 3-year TCO model for a fleet configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tco.params import TcoParams
+
+__all__ = ["TcoBreakdown", "TcoModel"]
+
+_HOURS_PER_YEAR = 24.0 * 365.0
+
+
+@dataclass(frozen=True)
+class TcoBreakdown:
+    """Where a fleet's 3-year cost goes (all USD)."""
+
+    server_capex: float
+    server_interest: float
+    datacenter_capex: float
+    energy: float
+    maintenance: float
+
+    @property
+    def total(self) -> float:
+        return (self.server_capex + self.server_interest
+                + self.datacenter_capex + self.energy + self.maintenance)
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Barroso–Hölzle-style analytical TCO over a fixed horizon."""
+
+    params: TcoParams
+    horizon_years: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_years <= 0:
+            raise ConfigurationError("TCO horizon must be positive")
+
+    def fleet_tco(self, n_servers: int, average_utilization: float) -> TcoBreakdown:
+        """3-year TCO of ``n_servers`` at a given average utilization.
+
+        Server capex is charged for the horizon (horizon = amortization
+        by default); facility capex is charged pro-rata for the horizon
+        over its longer amortization, sized by *provisioned* (peak × PUE)
+        power; energy is the PUE-burdened average draw.
+        """
+        if n_servers < 0:
+            raise ConfigurationError("server count must be >= 0")
+        p = self.params
+        server_capex = (n_servers * p.server_price_usd
+                        * min(1.0, self.horizon_years / p.server_amortization_years))
+        # Simple-interest charge on the average outstanding server capital.
+        server_interest = (n_servers * p.server_price_usd / 2.0
+                           * p.annual_interest_rate * self.horizon_years)
+        provisioned_w = n_servers * p.server_peak_power_w * p.pue
+        datacenter_capex = (provisioned_w * p.datacenter_capex_per_w
+                            * self.horizon_years / p.datacenter_amortization_years)
+        avg_power_w = n_servers * p.server_power_w(average_utilization) * p.pue
+        energy = (avg_power_w / 1000.0) * _HOURS_PER_YEAR * self.horizon_years \
+            * p.electricity_usd_per_kwh
+        maintenance = (n_servers * p.server_price_usd
+                       * p.maintenance_fraction_per_year * self.horizon_years)
+        return TcoBreakdown(
+            server_capex=server_capex,
+            server_interest=server_interest,
+            datacenter_capex=datacenter_capex,
+            energy=energy,
+            maintenance=maintenance,
+        )

@@ -1,0 +1,70 @@
+"""TCO model parameters.
+
+Defaults follow the worked examples in "The Datacenter as a Computer"
+(Barroso, Clidaras, Hölzle — the paper's reference [21]) and the Google
+fleet-wide PUE the paper cites [22] (1.12 as of 2014).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TcoParams", "GOOGLE_PUE_2014"]
+
+#: The Google fleet-wide trailing PUE the paper uses as model input.
+GOOGLE_PUE_2014 = 1.12
+
+
+@dataclass(frozen=True)
+class TcoParams:
+    """Inputs to the 3-year TCO model."""
+
+    server_price_usd: float = 2500.0
+    server_amortization_years: float = 3.0
+    #: peak server power at full utilization (both SMT contexts busy)
+    server_peak_power_w: float = 250.0
+    #: idle power as a fraction of peak (servers are not energy
+    #: proportional — Barroso & Hölzle's motivating observation)
+    idle_power_fraction: float = 0.5
+    #: facility capital cost per provisioned watt of critical power
+    datacenter_capex_per_w: float = 12.0
+    datacenter_amortization_years: float = 12.0
+    electricity_usd_per_kwh: float = 0.07
+    pue: float = GOOGLE_PUE_2014
+    #: yearly maintenance/opex as a fraction of server capex
+    maintenance_fraction_per_year: float = 0.05
+    #: cost of capital applied to amortized capital
+    annual_interest_rate: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.server_price_usd <= 0:
+            raise ConfigurationError("server price must be positive")
+        if self.server_amortization_years <= 0:
+            raise ConfigurationError("server amortization must be positive")
+        if self.server_peak_power_w <= 0:
+            raise ConfigurationError("server peak power must be positive")
+        if not 0.0 <= self.idle_power_fraction <= 1.0:
+            raise ConfigurationError("idle power fraction must be in [0, 1]")
+        if self.datacenter_capex_per_w < 0:
+            raise ConfigurationError("datacenter capex must be >= 0")
+        if self.datacenter_amortization_years <= 0:
+            raise ConfigurationError("datacenter amortization must be positive")
+        if self.electricity_usd_per_kwh <= 0:
+            raise ConfigurationError("electricity price must be positive")
+        if self.pue < 1.0:
+            raise ConfigurationError("PUE cannot be below 1.0")
+        if self.maintenance_fraction_per_year < 0:
+            raise ConfigurationError("maintenance fraction must be >= 0")
+        if self.annual_interest_rate < 0:
+            raise ConfigurationError("interest rate must be >= 0")
+
+    def server_power_w(self, utilization: float) -> float:
+        """Linear power model between idle and peak."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        idle = self.server_peak_power_w * self.idle_power_fraction
+        return idle + (self.server_peak_power_w - idle) * utilization

@@ -1,0 +1,70 @@
+"""A name-keyed registry over all known workload profiles.
+
+The registry serves two purposes: convenient lookup by name anywhere in the
+library (experiments, examples, the scheduler), and a single place where
+user-defined profiles can be registered so the rest of the stack picks them
+up without plumbing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.cloudsuite import CLOUDSUITE
+from repro.workloads.profile import Suite, WorkloadProfile
+from repro.workloads.spec import SPEC_CPU2006
+
+__all__ = ["get_profile", "all_profiles", "spec_profiles", "register_profile",
+           "unregister_profile"]
+
+_CUSTOM: dict[str, WorkloadProfile] = {}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by name across SPEC, CloudSuite, and custom entries."""
+    if name in _CUSTOM:
+        return _CUSTOM[name]
+    if name in SPEC_CPU2006:
+        return SPEC_CPU2006[name]
+    if name in CLOUDSUITE:
+        return CLOUDSUITE[name].profile
+    raise UnknownWorkloadError(name)
+
+
+def all_profiles(*, include_custom: bool = True) -> list[WorkloadProfile]:
+    """Every known profile: 29 SPEC + 4 CloudSuite (+ custom)."""
+    profiles = list(SPEC_CPU2006.values())
+    profiles.extend(w.profile for w in CLOUDSUITE.values())
+    if include_custom:
+        profiles.extend(_CUSTOM.values())
+    return profiles
+
+
+def spec_profiles(suite: Suite | None = None) -> list[WorkloadProfile]:
+    """SPEC profiles, optionally restricted to SPEC_INT or SPEC_FP."""
+    profiles = list(SPEC_CPU2006.values())
+    if suite is None:
+        return profiles
+    return [p for p in profiles if p.suite is suite]
+
+
+def register_profile(profile: WorkloadProfile, *, overwrite: bool = False) -> None:
+    """Add a custom profile to the registry.
+
+    Refuses to shadow a built-in or an existing custom profile unless
+    ``overwrite`` is set.
+    """
+    exists = (profile.name in _CUSTOM or profile.name in SPEC_CPU2006
+              or profile.name in CLOUDSUITE)
+    if exists and not overwrite:
+        raise UnknownWorkloadError(
+            f"profile {profile.name!r} already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    _CUSTOM[profile.name] = profile
+
+
+def unregister_profile(name: str) -> None:
+    """Remove a custom profile; built-ins cannot be removed."""
+    if name not in _CUSTOM:
+        raise UnknownWorkloadError(name)
+    del _CUSTOM[name]

@@ -1,0 +1,235 @@
+"""Synthetic profiles for the 29 SPEC CPU2006 benchmarks.
+
+These stand in for the paper's benchmark binaries (DESIGN.md,
+Substitutions). Parameters follow the benchmarks' published characters —
+e.g. 429.mcf is pointer-chasing and memory-bound with low MLP, 444.namd and
+454.calculix are FP-port-bound with small working sets, 470.lbm streams
+through hundreds of megabytes with high MLP, 458.sjeng and 473.astar
+mispredict branches heavily. The population is deliberately diverse and
+weakly correlated across sharing dimensions, which is the property the
+paper's Findings 1-9 rest on.
+
+The paper's Finding-4 anchors are preserved: 454.calculix leans on FP_MUL
+(port 0) while 470.lbm leans on FP_ADD (port 1); 429.mcf is barely
+sensitive to port 1 while 444.namd is highly sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profile import FootprintStratum, Suite, WorkloadProfile
+
+__all__ = ["SPEC_CPU2006", "spec_even", "spec_odd", "KB", "MB"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _strata(*pairs: tuple[float, float]) -> tuple[FootprintStratum, ...]:
+    """Build footprint strata from (bytes, access_fraction) pairs."""
+    return tuple(
+        FootprintStratum(footprint_bytes=size, access_fraction=frac)
+        for size, frac in pairs
+    )
+
+
+def _spec(
+    name: str,
+    number: int,
+    suite: Suite,
+    *,
+    fp_mul: float = 0.0,
+    fp_add: float = 0.0,
+    fp_shf: float = 0.0,
+    int_alu: float,
+    load: float,
+    store: float,
+    branch: float,
+    dep: float,
+    mlp: float,
+    strata: tuple[FootprintStratum, ...],
+    bmr: float,
+    itlb: float = 0.1,
+    dtlb: float = 0.5,
+    icache: float = 1.0,
+    description: str,
+) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        suite=suite,
+        spec_number=number,
+        fp_mul=fp_mul,
+        fp_add=fp_add,
+        fp_shf=fp_shf,
+        int_alu=int_alu,
+        load=load,
+        store=store,
+        branch=branch,
+        dependency_factor=dep,
+        mlp=mlp,
+        strata=strata,
+        branch_misprediction_rate=bmr,
+        itlb_mpki=itlb,
+        dtlb_mpki=dtlb,
+        icache_mpki=icache,
+        description=description,
+    )
+
+
+_INT = Suite.SPEC_INT
+_FP = Suite.SPEC_FP
+
+#: All 29 SPEC CPU2006 benchmarks, keyed by full name, ordered by number.
+SPEC_CPU2006: dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in (
+        _spec("400.perlbench", 400, _INT, int_alu=0.45, load=0.28, store=0.12,
+              branch=0.20, dep=0.25, mlp=2.5,
+              strata=_strata((16 * KB, 0.75), (150 * KB, 0.20), (6 * MB, 0.05)),
+              bmr=0.006, itlb=0.4, dtlb=0.6, icache=4.0,
+              description="Perl interpreter: branchy, code-footprint heavy"),
+        _spec("401.bzip2", 401, _INT, int_alu=0.48, load=0.30, store=0.10,
+              branch=0.15, dep=0.30, mlp=3.0,
+              strata=_strata((28 * KB, 0.60), (2 * MB, 0.35), (8 * MB, 0.05)),
+              bmr=0.008, description="compression: mid-size working set"),
+        _spec("403.gcc", 403, _INT, int_alu=0.42, load=0.30, store=0.14,
+              branch=0.20, dep=0.28, mlp=2.2,
+              strata=_strata((20 * KB, 0.55), (1 * MB, 0.30), (12 * MB, 0.15)),
+              bmr=0.009, itlb=0.6, dtlb=0.9, icache=6.0,
+              description="compiler: branchy with a long footprint tail"),
+        _spec("410.bwaves", 410, _FP, fp_mul=0.12, fp_add=0.34, fp_shf=0.03,
+              int_alu=0.15, load=0.32, store=0.07, branch=0.04, dep=0.20,
+              mlp=6.5,
+              strata=_strata((24 * KB, 0.35), (2 * MB, 0.20), (180 * MB, 0.45)),
+              bmr=0.001, description="blast-wave CFD: streaming FP, DRAM-bound"),
+        _spec("416.gamess", 416, _FP, fp_mul=0.31, fp_add=0.17, fp_shf=0.04,
+              int_alu=0.18, load=0.26, store=0.06, branch=0.07, dep=0.30,
+              mlp=2.0, strata=_strata((10 * KB, 0.95), (120 * KB, 0.05)),
+              bmr=0.004, description="quantum chemistry: cache-resident FP"),
+        _spec("429.mcf", 429, _INT, int_alu=0.30, load=0.38, store=0.09,
+              branch=0.19, dep=0.45, mlp=1.6,
+              strata=_strata((8 * KB, 0.30), (2 * MB, 0.25), (60 * MB, 0.45)),
+              bmr=0.009, dtlb=2.5,
+              description="network simplex: pointer-chasing, DRAM-latency-bound"),
+        _spec("433.milc", 433, _FP, fp_mul=0.29, fp_add=0.17, fp_shf=0.05,
+              int_alu=0.12, load=0.33, store=0.10, branch=0.03, dep=0.22,
+              mlp=6.0,
+              strata=_strata((16 * KB, 0.25), (2 * MB, 0.15), (120 * MB, 0.60)),
+              bmr=0.001, description="lattice QCD: streaming FP, bandwidth-hungry"),
+        _spec("434.zeusmp", 434, _FP, fp_mul=0.13, fp_add=0.32, fp_shf=0.04,
+              int_alu=0.16, load=0.28, store=0.09, branch=0.04, dep=0.25,
+              mlp=5.0,
+              strata=_strata((28 * KB, 0.40), (2 * MB, 0.25), (60 * MB, 0.35)),
+              bmr=0.001, description="astrophysical CFD: mixed FP/memory"),
+        _spec("435.gromacs", 435, _FP, fp_mul=0.33, fp_add=0.14, fp_shf=0.10,
+              int_alu=0.20, load=0.26, store=0.06, branch=0.05, dep=0.28,
+              mlp=2.5, strata=_strata((24 * KB, 0.70), (160 * KB, 0.30)),
+              bmr=0.003, description="molecular dynamics: FP-compute-bound"),
+        _spec("436.cactusADM", 436, _FP, fp_mul=0.12, fp_add=0.42, fp_shf=0.03,
+              int_alu=0.12, load=0.30, store=0.09, branch=0.01, dep=0.35,
+              mlp=4.0,
+              strata=_strata((28 * KB, 0.35), (2 * MB, 0.20), (90 * MB, 0.45)),
+              bmr=0.0005, description="numerical relativity: long FP chains"),
+        _spec("437.leslie3d", 437, _FP, fp_mul=0.30, fp_add=0.18, fp_shf=0.04,
+              int_alu=0.12, load=0.31, store=0.09, branch=0.03, dep=0.25,
+              mlp=5.5,
+              strata=_strata((28 * KB, 0.35), (2 * MB, 0.25), (80 * MB, 0.40)),
+              bmr=0.001, description="combustion CFD: streaming FP"),
+        _spec("444.namd", 444, _FP, fp_mul=0.37, fp_add=0.21, fp_shf=0.05,
+              int_alu=0.16, load=0.24, store=0.05, branch=0.05, dep=0.18,
+              mlp=2.0, strata=_strata((24 * KB, 0.85), (1 * MB, 0.15)),
+              bmr=0.002,
+              description="molecular dynamics: FP-port-saturating, tiny footprint"),
+        _spec("445.gobmk", 445, _INT, int_alu=0.46, load=0.27, store=0.12,
+              branch=0.21, dep=0.30, mlp=2.0,
+              strata=_strata((24 * KB, 0.70), (190 * KB, 0.25), (4 * MB, 0.05)),
+              bmr=0.013, icache=5.0,
+              description="Go playing: extremely branchy"),
+        _spec("447.dealII", 447, _FP, fp_mul=0.15, fp_add=0.33, fp_shf=0.04,
+              int_alu=0.20, load=0.30, store=0.07, branch=0.08, dep=0.30,
+              mlp=2.5,
+              strata=_strata((20 * KB, 0.55), (220 * KB, 0.25), (20 * MB, 0.20)),
+              bmr=0.004, description="finite elements: mixed FP/INT"),
+        _spec("450.soplex", 450, _FP, fp_mul=0.10, fp_add=0.24, fp_shf=0.03,
+              int_alu=0.22, load=0.33, store=0.08, branch=0.08, dep=0.35,
+              mlp=3.0,
+              strata=_strata((16 * KB, 0.40), (1536 * KB, 0.25), (50 * MB, 0.35)),
+              bmr=0.005, description="linear programming: sparse, memory-leaning"),
+        _spec("453.povray", 453, _FP, fp_mul=0.31, fp_add=0.15, fp_shf=0.09,
+              int_alu=0.22, load=0.26, store=0.07, branch=0.09, dep=0.35,
+              mlp=1.8, strata=_strata((20 * KB, 0.90), (400 * KB, 0.10)),
+              bmr=0.005, description="ray tracing: cache-resident FP, branchy"),
+        _spec("454.calculix", 454, _FP, fp_mul=0.34, fp_add=0.18, fp_shf=0.04,
+              int_alu=0.16, load=0.25, store=0.06, branch=0.04, dep=0.25,
+              mlp=2.2, strata=_strata((26 * KB, 0.90), (200 * KB, 0.10)),
+              bmr=0.002,
+              description="structural mechanics: FP_MUL-heavy (port 0), "
+                          "L1-reliant (paper's Finding 4/7 anchor)"),
+        _spec("456.hmmer", 456, _INT, int_alu=0.55, load=0.30, store=0.10,
+              branch=0.08, dep=0.12, mlp=4.0,
+              strata=_strata((8 * KB, 0.90), (96 * KB, 0.10)),
+              bmr=0.002, description="HMM search: INT-ALU-saturating"),
+        _spec("458.sjeng", 458, _INT, int_alu=0.48, load=0.25, store=0.09,
+              branch=0.21, dep=0.30, mlp=2.0,
+              strata=_strata((48 * KB, 0.60), (1536 * KB, 0.35), (160 * MB, 0.05)),
+              bmr=0.012, description="chess: branchy with a huge hash table"),
+        _spec("459.GemsFDTD", 459, _FP, fp_mul=0.14, fp_add=0.36, fp_shf=0.03,
+              int_alu=0.12, load=0.32, store=0.08, branch=0.03, dep=0.30,
+              mlp=5.0,
+              strata=_strata((28 * KB, 0.30), (2 * MB, 0.25), (100 * MB, 0.45)),
+              bmr=0.001, description="electromagnetics: streaming FP"),
+        _spec("462.libquantum", 462, _INT, int_alu=0.38, load=0.32, store=0.12,
+              branch=0.17, dep=0.15, mlp=7.5,
+              strata=_strata((4 * KB, 0.20), (64 * MB, 0.80)),
+              bmr=0.003,
+              description="quantum simulation: pure streaming, bandwidth-bound"),
+        _spec("464.h264ref", 464, _INT, fp_shf=0.04, int_alu=0.50, load=0.32,
+              store=0.10, branch=0.08, dep=0.18, mlp=3.5,
+              strata=_strata((24 * KB, 0.65), (230 * KB, 0.30), (12 * MB, 0.05)),
+              bmr=0.004, description="video encoding: INT/SIMD compute"),
+        _spec("465.tonto", 465, _FP, fp_mul=0.30, fp_add=0.20, fp_shf=0.04,
+              int_alu=0.20, load=0.27, store=0.07, branch=0.06, dep=0.30,
+              mlp=2.2,
+              strata=_strata((24 * KB, 0.65), (200 * KB, 0.25), (8 * MB, 0.10)),
+              bmr=0.003, description="quantum crystallography: mixed FP"),
+        _spec("470.lbm", 470, _FP, fp_mul=0.13, fp_add=0.37, fp_shf=0.03,
+              int_alu=0.10, load=0.29, store=0.13, branch=0.01, dep=0.20,
+              mlp=7.5, strata=_strata((8 * KB, 0.15), (200 * MB, 0.85)),
+              bmr=0.0005,
+              description="lattice Boltzmann: FP_ADD-heavy (port 1), "
+                          "stream-everything (paper's Finding 4 anchor)"),
+        _spec("471.omnetpp", 471, _INT, int_alu=0.38, load=0.33, store=0.14,
+              branch=0.17, dep=0.40, mlp=1.8,
+              strata=_strata((16 * KB, 0.45), (1 * MB, 0.25), (40 * MB, 0.30)),
+              bmr=0.007, dtlb=1.8,
+              description="discrete-event simulation: pointer-heavy"),
+        _spec("473.astar", 473, _INT, int_alu=0.42, load=0.33, store=0.09,
+              branch=0.16, dep=0.42, mlp=1.7,
+              strata=_strata((20 * KB, 0.50), (1536 * KB, 0.30), (25 * MB, 0.20)),
+              bmr=0.012, description="path finding: irregular, mispredict-heavy"),
+        _spec("481.wrf", 481, _FP, fp_mul=0.17, fp_add=0.32, fp_shf=0.04,
+              int_alu=0.16, load=0.28, store=0.08, branch=0.05, dep=0.28,
+              mlp=4.0,
+              strata=_strata((24 * KB, 0.50), (2 * MB, 0.25), (50 * MB, 0.25)),
+              bmr=0.002, description="weather modelling: balanced FP/memory"),
+        _spec("482.sphinx3", 482, _FP, fp_mul=0.32, fp_add=0.19, fp_shf=0.03,
+              int_alu=0.16, load=0.30, store=0.05, branch=0.06, dep=0.25,
+              mlp=4.5,
+              strata=_strata((16 * KB, 0.40), (1 * MB, 0.30), (20 * MB, 0.30)),
+              bmr=0.004, description="speech recognition: L3-working-set FP"),
+        _spec("483.xalancbmk", 483, _INT, int_alu=0.40, load=0.33, store=0.11,
+              branch=0.19, dep=0.33, mlp=2.0,
+              strata=_strata((12 * KB, 0.50), (800 * KB, 0.30), (30 * MB, 0.20)),
+              bmr=0.006, itlb=0.8, dtlb=1.2, icache=8.0,
+              description="XSLT processing: code- and pointer-heavy"),
+    )
+}
+
+
+def spec_even() -> list[WorkloadProfile]:
+    """Even-numbered SPEC benchmarks (one half of the paper's split)."""
+    return [p for p in SPEC_CPU2006.values() if p.spec_number % 2 == 0]  # type: ignore[operator]
+
+
+def spec_odd() -> list[WorkloadProfile]:
+    """Odd-numbered SPEC benchmarks (the other half of the split)."""
+    return [p for p in SPEC_CPU2006.values() if p.spec_number % 2 == 1]  # type: ignore[operator]

@@ -1,0 +1,121 @@
+"""Tests for the bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_difference,
+    bootstrap_mean,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapMean:
+    def test_point_is_sample_mean(self):
+        ci = bootstrap_mean([1.0, 2.0, 3.0, 4.0])
+        assert ci.point == pytest.approx(2.5)
+
+    def test_interval_contains_point(self):
+        ci = bootstrap_mean(np.random.default_rng(0).normal(5, 1, 100))
+        assert ci.point in ci
+
+    def test_covers_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for i in range(40):
+            sample = rng.normal(10.0, 2.0, size=60)
+            ci = bootstrap_mean(sample, confidence=0.95, resamples=400,
+                                seed=i)
+            if 10.0 in ci:
+                hits += 1
+        assert hits >= 33  # ~95% nominal coverage, generous slack
+
+    def test_wider_at_higher_confidence(self):
+        sample = np.random.default_rng(2).normal(0, 1, 80)
+        narrow = bootstrap_mean(sample, confidence=0.80)
+        wide = bootstrap_mean(sample, confidence=0.99)
+        assert wide.width > narrow.width
+
+    def test_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean(rng.normal(0, 1, 20), seed=1)
+        large = bootstrap_mean(rng.normal(0, 1, 2000), seed=1)
+        assert large.width < small.width
+
+    def test_deterministic_for_seed(self):
+        sample = [0.1, 0.5, 0.2, 0.9, 0.4]
+        assert bootstrap_mean(sample, seed=7) == bootstrap_mean(sample,
+                                                                seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean([1.0])
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean([1.0, 2.0], resamples=10)
+
+
+class TestBootstrapDifference:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(4)
+        shared = rng.normal(0, 1, 200)
+        a = shared + 1.0 + rng.normal(0, 0.1, 200)
+        b = shared + rng.normal(0, 0.1, 200)
+        ci = bootstrap_difference(a, b)
+        assert ci.excludes_zero()
+        assert ci.point == pytest.approx(1.0, abs=0.1)
+
+    def test_no_difference_includes_zero(self):
+        rng = np.random.default_rng(5)
+        shared = rng.normal(3, 1, 200)
+        a = shared + rng.normal(0, 0.5, 200)
+        b = shared + rng.normal(0, 0.5, 200)
+        assert 0.0 in bootstrap_difference(a, b)
+
+    def test_pairing_required(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_difference([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestIntervalType:
+    def test_str(self):
+        ci = ConfidenceInterval(point=0.5, lower=0.4, upper=0.6,
+                                confidence=0.95, resamples=100)
+        assert "[0.4000, 0.6000]" in str(ci)
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceInterval(point=0.9, lower=0.4, upper=0.6,
+                               confidence=0.95, resamples=100)
+
+
+class TestOnPredictionErrors:
+    def test_smite_vs_pmu_significant(self, ivy_sim, train_profiles,
+                                      test_profiles):
+        """The headline Fig. 10 comparison survives a significance test."""
+        from repro.core import (PmuModel, SMiTe, build_pair_dataset,
+                                evaluate_model)
+        smite = SMiTe(ivy_sim).fit(train_profiles, mode="smt")
+        train = build_pair_dataset(ivy_sim, train_profiles, mode="smt")
+        pmu = PmuModel()
+        pmu.fit([
+            (ivy_sim.read_solo_pmu(s.victim),
+             ivy_sim.read_solo_pmu(s.aggressor), s.degradation)
+            for s in train
+        ])
+        test = build_pair_dataset(ivy_sim, test_profiles, mode="smt")
+        smite_errors = [p.error for p in
+                        evaluate_model("s", smite.predict, test).predictions]
+        pmu_errors = [
+            p.error for p in evaluate_model(
+                "p",
+                lambda v, a: pmu.predict(ivy_sim.read_solo_pmu(v),
+                                         ivy_sim.read_solo_pmu(a)),
+                test,
+            ).predictions
+        ]
+        ci = bootstrap_difference(pmu_errors, smite_errors, seed=11)
+        assert ci.excludes_zero()
+        assert ci.lower > 0.0  # PMU error exceeds SMiTe error, significantly

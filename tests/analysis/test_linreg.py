@@ -1,0 +1,101 @@
+"""Unit tests for the least-squares backend."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linreg import LinearModel, fit_least_squares
+from repro.errors import ConfigurationError
+
+
+def _make_data(coefs, intercept, n=60, seed=3, noise=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, len(coefs)))
+    y = x @ np.array(coefs) + intercept
+    if noise:
+        y = y + rng.normal(0, noise, size=n)
+    return x, y
+
+
+class TestFit:
+    def test_recovers_exact_coefficients(self):
+        x, y = _make_data([2.0, -1.5, 0.5], intercept=0.25)
+        model = fit_least_squares(x, y)
+        assert model.coefficients == pytest.approx([2.0, -1.5, 0.5])
+        assert model.intercept == pytest.approx(0.25)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_close(self):
+        x, y = _make_data([1.0, 3.0], intercept=-1.0, noise=0.01)
+        model = fit_least_squares(x, y)
+        assert model.coefficients == pytest.approx([1.0, 3.0], abs=0.02)
+        assert model.r_squared > 0.99
+
+    def test_ridge_shrinks_coefficients(self):
+        x, y = _make_data([5.0], intercept=0.0)
+        plain = fit_least_squares(x, y)
+        ridged = fit_least_squares(x, y, ridge=10.0)
+        assert abs(ridged.coefficients[0]) < abs(plain.coefficients[0])
+
+    def test_ridge_leaves_intercept_unpenalized(self):
+        x, y = _make_data([0.0], intercept=100.0)
+        model = fit_least_squares(x, y, ridge=1000.0)
+        assert model.intercept == pytest.approx(100.0, rel=1e-6)
+
+    def test_nonnegative_clamps_negative_truth(self):
+        x, y = _make_data([-2.0, 1.0], intercept=0.0)
+        model = fit_least_squares(x, y, nonnegative=True)
+        assert model.coefficients[0] == pytest.approx(0.0, abs=1e-9)
+        assert model.coefficients[1] >= 0.0
+
+    def test_nonnegative_recovers_positive_truth(self):
+        x, y = _make_data([2.0, 0.7], intercept=-0.3)
+        model = fit_least_squares(x, y, nonnegative=True)
+        assert model.coefficients == pytest.approx([2.0, 0.7], abs=1e-8)
+        assert model.intercept == pytest.approx(-0.3, abs=1e-8)
+
+    def test_nonnegative_allows_negative_intercept(self):
+        x, y = _make_data([1.0], intercept=-5.0)
+        model = fit_least_squares(x, y, nonnegative=True)
+        assert model.intercept == pytest.approx(-5.0, abs=1e-8)
+
+    def test_more_features_than_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_least_squares(np.ones((3, 3)), [1.0, 2.0, 3.0])
+
+    def test_negative_ridge_rejected(self):
+        x, y = _make_data([1.0], 0.0)
+        with pytest.raises(ConfigurationError):
+            fit_least_squares(x, y, ridge=-1.0)
+
+    def test_feature_name_count_checked(self):
+        x, y = _make_data([1.0, 2.0], 0.0)
+        with pytest.raises(ConfigurationError):
+            fit_least_squares(x, y, feature_names=["only-one"])
+
+
+class TestPredict:
+    def test_predict_roundtrip(self):
+        x, y = _make_data([1.5, -0.5], intercept=2.0)
+        model = fit_least_squares(x, y)
+        assert model.predict(x[0]) == pytest.approx(y[0])
+
+    def test_predict_many_matches_predict(self):
+        x, y = _make_data([0.3, 0.8, -0.2], intercept=0.1)
+        model = fit_least_squares(x, y)
+        batch = model.predict_many(x[:5])
+        singles = [model.predict(row) for row in x[:5]]
+        assert batch == pytest.approx(singles)
+
+    def test_wrong_feature_count_rejected(self):
+        model = LinearModel(coefficients=np.array([1.0, 2.0]), intercept=0.0,
+                            r_squared=1.0)
+        with pytest.raises(ConfigurationError):
+            model.predict([1.0])
+        with pytest.raises(ConfigurationError):
+            model.predict_many(np.ones((2, 3)))
+
+    def test_describe_mentions_names(self):
+        x, y = _make_data([1.0], 0.0)
+        model = fit_least_squares(x, y, feature_names=["pressure"])
+        assert "pressure" in model.describe()
+        assert "R^2" in model.describe()

@@ -1,0 +1,59 @@
+"""Unit tests for the table formatter."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatCell:
+    def test_float_four_decimals(self):
+        assert format_cell(0.12345) == "0.1235"
+
+    def test_large_float_grouped(self):
+        assert format_cell(1234567.0) == "1,234,567.0"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_cell("hello") == "hello"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(("name", "value"), [("a", 1), ("bb", 2)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_columns_aligned(self):
+        out = format_table(("x",), [("short",), ("much-longer-cell",)])
+        lines = out.splitlines()
+        widths = {len(line.rstrip()) for line in lines[2:]}
+        # Header rule matches widest cell.
+        assert max(len(line) for line in lines) >= len("much-longer-cell")
+
+    def test_title_prepended(self):
+        out = format_table(("h",), [("v",)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table((), [])
+
+    def test_empty_rows_ok(self):
+        out = format_table(("a",), [])
+        assert "a" in out

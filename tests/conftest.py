@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+Simulators are session-scoped: their internal solve memoization makes
+repeated measurements across tests nearly free, and everything they
+produce is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rulers.suite import default_suite
+from repro.smt.params import IVY_BRIDGE, SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import SPEC_CPU2006, spec_even, spec_odd
+
+
+@pytest.fixture(scope="session")
+def ivy_sim() -> Simulator:
+    return Simulator(IVY_BRIDGE)
+
+
+@pytest.fixture(scope="session")
+def snb_sim() -> Simulator:
+    return Simulator(SANDY_BRIDGE_EN)
+
+
+@pytest.fixture(scope="session")
+def clean_sim() -> Simulator:
+    """Ivy Bridge with measurement jitter disabled (exact model outputs)."""
+    return Simulator(IVY_BRIDGE, jitter=0.0)
+
+
+@pytest.fixture(scope="session")
+def ivy_rulers():
+    return default_suite(IVY_BRIDGE)
+
+
+@pytest.fixture(scope="session")
+def snb_rulers():
+    return default_suite(SANDY_BRIDGE_EN)
+
+
+@pytest.fixture(scope="session")
+def spec_profiles() -> dict:
+    return dict(SPEC_CPU2006)
+
+
+@pytest.fixture(scope="session")
+def train_profiles():
+    return spec_even()
+
+
+@pytest.fixture(scope="session")
+def test_profiles():
+    return spec_odd()
+
+
+@pytest.fixture(scope="session")
+def cloud_apps():
+    return cloudsuite_apps()
+
+
+@pytest.fixture
+def mcf(spec_profiles):
+    return spec_profiles["429.mcf"]
+
+
+@pytest.fixture
+def namd(spec_profiles):
+    return spec_profiles["444.namd"]
+
+
+@pytest.fixture
+def lbm(spec_profiles):
+    return spec_profiles["470.lbm"]
+
+
+@pytest.fixture
+def calculix(spec_profiles):
+    return spec_profiles["454.calculix"]
+
+
+@pytest.fixture
+def hmmer(spec_profiles):
+    return spec_profiles["456.hmmer"]

@@ -1,0 +1,71 @@
+"""Tests for the Figure 7 cross-dimension correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import Characterization
+from repro.core.correlation import correlation_report
+from repro.errors import ConfigurationError
+from repro.rulers.base import Dimension
+
+DIMS = tuple(Dimension)
+
+
+def make_char(name, sen, con):
+    return Characterization(
+        workload=name,
+        sensitivity={d: v for d, v in zip(DIMS, sen)},
+        contentiousness={d: v for d, v in zip(DIMS, con)},
+    )
+
+
+def random_population(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        make_char(f"w{i}", rng.uniform(0, 1, 7), rng.uniform(0, 1, 7))
+        for i in range(n)
+    ]
+
+
+class TestReport:
+    def test_fourteen_labels(self):
+        report = correlation_report(random_population())
+        assert len(report.labels) == 14
+        assert report.matrix.shape == (14, 14)
+
+    def test_off_diagonal_count(self):
+        report = correlation_report(random_population())
+        assert len(report.off_diagonal()) == 14 * 13 // 2  # 91 pairs
+
+    def test_absolute_values(self):
+        report = correlation_report(random_population())
+        assert (report.matrix >= 0).all()
+        assert (report.matrix <= 1 + 1e-12).all()
+
+    def test_fraction_below(self):
+        report = correlation_report(random_population())
+        assert report.fraction_below(1.01) == 1.0
+        assert report.fraction_below(0.0) == 0.0
+
+    def test_perfectly_correlated_population_detected(self):
+        base = np.linspace(0.1, 0.9, 7)
+        population = [
+            make_char(f"w{i}", base * (i + 1) / 10, base * (i + 1) / 10)
+            for i in range(5)
+        ]
+        report = correlation_report(population)
+        assert report.fraction_below(0.99) == pytest.approx(0.0)
+
+    def test_strongest_pairs_sorted(self):
+        report = correlation_report(random_population())
+        values = [r for _, _, r in report.strongest_pairs(10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_accepts_mapping(self):
+        population = random_population(5)
+        by_name = {c.workload: c for c in population}
+        assert correlation_report(by_name).matrix.shape == (14, 14)
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            correlation_report(random_population(2))

@@ -1,0 +1,111 @@
+"""Tests for sensitivity curves and the paper's interpolation shortcut."""
+
+import pytest
+
+from repro.core.curves import SensitivityCurve, measure_sensitivity_curve
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.rulers.base import Dimension
+
+
+def make_curve(intensities=(0.25, 0.5, 0.75, 1.0),
+               degradations=(0.1, 0.2, 0.3, 0.4),
+               dimension=Dimension.L1,
+               footprint=32 * 1024):
+    return SensitivityCurve(
+        workload="w", dimension=dimension,
+        intensities=tuple(intensities), degradations=tuple(degradations),
+        full_footprint_bytes=footprint,
+    )
+
+
+class TestInterpolation:
+    def test_exact_at_samples(self):
+        curve = make_curve()
+        for x, y in zip(curve.intensities, curve.degradations):
+            assert curve.at(x) == pytest.approx(y)
+
+    def test_linear_between_samples(self):
+        curve = make_curve()
+        assert curve.at(0.375) == pytest.approx(0.15)
+
+    def test_extrapolates_through_origin_below(self):
+        curve = make_curve()
+        assert curve.at(0.125) == pytest.approx(0.05)
+        assert curve.at(0.0) == 0.0
+
+    def test_clamps_above(self):
+        assert make_curve().at(2.0) == pytest.approx(0.4)
+
+    def test_working_set_mapping(self):
+        curve = make_curve()
+        # Full footprint maps to intensity 1.0.
+        assert curve.at_working_set(32 * 1024) == pytest.approx(0.4)
+
+    def test_working_set_needs_memory_dimension(self):
+        curve = make_curve(dimension=Dimension.FP_MUL, footprint=0)
+        with pytest.raises(CharacterizationError):
+            curve.at_working_set(1024)
+
+
+class TestValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            make_curve(intensities=(1.0,), degradations=(0.3,))
+
+    def test_monotone_intensities_required(self):
+        with pytest.raises(ConfigurationError):
+            make_curve(intensities=(0.5, 0.25), degradations=(0.1, 0.2))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_curve(intensities=(0.5, 1.0), degradations=(0.1,))
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            make_curve(intensities=(0.0, 1.0), degradations=(0.0, 0.1))
+
+
+class TestEndpointShortcut:
+    def test_endpoints_only_keeps_extremes(self):
+        sparse = make_curve().endpoints_only
+        assert sparse.intensities == (0.25, 1.0)
+        assert sparse.degradations == (0.1, 0.4)
+
+    def test_interpolation_error_zero_for_linear_truth(self):
+        dense = make_curve()  # perfectly linear
+        assert dense.endpoints_only.interpolation_error(dense) == \
+            pytest.approx(0.0)
+
+    def test_interpolation_error_positive_for_curvature(self):
+        dense = make_curve(degradations=(0.1, 0.35, 0.39, 0.4))
+        assert dense.endpoints_only.interpolation_error(dense) > 0.01
+
+    def test_linearity_statistic(self):
+        assert make_curve().linearity() == pytest.approx(1.0)
+        flat = make_curve(degradations=(0.2, 0.2, 0.2, 0.2))
+        assert flat.linearity() == 1.0
+
+
+class TestMeasuredCurves:
+    def test_measured_curve_shape(self, ivy_sim, ivy_rulers, calculix):
+        curve = measure_sensitivity_curve(
+            ivy_sim, calculix, ivy_rulers[Dimension.L1], points=4,
+        )
+        assert len(curve.intensities) == 4
+        assert curve.full_footprint_bytes == 32 * 1024
+        # calculix is L1-reliant: the curve must rise with intensity.
+        assert curve.degradations[-1] > curve.degradations[0]
+
+    def test_paper_shortcut_is_cheap_and_close(self, ivy_sim, ivy_rulers,
+                                               calculix):
+        """Two samples approximate the dense curve (Section III-B1)."""
+        dense = measure_sensitivity_curve(
+            ivy_sim, calculix, ivy_rulers[Dimension.L1], points=5,
+        )
+        sparse = dense.endpoints_only
+        assert sparse.interpolation_error(dense) < 0.03
+
+    def test_point_count_validated(self, ivy_sim, ivy_rulers, calculix):
+        with pytest.raises(ConfigurationError):
+            measure_sensitivity_curve(ivy_sim, calculix,
+                                      ivy_rulers[Dimension.L1], points=1)

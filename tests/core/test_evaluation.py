@@ -1,0 +1,68 @@
+"""Tests for error-report aggregation (Equations 7-8)."""
+
+import math
+
+import pytest
+
+from repro.core.evaluation import EvaluationReport, PairPrediction
+from repro.errors import ConfigurationError
+
+
+def pred(victim, aggressor, measured, predicted):
+    return PairPrediction(victim=victim, aggressor=aggressor,
+                          measured_degradation=measured,
+                          predicted_degradation=predicted)
+
+
+@pytest.fixture
+def report():
+    return EvaluationReport(
+        model_name="m",
+        predictions=(
+            pred("a", "x", 0.20, 0.25),
+            pred("a", "y", 0.40, 0.30),
+            pred("b", "x", 0.10, 0.12),
+        ),
+    )
+
+
+class TestPairPrediction:
+    def test_error_is_absolute(self):
+        assert pred("a", "b", 0.3, 0.2).error == pytest.approx(0.1)
+        assert pred("a", "b", 0.2, 0.3).error == pytest.approx(0.1)
+
+
+class TestEvaluationReport:
+    def test_mean_error(self, report):
+        assert report.mean_error == pytest.approx((0.05 + 0.10 + 0.02) / 3)
+
+    def test_max_error(self, report):
+        assert report.max_error == pytest.approx(0.10)
+
+    def test_victims_preserve_order(self, report):
+        assert report.victims == ("a", "b")
+
+    def test_for_victim(self, report):
+        bench = report.for_victim("a")
+        assert bench.pair_count == 2
+        assert bench.mean_measured_degradation == pytest.approx(0.30)
+        assert bench.min_measured_degradation == pytest.approx(0.20)
+        assert bench.max_measured_degradation == pytest.approx(0.40)
+        assert bench.mean_error == pytest.approx(0.075)
+
+    def test_unknown_victim_rejected(self, report):
+        with pytest.raises(ConfigurationError):
+            report.for_victim("zzz")
+
+    def test_per_victim_covers_all(self, report):
+        assert [b.victim for b in report.per_victim()] == ["a", "b"]
+
+    def test_summary_rows_end_with_average(self, report):
+        rows = report.summary_rows()
+        assert rows[-1][0] == "AVERAGE"
+        assert math.isnan(rows[-1][1])
+        assert rows[-1][2] == pytest.approx(report.mean_error)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationReport(model_name="m", predictions=())

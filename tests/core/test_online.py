@@ -1,0 +1,116 @@
+"""Tests for online profiling and admission control (Section III-D)."""
+
+import math
+
+import pytest
+
+from repro.core.online import (
+    OnlineProfiler,
+    ProfilingBudget,
+    admission_check,
+)
+from repro.core.predictor import SMiTe
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.rulers.base import Dimension
+from repro.scheduler.qos import QosTarget
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.spec import SPEC_CPU2006, spec_odd
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator(SANDY_BRIDGE_EN)
+
+
+@pytest.fixture(scope="module")
+def predictor(sim):
+    return SMiTe(sim).fit(spec_odd()[:8], mode="smt")
+
+
+class TestBudget:
+    def test_max_coruns(self):
+        assert ProfilingBudget(max_seconds=10, seconds_per_corun=1).max_coruns == 10
+        assert ProfilingBudget(max_seconds=3.5, seconds_per_corun=1).max_coruns == 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProfilingBudget(max_seconds=0)
+        with pytest.raises(ConfigurationError):
+            ProfilingBudget(seconds_per_corun=-1)
+
+
+class TestOnlineProfiler:
+    def test_full_budget_complete_characterization(self, sim, predictor):
+        profiler = OnlineProfiler(sim, predictor.suite)
+        report = profiler.profile(SPEC_CPU2006["444.namd"])
+        assert report.complete
+        assert report.coruns == 7
+        assert report.characterization is not None
+        assert report.characterization.dimensions == tuple(Dimension)
+
+    def test_matches_offline_characterization(self, sim, predictor):
+        profiler = OnlineProfiler(sim, predictor.suite)
+        online = profiler.profile(SPEC_CPU2006["456.hmmer"]).characterization
+        offline = predictor.characterization(SPEC_CPU2006["456.hmmer"])
+        for dim in Dimension:
+            assert online.sensitivity[dim] == offline.sensitivity[dim]
+
+    def test_tight_budget_partial(self, sim, predictor):
+        budget = ProfilingBudget(max_seconds=3, seconds_per_corun=1)
+        profiler = OnlineProfiler(sim, predictor.suite, budget=budget)
+        report = profiler.profile(SPEC_CPU2006["429.mcf"])
+        assert not report.complete
+        assert report.coruns == 3
+        assert report.characterization is None
+        # Memory dimensions are measured first under pressure.
+        assert set(report.dimensions_measured) == {
+            Dimension.L3, Dimension.L2, Dimension.L1,
+        }
+
+    def test_accounting_accumulates(self, sim, predictor):
+        profiler = OnlineProfiler(sim, predictor.suite)
+        profiler.profile(SPEC_CPU2006["429.mcf"])
+        profiler.profile(SPEC_CPU2006["444.namd"])
+        assert len(profiler.reports) == 2
+        assert profiler.total_seconds == pytest.approx(14.0)
+
+    def test_report_string(self, sim, predictor):
+        profiler = OnlineProfiler(sim, predictor.suite)
+        text = str(profiler.profile(SPEC_CPU2006["429.mcf"]))
+        assert "complete" in text and "7 co-runs" in text
+
+
+class TestAdmission:
+    def test_loose_target_admits(self, predictor, cloud_apps):
+        decision = admission_check(
+            predictor, cloud_apps[0], SPEC_CPU2006["416.gamess"],
+            QosTarget.average(0.60),
+        )
+        assert decision.admitted
+        assert decision.predicted_degradation <= decision.degradation_budget
+        assert decision.profiling.complete
+
+    def test_impossible_target_rejects(self, predictor, cloud_apps):
+        decision = admission_check(
+            predictor, cloud_apps[0], SPEC_CPU2006["470.lbm"],
+            QosTarget.average(0.999),
+        )
+        assert not decision.admitted
+        assert decision.admitted_instances == 0
+
+    def test_partial_profiling_admits_nothing(self, predictor, cloud_apps):
+        decision = admission_check(
+            predictor, cloud_apps[0], SPEC_CPU2006["433.milc"],
+            QosTarget.average(0.50),
+            budget=ProfilingBudget(max_seconds=2, seconds_per_corun=1),
+        )
+        assert not decision.admitted
+        assert math.isnan(decision.predicted_degradation)
+
+    def test_unfitted_predictor_rejected(self, sim, cloud_apps):
+        with pytest.raises(CharacterizationError):
+            admission_check(
+                SMiTe(sim), cloud_apps[0], SPEC_CPU2006["433.milc"],
+                QosTarget.average(0.9),
+            )

@@ -1,0 +1,86 @@
+"""Tests for the PMU baseline model (Equation 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pmu_model import PmuModel
+from repro.errors import CharacterizationError, ModelNotFittedError
+from repro.smt.pmu import PMU_COUNTERS
+
+
+def synthetic_readings(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        {c: float(rng.uniform(0, 1)) for c in PMU_COUNTERS}
+        for _ in range(n)
+    ]
+
+
+def linear_dataset(victim_weight=0.3, aggressor_weight=0.2, intercept=0.05):
+    readings = synthetic_readings()
+    triples = []
+    for victim in readings:
+        for aggressor in readings:
+            deg = (victim_weight * victim[PMU_COUNTERS[0]]
+                   + aggressor_weight * aggressor[PMU_COUNTERS[5]]
+                   + intercept)
+            triples.append((victim, aggressor, deg))
+    return readings, triples
+
+
+class TestFit:
+    def test_recovers_linear_structure(self):
+        readings, triples = linear_dataset()
+        model = PmuModel().fit(triples)
+        victim, aggressor, deg = triples[7]
+        assert model.predict(victim, aggressor) == pytest.approx(deg,
+                                                                 abs=1e-3)
+
+    def test_feature_vector_is_both_sides(self):
+        readings, _ = linear_dataset()
+        model = PmuModel()
+        features = model.features(readings[0], readings[1])
+        assert len(features) == 2 * len(PMU_COUNTERS)
+
+    def test_counters_default_to_paper_set(self):
+        assert PmuModel().counters == PMU_COUNTERS
+
+    def test_missing_counter_rejected(self):
+        model = PmuModel()
+        with pytest.raises(CharacterizationError):
+            model.features({}, {})
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(CharacterizationError):
+            PmuModel().fit([])
+
+    def test_unfitted_predict_rejected(self):
+        readings = synthetic_readings(2)
+        with pytest.raises(ModelNotFittedError):
+            PmuModel().predict(readings[0], readings[1])
+
+    def test_custom_counter_subset(self):
+        counters = PMU_COUNTERS[:3]
+        readings, triples = linear_dataset()
+        model = PmuModel(counters=counters).fit(triples)
+        assert len(model.features(readings[0], readings[1])) == 6
+
+    def test_no_counters_rejected(self):
+        with pytest.raises(CharacterizationError):
+            PmuModel(counters=())
+
+
+class TestStructuralLimit:
+    def test_cannot_express_interactions(self):
+        """Eq. 9 has no Sen x Con product terms; a multiplicative ground
+        truth leaves residual error no matter the fit."""
+        rng = np.random.default_rng(1)
+        readings = synthetic_readings(12, seed=2)
+        triples = []
+        for victim in readings:
+            for aggressor in readings:
+                deg = victim[PMU_COUNTERS[0]] * aggressor[PMU_COUNTERS[0]]
+                triples.append((victim, aggressor, deg))
+        model = PmuModel().fit(triples)
+        errors = [abs(model.predict(v, a) - d) for v, a, d in triples]
+        assert np.mean(errors) > 0.01  # irreducible without interactions

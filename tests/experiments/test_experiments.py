@@ -1,0 +1,136 @@
+"""Tests for the experiment framework and the cheap experiment drivers.
+
+The heavyweight scale-out experiments are exercised by the benchmark
+harness; here we cover the framework plumbing plus every experiment that
+runs in a few seconds with a warm cache.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import (
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import main as runner_main
+
+FAST = ExperimentConfig(fast=True)
+
+
+class TestFramework:
+    def test_all_paper_ids_registered(self):
+        ids = all_experiment_ids()
+        assert ids[0] == "table1"
+        for n in (2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18):
+            assert f"fig{n}" in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_result_render(self):
+        result = run_experiment("table1", FAST)
+        text = result.render()
+        assert "table1" in text
+        assert "E5-2420" in text
+
+    def test_metric_accessor(self):
+        result = run_experiment("table1", FAST)
+        assert result.metric("machines") == 2.0
+        with pytest.raises(ConfigurationError):
+            result.metric("nope")
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentResult(
+                experiment_id="x", title="t", paper_claim="c",
+                headers=("h",), rows=(),
+            )
+
+    def test_fast_config_shrinks_studies(self):
+        assert ExperimentConfig(fast=True).servers_per_app < \
+            ExperimentConfig(fast=False).servers_per_app
+
+
+class TestCheapExperiments:
+    def test_table1(self):
+        result = run_experiment("table1", FAST)
+        assert len(result.rows) == 2
+
+    def test_fig2_findings(self):
+        result = run_experiment("fig2", FAST)
+        # Finding 1-2: FU contention can exceed 50% degradation.
+        assert result.metric("max_fu_sensitivity") > 0.5
+        # Finding 5: CloudSuite FU behaviour closer to SPEC_INT than the
+        # overall INT/FP spread is wide.
+        assert result.metric("cloud_vs_int_gap") < 0.15
+
+    def test_fig3_port_distributions(self):
+        result = run_experiment("fig3", FAST)
+        # Finding 6: ports 0 and 1 look alike...
+        assert result.metric("port0_port1_median_gap") < 0.05
+
+    def test_fig4_memory_findings(self):
+        result = run_experiment("fig4", FAST)
+        # Finding 7: memory dimensions are more monolithic than FUs.
+        assert result.metric("l1_l2_sensitivity_correlation") > 0.7
+        assert result.metric("calculix_l1_l2_sen_gap") < 0.15
+        # Finding 8: CloudSuite out-pressures SPEC at the L3.
+        assert result.metric("cloud_over_spec_l3_con") > 1.1
+
+    def test_fig5_store_port_underutilized(self):
+        result = run_experiment("fig5", FAST)
+        assert result.metric("median_store_port") < \
+            result.metric("median_load_ports")
+
+    def test_fig6_variance(self):
+        result = run_experiment("fig6", FAST)
+        assert result.metric("mean_std_across_apps") > 0.03
+        assert result.metric("mean_std_across_dims") > 0.03
+
+    def test_fig7_low_correlation(self):
+        result = run_experiment("fig7", FAST)
+        assert result.metric("dimension_pairs") == 91.0
+        # Finding 9 (directional): most pairs below 0.8, majority below 0.5.
+        assert result.metric("fraction_below_080") > 0.70
+        assert result.metric("fraction_below_050") >= 0.35
+
+    def test_fig9_ruler_validation(self):
+        result = run_experiment("fig9", FAST)
+        for dim in ("fp_mul", "fp_add", "fp_shf", "int_add"):
+            assert result.metric(f"purity_{dim}") >= 0.9999
+        for level in ("l1", "l2", "l3"):
+            assert result.metric(f"linearity_{level}") >= 0.85
+
+    def test_fig10_smite_beats_pmu(self):
+        result = run_experiment("fig10", FAST)
+        assert result.metric("smite_mean_error") < 0.06
+        assert result.metric("pmu_mean_error") > \
+            2 * result.metric("smite_mean_error")
+
+    def test_fig11_cmp(self):
+        result = run_experiment("fig11", FAST)
+        assert result.metric("smite_mean_error") < 0.07
+        assert result.metric("pmu_mean_error") > \
+            result.metric("smite_mean_error")
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert runner_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+
+    def test_no_args_is_error(self, capsys):
+        assert runner_main([]) == 2
+
+    def test_run_one_with_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert runner_main(["table1", "--fast", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "table1" in data
+        assert data["table1"]["metrics"]["machines"] == 2.0

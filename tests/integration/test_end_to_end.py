@@ -1,0 +1,109 @@
+"""End-to-end integration tests of the full SMiTe pipeline.
+
+These reproduce the paper's evaluation protocol in miniature and assert
+the *shape* of its headline results: SMiTe's precision, its advantage
+over the PMU baseline, and the queueing model's tail predictions.
+"""
+
+import pytest
+
+from repro.core import (
+    PmuModel,
+    SMiTe,
+    TailLatencyModel,
+    build_pair_dataset,
+    evaluate_model,
+)
+from repro.queueing.des import simulate_fcfs_mm1
+from repro.smt.params import IVY_BRIDGE
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator(IVY_BRIDGE)
+
+
+@pytest.fixture(scope="module")
+def smite(sim):
+    return SMiTe(sim).fit(spec_even(), mode="smt")
+
+
+@pytest.fixture(scope="module")
+def test_set(sim):
+    return build_pair_dataset(sim, spec_odd(), mode="smt")
+
+
+class TestPredictionAccuracy:
+    def test_smite_precision(self, smite, test_set):
+        """The paper's headline: low single-digit mean absolute error."""
+        report = evaluate_model("smite", smite.predict, test_set)
+        assert report.mean_error < 0.06
+
+    def test_smite_beats_pmu_model(self, sim, smite, test_set):
+        train = build_pair_dataset(sim, spec_even(), mode="smt")
+        pmu = PmuModel()
+        pmu.fit([
+            (sim.read_solo_pmu(s.victim), sim.read_solo_pmu(s.aggressor),
+             s.degradation)
+            for s in train
+        ])
+        pmu_report = evaluate_model(
+            "pmu",
+            lambda v, a: pmu.predict(sim.read_solo_pmu(v),
+                                     sim.read_solo_pmu(a)),
+            test_set,
+        )
+        smite_report = evaluate_model("smite", smite.predict, test_set)
+        assert pmu_report.mean_error > 2 * smite_report.mean_error
+
+    def test_degradations_span_paper_range(self, test_set):
+        """Fig. 10's measured degradations span roughly 10%-70%."""
+        degs = [s.degradation for s in test_set]
+        assert min(degs) < 0.12
+        assert max(degs) > 0.4
+
+    def test_coefficients_weight_known_dimensions(self, smite):
+        coefs = smite.model.coefficients
+        # At least half the dimensions must carry real weight: the model
+        # is genuinely multidimensional, not a single-metric proxy.
+        active = [d for d, c in coefs.items() if c > 0.05]
+        assert len(active) >= 4
+
+    def test_characterize_once_predict_many(self, sim, smite):
+        """The methodology's cost model: one characterization per app."""
+        victims = spec_odd()[:5]
+        solves_before = sim.solve_count
+        for victim in victims:
+            smite.characterization(victim)
+        for victim in victims:
+            for aggressor in victims:
+                smite.predict(victim, aggressor)
+        solves_during_predict = sim.solve_count
+        # predictions after characterization require no new solves
+        for victim in victims:
+            for aggressor in victims:
+                smite.predict(victim, aggressor)
+        assert sim.solve_count == solves_during_predict
+
+
+class TestTailPipeline:
+    def test_analytic_tail_tracks_des(self):
+        """Equation 6 predicts what the discrete-event queue measures."""
+        app = cloudsuite_apps()[0]
+        model = TailLatencyModel(percentile=0.9)
+        degs = [0.0, 0.1, 0.2, 0.3]
+        lats = []
+        for deg in degs:
+            run = simulate_fcfs_mm1(
+                app.arrival_rate_hz,
+                (1 - deg) * app.service_rate_hz,
+                jobs=150_000, seed=17,
+            )
+            lats.append(run.percentile(0.9))
+        model.fit(degs, lats)
+        for deg, measured in zip(degs, lats):
+            predicted = model.predict_latency(deg)
+            assert abs(predicted - measured) / measured < 0.08

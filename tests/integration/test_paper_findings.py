@@ -1,0 +1,111 @@
+"""The paper's nine Findings (Section II), asserted against the system.
+
+Each test names the Finding it reproduces; together they are the
+motivation for SMiTe's decoupled multidimensional design.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import pearson
+from repro.core import characterize_many, correlation_report
+from repro.rulers.base import Dimension
+from repro.rulers.suite import default_suite
+from repro.smt.params import IVY_BRIDGE
+from repro.smt.simulator import Simulator
+from repro.workloads.registry import all_profiles, get_profile
+from repro.workloads.profile import Suite
+
+FU_DIMS = (Dimension.FP_MUL, Dimension.FP_ADD, Dimension.FP_SHF,
+           Dimension.INT_ADD)
+
+
+@pytest.fixture(scope="module")
+def population():
+    simulator = Simulator(IVY_BRIDGE)
+    suite = default_suite(IVY_BRIDGE)
+    return characterize_many(simulator, all_profiles(), suite, mode="smt")
+
+
+class TestFunctionalUnitFindings:
+    def test_finding1_fu_contention_significant(self, population):
+        """Applications suffer real degradation from single-FU contention."""
+        max_sen = max(
+            char.sensitivity[d]
+            for char in population.values() for d in FU_DIMS
+        )
+        assert max_sen > 0.5
+
+    def test_finding2_sensitivity_varies_across_apps(self, population):
+        """Port-1 sensitivity spans near-zero (mcf) to large (namd)."""
+        sens = [population[n].sensitivity[Dimension.FP_ADD]
+                for n in population]
+        assert min(sens) < 0.08
+        assert max(sens) > 0.3
+
+    def test_finding4_per_unit_variability(self, population):
+        """calculix presses port 0 harder; lbm presses port 1 at least
+        as hard as port 0."""
+        cal = population["454.calculix"]
+        lbm = population["470.lbm"]
+        assert cal.contentiousness[Dimension.FP_MUL] > \
+            1.2 * cal.contentiousness[Dimension.FP_ADD]
+        assert lbm.contentiousness[Dimension.FP_ADD] >= \
+            0.9 * lbm.contentiousness[Dimension.FP_MUL]
+
+    def test_finding5_cloudsuite_like_spec_int(self, population):
+        def mean_fu_sen(suite):
+            vals = [
+                char.sensitivity[d]
+                for name, char in population.items()
+                if get_profile(name).suite is suite
+                for d in FU_DIMS
+            ]
+            return float(np.mean(vals))
+
+        cloud = mean_fu_sen(Suite.CLOUDSUITE)
+        spec_int = mean_fu_sen(Suite.SPEC_INT)
+        assert abs(cloud - spec_int) < 0.12
+
+
+class TestMemoryFindings:
+    def test_finding7_memory_more_monolithic(self, population):
+        """L1/L2 sensitivities correlate far more than FU dimensions do."""
+        names = sorted(population)
+        l1 = [population[n].sensitivity[Dimension.L1] for n in names]
+        l2 = [population[n].sensitivity[Dimension.L2] for n in names]
+        mul = [population[n].sensitivity[Dimension.FP_MUL] for n in names]
+        shf = [population[n].sensitivity[Dimension.FP_SHF] for n in names]
+        assert abs(pearson(l1, l2)) > abs(pearson(mul, shf))
+
+    def test_finding7_calculix_l1_reliance(self, population):
+        cal = population["454.calculix"]
+        gap = abs(cal.sensitivity[Dimension.L1]
+                  - cal.sensitivity[Dimension.L2])
+        assert gap < 0.15
+
+    def test_finding8_cloudsuite_l3_contentious(self, population):
+        cloud = [char.contentiousness[Dimension.L3]
+                 for n, char in population.items()
+                 if get_profile(n).suite is Suite.CLOUDSUITE]
+        spec = [char.contentiousness[Dimension.L3]
+                for n, char in population.items()
+                if get_profile(n).suite in (Suite.SPEC_INT, Suite.SPEC_FP)]
+        assert np.mean(cloud) > 1.2 * np.mean(spec)
+
+
+class TestDecouplingFindings:
+    def test_finding3_sen_con_not_interchangeable(self, population):
+        """Sensitivity and contentiousness must be measured separately:
+        within each dimension they are far from identical."""
+        names = sorted(population)
+        for dim in Dimension:
+            sen = np.array([population[n].sensitivity[dim] for n in names])
+            con = np.array([population[n].contentiousness[dim]
+                            for n in names])
+            assert np.abs(sen - con).mean() > 0.02
+
+    def test_finding9_low_cross_dimension_correlation(self, population):
+        report = correlation_report(population)
+        assert report.fraction_below(0.80) > 0.70
+        assert report.fraction_below(0.50) >= 0.35

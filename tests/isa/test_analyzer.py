@@ -1,0 +1,97 @@
+"""Unit tests for the kernel analyzer."""
+
+import pytest
+
+from repro.isa import analyze_kernel, parse_asm
+from repro.workloads.profile import Suite
+
+
+def _fu_kernel(mnemonic: str, registers, unroll=1000):
+    lines = ["loop:"]
+    lines += [f"  {mnemonic} {r}, {r}" for r in registers]
+    lines.append("  jmp loop")
+    return parse_asm("\n".join(lines), name=f"k-{mnemonic}", unroll=unroll)
+
+
+class TestUopMix:
+    def test_fp_mul_dominates(self):
+        kernel = _fu_kernel("mulps", [f"%xmm{i}" for i in range(8)])
+        profile = analyze_kernel(kernel)
+        assert profile.fp_mul > 0.999
+        assert profile.branch < 0.001
+        assert profile.suite is Suite.RULER
+
+    def test_branch_fraction_shrinks_with_unroll(self):
+        small = analyze_kernel(_fu_kernel("addl", ["%eax"], unroll=1))
+        large = analyze_kernel(_fu_kernel("addl", ["%eax"], unroll=1000))
+        assert large.branch < small.branch
+
+    def test_memory_kernel_mix(self):
+        kernel = parse_asm(
+            "loop:\n"
+            " addl %eax, %eax\n"
+            " movl [footprint=32768,addr=%eax], %ecx\n"
+            " addl %ecx, %ecx\n"
+            " movl %ecx, [footprint=32768,addr=%eax]\n"
+            " jmp loop",
+            unroll=500,
+        )
+        profile = analyze_kernel(kernel)
+        assert profile.load == pytest.approx(0.25, abs=0.01)
+        assert profile.store == pytest.approx(0.25, abs=0.01)
+        assert profile.int_alu == pytest.approx(0.5, abs=0.01)
+
+
+class TestDependencyFactor:
+    def test_rotated_registers_expose_ilp(self):
+        """Eight independent chains cover FP_MUL's 5-cycle latency."""
+        wide = analyze_kernel(_fu_kernel("mulps", [f"%xmm{i}" for i in range(8)]))
+        serial = analyze_kernel(_fu_kernel("mulps", ["%xmm0"] * 8))
+        assert serial.dependency_factor > wide.dependency_factor
+
+    def test_single_serial_chain_fully_serialized(self):
+        profile = analyze_kernel(_fu_kernel("mulps", ["%xmm0"]))
+        # One mulps per iteration on one register: 5 cycles per 1 instr,
+        # path length 5 -> factor ~1 (before the branch dilutes it).
+        assert profile.dependency_factor > 0.9
+
+    def test_int_chain_cheap(self):
+        profile = analyze_kernel(_fu_kernel("addl", ["%eax", "%ebx", "%ecx"]))
+        # Three independent latency-1 chains: dep bound 1/3 cycle per instr.
+        assert profile.dependency_factor == pytest.approx(1.0 / 3.0, abs=0.01)
+
+
+class TestStrata:
+    def test_single_footprint_single_stratum(self):
+        kernel = parse_asm(
+            "loop:\n movl [footprint=4096], %eax\n jmp loop", unroll=100
+        )
+        profile = analyze_kernel(kernel)
+        assert len(profile.strata) == 1
+        assert profile.strata[0].footprint_bytes == 4096
+        assert profile.strata[0].access_fraction == pytest.approx(1.0)
+
+    def test_multiple_footprints_split_by_count(self):
+        kernel = parse_asm(
+            "loop:\n"
+            " movl [footprint=1024], %eax\n"
+            " movl [footprint=8192], %ebx\n"
+            " movl [footprint=8192], %ecx\n"
+            " jmp loop",
+            unroll=10,
+        )
+        profile = analyze_kernel(kernel)
+        fractions = {s.footprint_bytes: s.access_fraction for s in profile.strata}
+        assert fractions[1024] == pytest.approx(1 / 3)
+        assert fractions[8192] == pytest.approx(2 / 3)
+
+    def test_compute_kernel_has_no_strata(self):
+        profile = analyze_kernel(_fu_kernel("addps", ["%xmm0"]))
+        assert profile.strata == ()
+        assert profile.accesses_per_instruction == 0.0
+
+    def test_memory_kernel_gets_stressor_mlp(self):
+        kernel = parse_asm(
+            "loop:\n movl [footprint=4096], %eax\n jmp loop", unroll=100
+        )
+        assert analyze_kernel(kernel).mlp == 8.0

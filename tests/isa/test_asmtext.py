@@ -1,0 +1,105 @@
+"""Unit tests for the assembly-text parser."""
+
+import pytest
+
+from repro.errors import AsmSyntaxError
+from repro.isa.asmtext import parse_asm
+from repro.isa.opcodes import UopKind
+
+FP_MUL_LISTING = """
+loop:
+    mulps  %xmm0, %xmm0
+    mulps  %xmm7, %xmm7
+    jmp loop
+"""
+
+
+class TestFunctionalUnitListings:
+    def test_figure9a_shape(self):
+        kernel = parse_asm(FP_MUL_LISTING, name="fp-mul")
+        assert kernel.name == "fp-mul"
+        assert [i.kind for i in kernel.body] == [UopKind.FP_MUL] * 2
+        # The jmp back-edge becomes the kernel's implicit loop branch.
+        assert kernel.count_kinds()[UopKind.BRANCH] == 1
+
+    @pytest.mark.parametrize("mnemonic,kind", [
+        ("mulps", UopKind.FP_MUL),
+        ("addps", UopKind.FP_ADD),
+        ("shufps", UopKind.FP_SHF),
+        ("addl", UopKind.INT_ALU),
+    ])
+    def test_mnemonics(self, mnemonic, kind):
+        kernel = parse_asm(f"loop:\n  {mnemonic} %xmm0, %xmm0\n  jmp loop")
+        assert kernel.body[0].kind is kind
+
+    def test_register_dependency_recorded(self):
+        kernel = parse_asm(FP_MUL_LISTING)
+        assert kernel.body[0].dest == "%xmm0"
+        assert "%xmm0" in kernel.body[0].sources
+
+    def test_comments_stripped(self):
+        kernel = parse_asm("loop:\n addl %eax, %eax # comment\n jmp loop")
+        assert len(kernel.body) == 1
+
+    def test_unroll_passthrough(self):
+        kernel = parse_asm(FP_MUL_LISTING, unroll=100)
+        assert kernel.unroll == 100
+
+
+class TestMemoryListings:
+    def test_load(self):
+        kernel = parse_asm(
+            "loop:\n movl [footprint=32768,pattern=random], %ecx\n jmp loop"
+        )
+        instr = kernel.body[0]
+        assert instr.kind is UopKind.LOAD
+        assert instr.mem.footprint_bytes == 32768
+        assert instr.mem.pattern == "random"
+        assert instr.dest == "%ecx"
+
+    def test_store(self):
+        kernel = parse_asm(
+            "loop:\n movl %ecx, [footprint=1024,pattern=stride,stride=64]\n"
+            " jmp loop"
+        )
+        instr = kernel.body[0]
+        assert instr.kind is UopKind.STORE
+        assert instr.mem.pattern == "stride"
+        assert instr.mem.stride_bytes == 64
+        assert "%ecx" in instr.sources
+
+    def test_address_register_dependency(self):
+        kernel = parse_asm(
+            "loop:\n movl [footprint=64,addr=%eax], %ecx\n jmp loop"
+        )
+        assert "%eax" in kernel.body[0].sources
+
+    def test_memory_both_sides_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("loop:\n movl [footprint=64], [footprint=64]\n jmp loop")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("loop:\n frobnicate %eax, %eax\n jmp loop")
+
+    def test_missing_backedge(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("addl %eax, %eax")
+
+    def test_jmp_to_unknown_label(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("loop:\n addl %eax, %eax\n jmp elsewhere")
+
+    def test_empty_listing(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("loop:\n addl %eax\n jmp loop")
+
+    def test_non_register_operand(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("loop:\n addl 42, %eax\n jmp loop")

@@ -1,0 +1,93 @@
+"""Unit tests for kernels and instructions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.kernel import Instruction, Kernel, MemRef
+from repro.isa.opcodes import UopKind
+
+
+def _mul(reg: str) -> Instruction:
+    return Instruction(kind=UopKind.FP_MUL, dest=reg, sources=(reg, reg))
+
+
+def _load(footprint=4096) -> Instruction:
+    return Instruction(kind=UopKind.LOAD, dest="%eax",
+                       mem=MemRef(footprint_bytes=footprint))
+
+
+class TestMemRef:
+    def test_defaults(self):
+        ref = MemRef(footprint_bytes=1024)
+        assert ref.pattern == "random"
+        assert ref.stride_bytes == 64
+
+    def test_nonpositive_footprint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemRef(footprint_bytes=0)
+
+    def test_nonpositive_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemRef(footprint_bytes=64, stride_bytes=0)
+
+
+class TestInstruction:
+    def test_memory_kind_requires_memref(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(kind=UopKind.LOAD, dest="%eax")
+
+    def test_compute_kind_rejects_memref(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(kind=UopKind.FP_ADD, dest="%xmm0",
+                        mem=MemRef(footprint_bytes=64))
+
+    def test_registers(self):
+        instr = _mul("%xmm3")
+        assert instr.registers == ("%xmm3", "%xmm3", "%xmm3")
+
+
+class TestKernel:
+    def test_iterate_appends_loop_branch(self):
+        kernel = Kernel(name="k", body=(_mul("%xmm0"),))
+        kinds = [i.kind for i in kernel.iterate()]
+        assert kinds == [UopKind.FP_MUL, UopKind.BRANCH]
+
+    def test_unroll_repeats_body(self):
+        kernel = Kernel(name="k", body=(_mul("%xmm0"),), unroll=10)
+        assert kernel.instructions_per_iteration == 11
+
+    def test_count_kinds(self):
+        kernel = Kernel(name="k", body=(_mul("%xmm0"), _load()), unroll=3)
+        counts = kernel.count_kinds()
+        assert counts[UopKind.FP_MUL] == 3
+        assert counts[UopKind.LOAD] == 3
+        assert counts[UopKind.BRANCH] == 1
+
+    def test_distinct_destinations(self):
+        kernel = Kernel(name="k", body=(
+            _mul("%xmm0"), _mul("%xmm1"), _mul("%xmm0"),
+        ))
+        assert kernel.distinct_destinations(UopKind.FP_MUL) == 2
+        assert kernel.distinct_destinations(UopKind.INT_ALU) == 0
+
+    def test_memory_references_deduplicated(self):
+        kernel = Kernel(name="k", body=(_load(64), _load(64), _load(128)))
+        refs = kernel.memory_references()
+        assert [r.footprint_bytes for r in refs] == [64, 128]
+
+    def test_with_unroll(self):
+        kernel = Kernel(name="k", body=(_mul("%xmm0"),))
+        assert kernel.with_unroll(5).unroll == 5
+        assert kernel.with_unroll(5).name == "k"
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(name="k", body=())
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(name="", body=(_mul("%xmm0"),))
+
+    def test_bad_unroll_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(name="k", body=(_mul("%xmm0"),), unroll=0)

@@ -1,0 +1,66 @@
+"""Unit tests for the uop kinds and port bindings (Figure 1 model)."""
+
+from repro.isa.opcodes import (
+    ALL_PORTS,
+    FUNCTIONAL_UNIT_PORTS,
+    MEMORY_PORTS,
+    PORT_BINDINGS,
+    UOP_LATENCY,
+    UopKind,
+    is_memory_kind,
+)
+
+
+class TestPortBindings:
+    def test_port_specific_operations(self):
+        """The paper's Figure 1: FP_MUL on 0, FP_ADD on 1, FP_SHF on 5."""
+        assert PORT_BINDINGS[UopKind.FP_MUL] == (0,)
+        assert PORT_BINDINGS[UopKind.FP_ADD] == (1,)
+        assert PORT_BINDINGS[UopKind.FP_SHF] == (5,)
+
+    def test_int_add_spans_fu_ports(self):
+        assert PORT_BINDINGS[UopKind.INT_ALU] == (0, 1, 5)
+
+    def test_memory_operations(self):
+        assert PORT_BINDINGS[UopKind.LOAD] == (2, 3)
+        assert PORT_BINDINGS[UopKind.STORE] == (4,)
+
+    def test_branches_on_port5(self):
+        assert PORT_BINDINGS[UopKind.BRANCH] == (5,)
+
+    def test_nop_occupies_no_port(self):
+        assert PORT_BINDINGS[UopKind.NOP] == ()
+
+    def test_every_kind_bound(self):
+        assert set(PORT_BINDINGS) == set(UopKind)
+
+    def test_bindings_within_known_ports(self):
+        for ports in PORT_BINDINGS.values():
+            assert all(p in ALL_PORTS for p in ports)
+
+    def test_fu_and_memory_ports_partition(self):
+        assert set(FUNCTIONAL_UNIT_PORTS) | set(MEMORY_PORTS) == set(ALL_PORTS)
+        assert not set(FUNCTIONAL_UNIT_PORTS) & set(MEMORY_PORTS)
+
+
+class TestLatencies:
+    def test_every_kind_has_latency(self):
+        assert set(UOP_LATENCY) == set(UopKind)
+
+    def test_fp_mul_slowest_compute(self):
+        assert UOP_LATENCY[UopKind.FP_MUL] > UOP_LATENCY[UopKind.FP_ADD]
+        assert UOP_LATENCY[UopKind.FP_ADD] > UOP_LATENCY[UopKind.INT_ALU]
+
+    def test_nonnegative(self):
+        assert all(lat >= 0 for lat in UOP_LATENCY.values())
+
+
+class TestIsMemoryKind:
+    def test_loads_and_stores(self):
+        assert is_memory_kind(UopKind.LOAD)
+        assert is_memory_kind(UopKind.STORE)
+
+    def test_compute_is_not_memory(self):
+        for kind in (UopKind.FP_MUL, UopKind.FP_ADD, UopKind.FP_SHF,
+                     UopKind.INT_ALU, UopKind.BRANCH, UopKind.NOP):
+            assert not is_memory_kind(kind)

@@ -1,0 +1,115 @@
+"""Property-based tests for the cache model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.cache import (
+    capture_fraction,
+    hit_fractions,
+    occupancy_pressures,
+    share_capacity,
+)
+from repro.workloads.profile import FootprintStratum
+
+CAPS = (32.0 * 1024, 256.0 * 1024, 8192.0 * 1024)
+
+footprints = st.floats(min_value=64.0, max_value=1e9, allow_nan=False)
+capacities = st.floats(min_value=64.0, max_value=1e8, allow_nan=False)
+exponents = st.floats(min_value=0.1, max_value=1.0)
+
+
+@st.composite
+def strata_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    sizes = [draw(footprints) for _ in range(n)]
+    weights = [draw(st.floats(min_value=0.05, max_value=1.0))
+               for _ in range(n)]
+    total = sum(weights)
+    strata = []
+    remaining = 1.0
+    for i, (size, weight) in enumerate(zip(sizes, weights)):
+        frac = weight / total if i < n - 1 else remaining
+        frac = min(max(frac, 1e-6), remaining)
+        strata.append(FootprintStratum(footprint_bytes=size,
+                                       access_fraction=frac))
+        remaining -= frac
+        if remaining <= 1e-9:
+            break
+    # Patch the last stratum so fractions sum exactly to 1.
+    drift = 1.0 - sum(s.access_fraction for s in strata)
+    last = strata[-1]
+    strata[-1] = FootprintStratum(
+        footprint_bytes=last.footprint_bytes,
+        access_fraction=last.access_fraction + drift,
+    )
+    return strata
+
+
+class TestCaptureProperties:
+    @given(footprints, capacities, exponents)
+    def test_bounded(self, footprint, capacity, exponent):
+        value = capture_fraction(footprint, capacity, exponent)
+        assert 0.0 <= value <= 1.0
+
+    @given(footprints, capacities, capacities, exponents)
+    def test_monotone_in_capacity(self, footprint, c1, c2, exponent):
+        lo, hi = sorted((c1, c2))
+        assert (capture_fraction(footprint, lo, exponent)
+                <= capture_fraction(footprint, hi, exponent) + 1e-12)
+
+
+class TestHitFractionProperties:
+    @settings(max_examples=60)
+    @given(strata_lists(), exponents)
+    def test_partition_of_unity(self, strata, exponent):
+        hits = hit_fractions(strata, CAPS, exponent)
+        total = hits.l1 + hits.l2 + hits.l3 + hits.memory
+        assert abs(total - 1.0) < 1e-9
+
+    @settings(max_examples=60)
+    @given(strata_lists(), exponents,
+           st.floats(min_value=0.05, max_value=1.0))
+    def test_l1_hits_shrink_with_capacity(self, strata, exponent, scale):
+        full = hit_fractions(strata, CAPS, exponent)
+        shrunk = hit_fractions(strata, (CAPS[0] * scale, CAPS[1], CAPS[2]),
+                               exponent)
+        assert shrunk.l1 <= full.l1 + 1e-9
+
+
+class TestPressureProperties:
+    @settings(max_examples=60)
+    @given(strata_lists(), st.floats(min_value=0.01, max_value=1.0),
+           exponents)
+    def test_nonnegative(self, strata, apki, exponent):
+        pressures = occupancy_pressures(strata, apki, CAPS, exponent)
+        assert all(p >= 0.0 for p in pressures)
+
+    @settings(max_examples=60)
+    @given(strata_lists(), st.floats(min_value=0.01, max_value=0.5),
+           exponents)
+    def test_linear_in_access_rate(self, strata, apki, exponent):
+        single = occupancy_pressures(strata, apki, CAPS, exponent)
+        double = occupancy_pressures(strata, 2 * apki, CAPS, exponent)
+        for s, d in zip(single, double):
+            assert abs(d - 2 * s) < 1e-9 * max(1.0, abs(d))
+
+
+class TestShareProperties:
+    # Pressures are access-rate x bytes, so anything physical is >= 1;
+    # zero means "does not touch the level". Denormal floats can
+    # underflow a share to exactly 0, which is out of scope.
+    @given(st.lists(st.one_of(st.just(0.0),
+                              st.floats(min_value=1e-3, max_value=1e6)),
+                    min_size=1, max_size=8),
+           st.floats(min_value=0.0, max_value=0.3))
+    def test_shares_within_capacity(self, pressures, floor):
+        shares = share_capacity(1000.0, pressures, floor)
+        assert all(0.0 < s <= 1000.0 for s in shares)
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6),
+                    min_size=2, max_size=8))
+    def test_higher_pressure_never_smaller_share(self, pressures):
+        shares = share_capacity(1000.0, pressures, 0.05)
+        order = sorted(range(len(pressures)), key=lambda i: pressures[i])
+        for a, b in zip(order, order[1:]):
+            assert shares[a] <= shares[b] + 1e-9

@@ -1,0 +1,119 @@
+"""Property-based tests on the job-queue packer's invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictor import SMiTe
+from repro.scheduler.jobqueue import (
+    BatchJob,
+    JobQueueScheduler,
+    round_robin_baseline,
+)
+from repro.scheduler.qos import QosTarget
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import SPEC_CPU2006, spec_odd
+
+_PREDICTOR = None
+
+
+def predictor():
+    global _PREDICTOR
+    if _PREDICTOR is None:
+        simulator = Simulator(SANDY_BRIDGE_EN)
+        _PREDICTOR = SMiTe(simulator).fit(spec_odd()[:6], mode="smt")
+        _PREDICTOR.fit_server(spec_odd()[:6], instance_counts=(2, 6))
+    return _PREDICTOR
+
+
+BATCH_NAMES = ("416.gamess", "444.namd", "470.lbm", "456.hmmer")
+
+job_lists = st.lists(
+    st.builds(
+        BatchJob,
+        profile=st.sampled_from(
+            [SPEC_CPU2006[n] for n in BATCH_NAMES]
+        ),
+        instances=st.integers(min_value=1, max_value=12),
+    ),
+    min_size=1,
+    max_size=5,
+)
+qos_levels = st.sampled_from([0.95, 0.85, 0.70, 0.55])
+fleet_sizes = st.integers(min_value=1, max_value=5)
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_fleet(n):
+    apps = cloudsuite_apps()
+    return [(apps[i % len(apps)], 6) for i in range(n)]
+
+
+class TestPackingInvariants:
+    @_settings
+    @given(job_lists, qos_levels, fleet_sizes)
+    def test_instances_conserved(self, jobs, level, n):
+        """Placed + backlogged instances equal the requested total."""
+        scheduler = JobQueueScheduler(predictor(), make_fleet(n),
+                                      QosTarget.average(level))
+        result = scheduler.pack(jobs)
+        requested = sum(j.instances for j in jobs)
+        backlogged = sum(j.instances for j in result.backlog)
+        assert result.placed_instances + backlogged == requested
+
+    @_settings
+    @given(job_lists, qos_levels, fleet_sizes)
+    def test_capacity_never_exceeded(self, jobs, level, n):
+        scheduler = JobQueueScheduler(predictor(), make_fleet(n),
+                                      QosTarget.average(level))
+        result = scheduler.pack(jobs)
+        for server in result.servers:
+            assert 0 <= server.resident_instances <= server.capacity
+
+    @_settings
+    @given(job_lists, qos_levels, fleet_sizes)
+    def test_every_loaded_server_within_budget(self, jobs, level, n):
+        scheduler = JobQueueScheduler(predictor(), make_fleet(n),
+                                      QosTarget.average(level))
+        result = scheduler.pack(jobs)
+        for server in result.servers:
+            if server.resident_instances == 0:
+                continue
+            predicted = predictor().predict_server(
+                server.latency_app.profile, server.resident_profile,
+                instances=server.resident_instances,
+            )
+            assert predicted <= (1.0 - level) + 1e-9
+
+    @_settings
+    @given(st.sampled_from([SPEC_CPU2006[n] for n in BATCH_NAMES]),
+           st.integers(min_value=1, max_value=12), fleet_sizes)
+    def test_blind_baseline_places_at_least_as_much(self, profile,
+                                                    instances, n):
+        """For a single job, round-robin (which ignores QoS) can never
+        place fewer instances than the QoS-constrained packer. (With
+        multiple jobs the orderings differ — the packer sorts largest
+        first — so the comparison is only meaningful per job.)"""
+        job = [BatchJob(profile, instances=instances)]
+        blind = round_robin_baseline(make_fleet(n), job)
+        steered = JobQueueScheduler(predictor(), make_fleet(n),
+                                    QosTarget.average(0.85)).pack(job)
+        assert blind.placed_instances >= steered.placed_instances
+
+    @_settings
+    @given(job_lists, qos_levels)
+    def test_assignments_reference_real_servers(self, jobs, level):
+        scheduler = JobQueueScheduler(predictor(), make_fleet(3),
+                                      QosTarget.average(level))
+        result = scheduler.pack(jobs)
+        for placement in result.placements:
+            for index, count in placement.assignments:
+                assert 0 <= index < 3
+                assert count > 0

@@ -1,0 +1,112 @@
+"""Property-based tests on the prediction models and TCO analysis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterize import Characterization
+from repro.core.model import SMiTeModel
+from repro.rulers.base import Dimension
+from repro.tco.analysis import ColocationTcoAnalysis
+from repro.tco.model import TcoModel
+from repro.tco.params import TcoParams
+
+DIMS = tuple(Dimension)
+
+
+def _char(name, sen, con):
+    return Characterization(
+        workload=name,
+        sensitivity={d: float(s) for d, s in zip(DIMS, sen)},
+        contentiousness={d: float(c) for d, c in zip(DIMS, con)},
+    )
+
+
+@st.composite
+def populations(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    coefs = rng.uniform(0.0, 1.0, 7)
+    intercept = float(rng.uniform(0.0, 0.05))
+    chars = [
+        _char(f"w{i}", rng.uniform(0, 0.7, 7), rng.uniform(0, 0.7, 7))
+        for i in range(10)
+    ]
+    triples = []
+    for victim in chars:
+        for aggressor in chars:
+            features = [victim.sensitivity[d] * aggressor.contentiousness[d]
+                        for d in DIMS]
+            triples.append((victim, aggressor,
+                            float(np.dot(coefs, features)) + intercept))
+    return chars, triples, coefs, intercept
+
+
+class TestSMiTeModelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(populations())
+    def test_recovers_nonnegative_generators(self, population):
+        chars, triples, coefs, intercept = population
+        model = SMiTeModel().fit(triples)
+        fitted = np.array([model.coefficients[d] for d in DIMS])
+        assert np.allclose(fitted, coefs, atol=1e-5)
+        assert abs(model.intercept - intercept) < 1e-5
+
+    @settings(max_examples=25, deadline=None)
+    @given(populations())
+    def test_in_sample_predictions_exact(self, population):
+        chars, triples, _, _ = population
+        model = SMiTeModel().fit(triples)
+        for victim, aggressor, deg in triples[:10]:
+            assert abs(model.predict(victim, aggressor) - deg) < 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(populations(), st.integers(min_value=0, max_value=6))
+    def test_monotone_in_aggressor_contentiousness(self, population, dim_idx):
+        """With nonnegative weights, a strictly more contentious
+        aggressor can never be predicted less harmful."""
+        chars, triples, _, _ = population
+        model = SMiTeModel().fit(triples)
+        victim = chars[0]
+        base = chars[1]
+        dim = DIMS[dim_idx]
+        worse = _char(
+            "worse",
+            [base.sensitivity[d] for d in DIMS],
+            [base.contentiousness[d] + (0.2 if d is dim else 0.0)
+             for d in DIMS],
+        )
+        assert model.predict(victim, worse) >= \
+            model.predict(victim, base) - 1e-9
+
+
+class TestTcoProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_savings_monotone_in_utilization(self, u1, u2):
+        """Monotone up to the within-step energy cost: servers are removed
+        in integer steps, while the co-located tier's energy rises
+        smoothly with utilization, so savings can dip by up to the
+        energy cost of one step's worth of utilization (~1e-4)."""
+        analysis = ColocationTcoAnalysis(model=TcoModel(params=TcoParams()))
+        lo, hi = sorted((u1, u2))
+        assert (analysis.savings_for(0.9, hi).saving_fraction
+                >= analysis.savings_for(0.9, lo).saving_fraction - 1e-4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_savings_bounded(self, improvement):
+        analysis = ColocationTcoAnalysis(model=TcoModel(params=TcoParams()))
+        saving = analysis.savings_for(0.9, improvement).saving_fraction
+        assert -0.05 <= saving < 0.5  # cannot exceed the batch tier's share
+
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_fleet_tco_nonnegative_and_monotone(self, n, utilization):
+        model = TcoModel(params=TcoParams())
+        cost = model.fleet_tco(n, utilization).total
+        assert cost >= 0.0
+        assert model.fleet_tco(n + 1, utilization).total >= cost

@@ -1,0 +1,49 @@
+"""Property-based tests on the queueing models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.mm1 import Mm1Queue
+
+
+@st.composite
+def stable_queues(draw):
+    mu = draw(st.floats(min_value=1.0, max_value=1e4))
+    rho = draw(st.floats(min_value=0.05, max_value=0.95))
+    return Mm1Queue(arrival_rate=mu * rho, service_rate=mu)
+
+
+percentiles = st.floats(min_value=0.01, max_value=0.999)
+degradations = st.floats(min_value=0.0, max_value=0.5)
+
+
+class TestMm1Properties:
+    @given(stable_queues(), percentiles)
+    def test_percentile_cdf_roundtrip(self, queue, p):
+        assert abs(queue.response_time_cdf(queue.percentile(p)) - p) < 1e-9
+
+    @given(stable_queues(), percentiles, percentiles)
+    def test_percentile_monotone(self, queue, p1, p2):
+        lo, hi = sorted((p1, p2))
+        assert queue.percentile(lo) <= queue.percentile(hi)
+
+    @given(stable_queues(), degradations)
+    def test_degradation_never_shrinks_latency(self, queue, deg):
+        if (1 - deg) * queue.service_rate <= queue.arrival_rate:
+            return  # unstable; covered by the error-path unit tests
+        assert queue.degraded_percentile(0.9, deg) >= queue.percentile(0.9)
+
+    @given(stable_queues(), percentiles,
+           st.floats(min_value=1.01, max_value=10.0))
+    def test_max_safe_degradation_tight(self, queue, p, slack):
+        budget = queue.percentile(p) * slack
+        deg = queue.max_safe_degradation(p, budget)
+        assert 0.0 <= deg < 1.0
+        if deg > 0:
+            achieved = queue.degraded_percentile(p, deg)
+            assert abs(achieved - budget) < 1e-6 * budget
+
+    @given(stable_queues())
+    def test_mean_below_p90(self, queue):
+        # For the exponential sojourn, the 90th percentile is ln(10) means.
+        assert queue.percentile(0.9) > queue.mean_response_time

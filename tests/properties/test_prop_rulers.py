@@ -1,0 +1,72 @@
+"""Property-based tests on Ruler tuning and the asm parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import analyze_kernel, parse_asm
+from repro.rulers.base import Dimension
+from repro.rulers.functional_unit import functional_unit_ruler
+from repro.rulers.memory import memory_ruler
+from repro.smt.params import IVY_BRIDGE
+from repro.smt.simulator import Simulator
+
+_SIM = Simulator(IVY_BRIDGE, jitter=0.0)
+
+intensities = st.floats(min_value=0.05, max_value=1.0)
+fu_dims = st.sampled_from([Dimension.FP_MUL, Dimension.FP_ADD,
+                           Dimension.FP_SHF, Dimension.INT_ADD])
+mem_dims = st.sampled_from([Dimension.L1, Dimension.L2, Dimension.L3])
+
+
+class TestFunctionalUnitRulerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(fu_dims, intensities)
+    def test_intensity_tracks_port_utilization(self, dim, intensity):
+        ruler = functional_unit_ruler(dim, intensity=intensity)
+        result = _SIM.run_solo(ruler.profile)
+        targets = ((dim.target_port,) if dim.target_port is not None
+                   else (0, 1, 5))
+        utilization = sum(result.port_utilization[p] for p in targets)
+        expected = intensity * len(targets)
+        assert abs(utilization - expected) < 0.05 * len(targets)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fu_dims, intensities, intensities)
+    def test_retune_composition(self, dim, first, second):
+        direct = functional_unit_ruler(dim, intensity=second)
+        via = functional_unit_ruler(dim, intensity=first).at_intensity(second)
+        assert via.profile.throttle_cpi == \
+            __import__("pytest").approx(direct.profile.throttle_cpi)
+
+
+class TestMemoryRulerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(mem_dims, intensities, intensities)
+    def test_footprint_monotone_in_intensity(self, dim, i1, i2):
+        lo, hi = sorted((i1, i2))
+        ruler_lo = memory_ruler(dim, IVY_BRIDGE, intensity=lo)
+        ruler_hi = memory_ruler(dim, IVY_BRIDGE, intensity=hi)
+        assert (ruler_lo.profile.total_footprint_bytes
+                <= ruler_hi.profile.total_footprint_bytes + 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(mem_dims, intensities)
+    def test_profile_always_valid(self, dim, intensity):
+        # WorkloadProfile validation runs in the constructor.
+        ruler = memory_ruler(dim, IVY_BRIDGE, intensity=intensity)
+        assert ruler.profile.accesses_per_instruction > 0
+
+
+class TestParserProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=64))
+    def test_unrolled_mix_independent_of_shape(self, regs, unroll):
+        """The FP_MUL fraction depends only on body-to-branch ratio."""
+        lines = ["loop:"]
+        lines += [f" mulps %xmm{i % 8}, %xmm{i % 8}" for i in range(regs)]
+        lines.append(" jmp loop")
+        kernel = parse_asm("\n".join(lines), unroll=unroll)
+        profile = analyze_kernel(kernel)
+        expected = (regs * unroll) / (regs * unroll + 1)
+        assert abs(profile.fp_mul - expected) < 1e-12

@@ -1,0 +1,82 @@
+"""Property-based tests on simulator invariants over random workloads."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.smt.params import IVY_BRIDGE
+from repro.smt.simulator import Simulator
+from repro.workloads.synthetic import random_profile
+
+_SIM = Simulator(IVY_BRIDGE, jitter=0.0)
+
+profile_seeds = st.integers(min_value=0, max_value=10_000)
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+
+
+class TestSoloInvariants:
+    @_settings
+    @given(profile_seeds)
+    def test_ipc_positive_and_bounded(self, seed):
+        profile = random_profile(seed)
+        result = _SIM.run_solo(profile)
+        assert 0.0 < result.ipc <= IVY_BRIDGE.issue_width
+
+    @_settings
+    @given(profile_seeds)
+    def test_port_utilization_bounded(self, seed):
+        result = _SIM.run_solo(random_profile(seed))
+        assert all(0.0 <= u <= 1.0 for u in result.port_utilization.values())
+
+    @_settings
+    @given(profile_seeds)
+    def test_breakdown_matches_cpi(self, seed):
+        # The damped fixed point leaves a small gap between the final
+        # (averaged) IPC and the last breakdown evaluation.
+        result = _SIM.run_solo(random_profile(seed))
+        throttle = result.profile.throttle_cpi
+        gap = abs(result.breakdown.total + throttle - result.cpi)
+        assert gap < 1e-3 * result.cpi
+
+
+class TestPairInvariants:
+    @_settings
+    @given(profile_seeds, profile_seeds)
+    def test_smt_never_speeds_up(self, seed_a, seed_b):
+        a, b = random_profile(seed_a), random_profile(seed_b + 20_000)
+        pair = _SIM.run_pair(a, b, "smt")
+        assert pair[0].ipc <= _SIM.run_solo(a).ipc + 1e-9
+        assert pair[1].ipc <= _SIM.run_solo(b).ipc + 1e-9
+
+    @_settings
+    @given(profile_seeds, profile_seeds)
+    def test_cmp_never_worse_than_smt(self, seed_a, seed_b):
+        a, b = random_profile(seed_a), random_profile(seed_b + 20_000)
+        smt = _SIM.run_pair(a, b, "smt")
+        cmp_ = _SIM.run_pair(a, b, "cmp")
+        assert cmp_[0].ipc >= smt[0].ipc - 1e-9
+
+    @_settings
+    @given(profile_seeds, profile_seeds)
+    def test_symmetry_under_swap(self, seed_a, seed_b):
+        # Port rebalancing updates contexts in listing order, so swapped
+        # placements converge to the fixed point along different paths;
+        # the residual asymmetry stays well under a percent.
+        a, b = random_profile(seed_a), random_profile(seed_b + 20_000)
+        ab = _SIM.run_pair(a, b, "smt")
+        ba = _SIM.run_pair(b, a, "smt")
+        assert abs(ab[0].ipc - ba[1].ipc) < 7.5e-3 * ab[0].ipc
+
+    @_settings
+    @given(profile_seeds)
+    def test_hit_fractions_partition(self, seed):
+        profile = random_profile(seed)
+        result = _SIM.run_solo(profile)
+        if profile.accesses_per_instruction > 0:
+            total = (result.hits.l1 + result.hits.l2 + result.hits.l3
+                     + result.hits.memory)
+            assert abs(total - 1.0) < 1e-9

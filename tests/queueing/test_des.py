@@ -1,0 +1,62 @@
+"""Tests for the discrete-event FCFS queue simulator."""
+
+import pytest
+
+from repro.errors import QueueingError
+from repro.queueing.des import simulate_fcfs_mm1
+from repro.queueing.mm1 import Mm1Queue
+
+
+class TestAgainstTheory:
+    """The DES must converge to the closed-form M/M/1 distribution."""
+
+    def test_mean_response_time(self):
+        run = simulate_fcfs_mm1(50.0, 100.0, jobs=300_000, seed=1)
+        theory = Mm1Queue(50.0, 100.0).mean_response_time
+        assert run.mean_response_time == pytest.approx(theory, rel=0.05)
+
+    def test_percentiles_match_equation6(self):
+        run = simulate_fcfs_mm1(50.0, 100.0, jobs=300_000, seed=2)
+        queue = Mm1Queue(50.0, 100.0)
+        for p in (0.5, 0.9, 0.95):
+            assert run.percentile(p) == pytest.approx(queue.percentile(p),
+                                                      rel=0.07)
+
+    def test_high_load_longer_tails(self):
+        light = simulate_fcfs_mm1(20.0, 100.0, jobs=100_000, seed=3)
+        heavy = simulate_fcfs_mm1(80.0, 100.0, jobs=100_000, seed=3)
+        assert heavy.percentile(0.9) > 3 * light.percentile(0.9)
+
+
+class TestMechanics:
+    def test_deterministic_for_seed(self):
+        a = simulate_fcfs_mm1(10.0, 20.0, jobs=1000, seed=5)
+        b = simulate_fcfs_mm1(10.0, 20.0, jobs=1000, seed=5)
+        assert a.sojourn_times.tolist() == b.sojourn_times.tolist()
+
+    def test_seed_matters(self):
+        a = simulate_fcfs_mm1(10.0, 20.0, jobs=1000, seed=5)
+        b = simulate_fcfs_mm1(10.0, 20.0, jobs=1000, seed=6)
+        assert a.sojourn_times.tolist() != b.sojourn_times.tolist()
+
+    def test_warmup_discarded(self):
+        run = simulate_fcfs_mm1(10.0, 20.0, jobs=1000, seed=1,
+                                warmup_fraction=0.2)
+        assert run.jobs == 800
+
+    def test_sojourn_at_least_service(self):
+        run = simulate_fcfs_mm1(10.0, 20.0, jobs=5000, seed=9)
+        assert (run.sojourn_times > 0).all()
+
+    def test_unstable_rejected(self):
+        with pytest.raises(QueueingError):
+            simulate_fcfs_mm1(100.0, 100.0, jobs=1000)
+
+    def test_too_few_jobs_rejected(self):
+        with pytest.raises(QueueingError):
+            simulate_fcfs_mm1(1.0, 2.0, jobs=10)
+
+    def test_percentile_bounds(self):
+        run = simulate_fcfs_mm1(10.0, 20.0, jobs=1000, seed=1)
+        with pytest.raises(QueueingError):
+            run.percentile(1.0)

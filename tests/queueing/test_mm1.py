@@ -1,0 +1,113 @@
+"""Tests for the analytic M/M/1 model (Equations 4-6)."""
+
+import math
+
+import pytest
+
+from repro.errors import QueueingError
+from repro.queueing.mm1 import Mm1Queue
+
+
+@pytest.fixture
+def queue():
+    return Mm1Queue(arrival_rate=50.0, service_rate=100.0)
+
+
+class TestConstruction:
+    def test_utilization(self, queue):
+        assert queue.utilization == pytest.approx(0.5)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(QueueingError):
+            Mm1Queue(arrival_rate=100.0, service_rate=100.0)
+        with pytest.raises(QueueingError):
+            Mm1Queue(arrival_rate=110.0, service_rate=100.0)
+
+    def test_nonpositive_arrival_rejected(self):
+        with pytest.raises(QueueingError):
+            Mm1Queue(arrival_rate=0.0, service_rate=10.0)
+
+
+class TestResponseTime:
+    def test_pdf_integrates_to_one(self, queue):
+        # Trapezoidal integration of Equation 4.
+        dt = 1e-4
+        total = sum(queue.response_time_pdf(i * dt) * dt for i in range(5000))
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_pdf_equation4_form(self, queue):
+        rate = queue.sojourn_rate
+        t = 0.013
+        assert queue.response_time_pdf(t) == pytest.approx(
+            rate * math.exp(-rate * t)
+        )
+
+    def test_cdf_inverse_of_percentile(self, queue):
+        for p in (0.5, 0.9, 0.99):
+            assert queue.response_time_cdf(queue.percentile(p)) == \
+                pytest.approx(p)
+
+    def test_mean_response_time(self, queue):
+        assert queue.mean_response_time == pytest.approx(1.0 / 50.0)
+
+    def test_percentile_monotone(self, queue):
+        assert queue.percentile(0.99) > queue.percentile(0.9) > \
+            queue.percentile(0.5)
+
+    def test_percentile_bounds(self, queue):
+        with pytest.raises(QueueingError):
+            queue.percentile(0.0)
+        with pytest.raises(QueueingError):
+            queue.percentile(1.0)
+
+    def test_negative_time(self, queue):
+        assert queue.response_time_pdf(-1.0) == 0.0
+        assert queue.response_time_cdf(-1.0) == 0.0
+
+
+class TestDegradation:
+    def test_equation5_rescales_mu(self, queue):
+        degraded = queue.degraded(0.2)
+        assert degraded.service_rate == pytest.approx(80.0)
+        assert degraded.arrival_rate == queue.arrival_rate
+
+    def test_equation6_closed_form(self, queue):
+        """t_p = -ln(1-p) / ((1-Deg) mu - lambda)."""
+        deg, p = 0.3, 0.9
+        expected = -math.log(1 - p) / ((1 - deg) * 100.0 - 50.0)
+        assert queue.degraded_percentile(p, deg) == pytest.approx(expected)
+
+    def test_degradation_superlinear_tail_growth(self, queue):
+        """The paper's Section IV-D point: tail latency grows faster than
+        the average degradation that causes it."""
+        t0 = queue.percentile(0.9)
+        growth_small = queue.degraded_percentile(0.9, 0.1) / t0
+        growth_large = queue.degraded_percentile(0.9, 0.4) / t0
+        assert growth_large / growth_small >= 3.0  # superlinear
+
+    def test_unstable_degradation_rejected(self, queue):
+        with pytest.raises(QueueingError):
+            queue.degraded(0.5)  # mu' = 50 = lambda
+
+    def test_small_negative_degradation_clamped(self, queue):
+        assert queue.degraded(-0.01).service_rate == queue.service_rate
+
+
+class TestMaxSafeDegradation:
+    def test_inverts_equation6(self, queue):
+        budget = queue.percentile(0.9) * 1.2
+        deg = queue.max_safe_degradation(0.9, budget)
+        assert queue.degraded_percentile(0.9, deg) == pytest.approx(budget)
+
+    def test_zero_when_budget_at_baseline(self, queue):
+        budget = queue.percentile(0.9)
+        assert queue.max_safe_degradation(0.9, budget) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_zero_when_budget_infeasible(self, queue):
+        assert queue.max_safe_degradation(0.9, 1e-9) == 0.0
+
+    def test_bad_budget_rejected(self, queue):
+        with pytest.raises(QueueingError):
+            queue.max_safe_degradation(0.9, 0.0)

@@ -1,0 +1,108 @@
+"""Tests for Dimension, Ruler intensity tuning, and RulerSuite."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rulers.base import Dimension, Ruler, RulerSuite
+from repro.rulers.functional_unit import functional_unit_ruler
+from repro.rulers.memory import memory_ruler
+from repro.smt.params import IVY_BRIDGE
+
+
+class TestDimension:
+    def test_seven_dimensions(self):
+        assert len(Dimension) == 7
+
+    def test_fu_memory_partition(self):
+        fu = {d for d in Dimension if d.is_functional_unit}
+        mem = {d for d in Dimension if d.is_memory}
+        assert fu == {Dimension.FP_MUL, Dimension.FP_ADD, Dimension.FP_SHF,
+                      Dimension.INT_ADD}
+        assert mem == {Dimension.L1, Dimension.L2, Dimension.L3}
+
+    def test_target_ports(self):
+        assert Dimension.FP_MUL.target_port == 0
+        assert Dimension.FP_ADD.target_port == 1
+        assert Dimension.FP_SHF.target_port == 5
+        assert Dimension.INT_ADD.target_port is None
+        assert Dimension.L1.target_port is None
+
+
+class TestFunctionalUnitIntensity:
+    def test_full_intensity_no_throttle(self):
+        ruler = functional_unit_ruler(Dimension.FP_MUL)
+        assert ruler.intensity == 1.0
+        assert ruler.profile.throttle_cpi == 0.0
+
+    def test_lower_intensity_adds_throttle(self):
+        ruler = functional_unit_ruler(Dimension.FP_MUL, intensity=0.5)
+        assert ruler.profile.throttle_cpi > 0.0
+
+    def test_intensity_sets_port_utilization(self, clean_sim):
+        """Duty-cycling must translate linearly into port occupancy."""
+        for intensity in (0.25, 0.5, 1.0):
+            ruler = functional_unit_ruler(Dimension.FP_ADD,
+                                          intensity=intensity)
+            result = clean_sim.run_solo(ruler.profile)
+            assert result.port_utilization[1] == pytest.approx(intensity,
+                                                               abs=0.02)
+
+    def test_retuning_roundtrip(self):
+        ruler = functional_unit_ruler(Dimension.FP_SHF)
+        half = ruler.at_intensity(0.5)
+        back = half.at_intensity(1.0)
+        assert back.profile.throttle_cpi == pytest.approx(0.0)
+
+    def test_bad_intensity_rejected(self):
+        ruler = functional_unit_ruler(Dimension.FP_MUL)
+        with pytest.raises(ConfigurationError):
+            ruler.at_intensity(0.0)
+        with pytest.raises(ConfigurationError):
+            ruler.at_intensity(1.5)
+
+
+class TestMemoryIntensity:
+    def test_intensity_scales_footprint(self):
+        full = memory_ruler(Dimension.L2, IVY_BRIDGE)
+        half = full.at_intensity(0.5)
+        assert (half.profile.total_footprint_bytes
+                < full.profile.total_footprint_bytes)
+
+    def test_footprint_floor(self):
+        """Working sets never shrink below the floor fraction (the Ruler's
+        issue rate must stay stable across the sweep)."""
+        full = memory_ruler(Dimension.L1, IVY_BRIDGE)
+        tiny = full.at_intensity(0.01)
+        ratio = (tiny.profile.total_footprint_bytes
+                 / full.profile.total_footprint_bytes)
+        assert ratio >= Ruler.MEMORY_FOOTPRINT_FLOOR - 0.01
+
+    def test_retuning_roundtrip(self):
+        full = memory_ruler(Dimension.L3, IVY_BRIDGE)
+        back = full.at_intensity(0.4).at_intensity(1.0)
+        assert back.profile.total_footprint_bytes == pytest.approx(
+            full.profile.total_footprint_bytes
+        )
+
+    def test_same_intensity_is_identity(self):
+        ruler = memory_ruler(Dimension.L1, IVY_BRIDGE)
+        assert ruler.at_intensity(1.0) is ruler
+
+
+class TestRulerSuite:
+    def test_mismatched_dimension_rejected(self):
+        ruler = functional_unit_ruler(Dimension.FP_MUL)
+        with pytest.raises(ConfigurationError):
+            RulerSuite({Dimension.FP_ADD: ruler})
+
+    def test_iteration_in_canonical_order(self, ivy_rulers):
+        assert list(ivy_rulers) == list(Dimension)
+
+    def test_len_and_contains(self, ivy_rulers):
+        assert len(ivy_rulers) == 7
+        assert Dimension.L3 in ivy_rulers
+
+    def test_rulers_property(self, ivy_rulers):
+        assert len(ivy_rulers.rulers) == 7
+        assert all(r.dimension is d
+                   for d, r in zip(ivy_rulers.dimensions, ivy_rulers.rulers))

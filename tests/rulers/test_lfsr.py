@@ -1,0 +1,69 @@
+"""Tests for the Figure 9(e) LFSR."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rulers.lfsr import MASK, Lfsr
+
+
+class TestStep:
+    def test_mask_matches_paper(self):
+        assert MASK == 0xD0000001
+
+    def test_known_transition_even(self):
+        # Even state: shift only, no feedback.
+        lfsr = Lfsr(seed=0b1000)
+        assert lfsr.next() == 0b0100
+
+    def test_known_transition_odd(self):
+        # Odd state: shift then XOR the mask.
+        lfsr = Lfsr(seed=0b0001)
+        assert lfsr.next() == MASK
+
+    def test_state_stays_32bit(self):
+        lfsr = Lfsr(seed=0xFFFFFFFF)
+        for _ in range(1000):
+            assert 0 < lfsr.next() <= 0xFFFFFFFF
+
+    def test_never_reaches_zero(self):
+        lfsr = Lfsr(seed=123456)
+        assert all(lfsr.next() != 0 for _ in range(10_000))
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(seed=0)
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(seed=1 << 32)
+
+
+class TestStatisticalFitness:
+    def test_long_period(self):
+        """A cache stressor needs far more draws than lines it touches."""
+        assert Lfsr(seed=1).period_lower_bound(limit=100_000) == 100_000
+
+    def test_addresses_cover_footprint(self):
+        lfsr = Lfsr(seed=7)
+        footprint = 4096
+        lines = {addr // 64 for addr in lfsr.addresses(footprint, 4000)}
+        assert len(lines) > 0.85 * (footprint // 64)
+
+    def test_addresses_within_footprint(self):
+        lfsr = Lfsr(seed=3)
+        assert all(0 <= a < 1024 for a in lfsr.addresses(1024, 1000))
+
+    def test_roughly_uniform(self):
+        lfsr = Lfsr(seed=11)
+        halves = [0, 0]
+        for addr in lfsr.addresses(8192, 20_000):
+            halves[addr // 4096] += 1
+        assert abs(halves[0] - halves[1]) < 0.1 * sum(halves)
+
+    def test_non_power_of_two_footprint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(Lfsr().addresses(1000, 1))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(Lfsr().addresses(1024, -1))

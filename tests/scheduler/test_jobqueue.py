@@ -1,0 +1,146 @@
+"""Tests for the prediction-steered job-queue scheduler extension."""
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.errors import SchedulingError
+from repro.scheduler.jobqueue import (
+    BatchJob,
+    JobQueueScheduler,
+    round_robin_baseline,
+)
+from repro.scheduler.qos import QosTarget
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import SPEC_CPU2006, spec_odd
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    simulator = Simulator(SANDY_BRIDGE_EN)
+    pred = SMiTe(simulator).fit(spec_odd()[:8], mode="smt")
+    pred.fit_server(spec_odd()[:8], instance_counts=(1, 3, 6))
+    return pred
+
+
+def fleet(n=6):
+    apps = cloudsuite_apps()
+    return [(apps[i % len(apps)], 6) for i in range(n)]
+
+
+GENTLE = SPEC_CPU2006["416.gamess"]
+HEAVY = SPEC_CPU2006["470.lbm"]
+
+
+class TestBatchJob:
+    def test_positive_instances_required(self):
+        with pytest.raises(SchedulingError):
+            BatchJob(profile=GENTLE, instances=0)
+
+
+class TestScheduler:
+    def test_places_within_qos_budget(self, predictor):
+        scheduler = JobQueueScheduler(predictor, fleet(),
+                                      QosTarget.average(0.80))
+        result = scheduler.pack([BatchJob(GENTLE, instances=4)])
+        assert result.placed_instances == 4
+        # Every loaded server's total placement must stay within budget.
+        for server in result.servers:
+            if server.resident_instances:
+                predicted = predictor.predict_server(
+                    server.latency_app.profile, server.resident_profile,
+                    instances=server.resident_instances,
+                )
+                assert predicted <= 0.20 + 1e-9
+
+    def test_impossible_target_backlogs_everything(self, predictor):
+        scheduler = JobQueueScheduler(predictor, fleet(),
+                                      QosTarget.average(0.999))
+        result = scheduler.pack([BatchJob(HEAVY, instances=3)])
+        assert result.placed_instances == 0
+        assert result.backlog and result.backlog[0].instances == 3
+
+    def test_partial_placement_backlogs_shortfall(self, predictor):
+        scheduler = JobQueueScheduler(predictor, fleet(2),
+                                      QosTarget.average(0.50))
+        result = scheduler.pack([BatchJob(GENTLE, instances=40)])
+        assert 0 < result.placed_instances <= 12
+        assert sum(j.instances for j in result.backlog) == \
+            40 - result.placed_instances
+
+    def test_one_batch_profile_per_server(self, predictor):
+        scheduler = JobQueueScheduler(predictor, fleet(1),
+                                      QosTarget.average(0.50))
+        first = scheduler.place(BatchJob(GENTLE, instances=2))
+        assert first.placed_instances == 2
+        second = scheduler.place(BatchJob(HEAVY, instances=2))
+        assert second.placed_instances == 0  # server committed to gamess
+
+    def test_capacity_respected(self, predictor):
+        scheduler = JobQueueScheduler(predictor, fleet(3),
+                                      QosTarget.average(0.50))
+        result = scheduler.pack([BatchJob(GENTLE, instances=100)])
+        for server in result.servers:
+            assert server.resident_instances <= server.capacity
+
+    def test_looser_target_places_more_single_job(self, predictor):
+        """Per job, a looser budget can only admit more instances. (The
+        property does not hold for multi-job streams: a heavy job that a
+        loose budget lets spread commits servers and can starve later
+        jobs — the single-batch-profile-per-server constraint.)"""
+        jobs = [BatchJob(HEAVY, instances=12)]
+        tight = JobQueueScheduler(predictor, fleet(),
+                                  QosTarget.average(0.92)).pack(jobs)
+        loose = JobQueueScheduler(predictor, fleet(),
+                                  QosTarget.average(0.70)).pack(jobs)
+        assert loose.placed_instances >= tight.placed_instances
+
+    def test_best_fit_prefers_snug_servers(self, predictor):
+        """A small job lands on the server with the least headroom."""
+        scheduler = JobQueueScheduler(predictor, fleet(2),
+                                      QosTarget.average(0.60))
+        # Pre-load server 0 so it has less headroom than server 1.
+        scheduler.servers[0].resident_profile = GENTLE
+        scheduler.servers[0].resident_instances = 4
+        placement = scheduler.place(BatchJob(GENTLE, instances=1))
+        assert placement.assignments[0][0] == 0
+
+    def test_unfitted_predictor_rejected(self):
+        with pytest.raises(SchedulingError):
+            JobQueueScheduler(SMiTe(Simulator(SANDY_BRIDGE_EN)), fleet(),
+                              QosTarget.average(0.9))
+
+    def test_empty_fleet_rejected(self, predictor):
+        with pytest.raises(SchedulingError):
+            JobQueueScheduler(predictor, [], QosTarget.average(0.9))
+
+
+class TestRoundRobinBaseline:
+    def test_fills_in_order(self):
+        result = round_robin_baseline(fleet(2), [BatchJob(HEAVY, 8)])
+        assert result.placed_instances == 8
+        assert result.servers[0].resident_instances == 6
+        assert result.servers[1].resident_instances == 2
+
+    def test_blind_baseline_violates_where_smite_would_not(self, predictor):
+        """The headline comparison: same job stream, the blind packer
+        overloads servers the predictor would have protected."""
+        target = QosTarget.average(0.85)
+        jobs = [BatchJob(HEAVY, instances=6)]
+        blind = round_robin_baseline(fleet(1), jobs)
+        steered = JobQueueScheduler(predictor, fleet(1), target).pack(jobs)
+        simulator = predictor.simulator
+        server = blind.servers[0]
+        actual = simulator.measure_server_degradation(
+            server.latency_app.profile, HEAVY,
+            instances=server.resident_instances, mode="smt",
+        )
+        assert not target.is_met(actual)  # blind placement violates
+        for server in steered.servers:
+            if server.resident_instances:
+                actual = simulator.measure_server_degradation(
+                    server.latency_app.profile, server.resident_profile,
+                    instances=server.resident_instances, mode="smt",
+                )
+                assert actual <= 0.15 + 0.05  # small prediction slack

@@ -1,0 +1,114 @@
+"""Tests for the co-location policies."""
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.errors import SchedulingError
+from repro.scheduler.policies import (
+    NoColocationPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    SMiTePolicy,
+)
+from repro.scheduler.qos import QosTarget
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.spec import SPEC_CPU2006, spec_odd
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator(SANDY_BRIDGE_EN)
+
+
+@pytest.fixture(scope="module")
+def predictor(sim):
+    return SMiTe(sim).fit(spec_odd()[:8], mode="smt")
+
+
+class TestNoColocation:
+    def test_always_zero(self, cloud_apps):
+        policy = NoColocationPolicy()
+        assert policy.decide(cloud_apps[0], SPEC_CPU2006["456.hmmer"],
+                             QosTarget.average(0.5), max_instances=6) == 0
+
+
+class TestSMiTePolicy:
+    def test_requires_fitted_predictor(self, sim):
+        with pytest.raises(SchedulingError):
+            SMiTePolicy(SMiTe(sim))
+
+    def test_loose_target_admits_more(self, predictor, cloud_apps):
+        policy = SMiTePolicy(predictor)
+        batch = SPEC_CPU2006["453.povray"]
+        tight = policy.decide(cloud_apps[0], batch, QosTarget.average(0.98),
+                              max_instances=6)
+        loose = policy.decide(cloud_apps[0], batch, QosTarget.average(0.60),
+                              max_instances=6)
+        assert loose >= tight
+        assert loose == 6  # a 40% budget admits everything
+
+    def test_decision_within_bounds(self, predictor, cloud_apps):
+        policy = SMiTePolicy(predictor)
+        for name in ("470.lbm", "444.namd", "416.gamess"):
+            k = policy.decide(cloud_apps[0], SPEC_CPU2006[name],
+                              QosTarget.average(0.9), max_instances=6)
+            assert 0 <= k <= 6
+
+    def test_prediction_respects_budget(self, predictor, cloud_apps):
+        policy = SMiTePolicy(predictor)
+        target = QosTarget.average(0.9)
+        batch = SPEC_CPU2006["444.namd"]
+        k = policy.decide(cloud_apps[0], batch, target, max_instances=6)
+        if k > 0:
+            predicted = predictor.predict_server(cloud_apps[0].profile,
+                                                 batch, instances=k)
+            assert predicted <= target.degradation_budget() + 1e-9
+
+
+class TestOraclePolicy:
+    def test_oracle_decision_never_violates(self, sim, cloud_apps):
+        policy = OraclePolicy(sim)
+        target = QosTarget.average(0.9)
+        batch = SPEC_CPU2006["433.milc"]
+        k = policy.decide(cloud_apps[0], batch, target, max_instances=6)
+        if k > 0:
+            actual = sim.measure_server_degradation(
+                cloud_apps[0].profile, batch, instances=k, mode="smt")
+            assert target.is_met(actual)
+
+    def test_oracle_admits_max_safe(self, sim, cloud_apps):
+        policy = OraclePolicy(sim)
+        target = QosTarget.average(0.9)
+        batch = SPEC_CPU2006["433.milc"]
+        k = policy.decide(cloud_apps[0], batch, target, max_instances=6)
+        if k < 6:
+            worse = sim.measure_server_degradation(
+                cloud_apps[0].profile, batch, instances=k + 1, mode="smt")
+            assert not target.is_met(worse)
+
+
+class TestRandomPolicy:
+    def test_replays_counts_in_order(self, cloud_apps):
+        policy = RandomPolicy({0: 2, 1: 0, 2: 5})
+        batch = SPEC_CPU2006["456.hmmer"]
+        target = QosTarget.average(0.9)
+        ks = [policy.decide(cloud_apps[0], batch, target, max_instances=6)
+              for _ in range(3)]
+        assert ks == [2, 0, 5]
+
+    def test_reset(self, cloud_apps):
+        policy = RandomPolicy({0: 3})
+        batch = SPEC_CPU2006["456.hmmer"]
+        target = QosTarget.average(0.9)
+        assert policy.decide(cloud_apps[0], batch, target,
+                             max_instances=6) == 3
+        policy.reset()
+        assert policy.decide(cloud_apps[0], batch, target,
+                             max_instances=6) == 3
+
+    def test_overflow_rejected(self, cloud_apps):
+        policy = RandomPolicy({0: 9})
+        with pytest.raises(SchedulingError):
+            policy.decide(cloud_apps[0], SPEC_CPU2006["456.hmmer"],
+                          QosTarget.average(0.9), max_instances=6)

@@ -1,0 +1,88 @@
+"""Integration-grade tests for the scale-out study driver (small cluster)."""
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.scheduler.qos import QosTarget
+from repro.scheduler.scaleout import ScaleOutStudy, fit_tail_model
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+
+@pytest.fixture(scope="module")
+def study():
+    simulator = Simulator(SANDY_BRIDGE_EN)
+    predictor = SMiTe(simulator).fit(spec_odd()[:8], mode="smt")
+    predictor.fit_server(spec_odd()[:8], instance_counts=(1, 3, 6))
+    return ScaleOutStudy(
+        simulator=simulator,
+        predictor=predictor,
+        latency_apps=cloudsuite_apps()[:2],
+        batch_pool=spec_even()[:6],
+        servers_per_app=25,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(study):
+    return study.run([QosTarget.average(0.90), QosTarget.average(0.80)])
+
+
+class TestStudyShape:
+    def test_all_policies_at_all_targets(self, results):
+        cells = {(r.policy, r.target.level) for r in results}
+        assert cells == {
+            (p, t) for p in ("baseline", "smite", "oracle", "random")
+            for t in (0.90, 0.80)
+        }
+
+    def test_baseline_never_colocates(self, results):
+        for r in results:
+            if r.policy == "baseline":
+                assert r.utilization_improvement == 0.0
+
+    def test_random_matches_smite_gain(self, results):
+        for level in (0.90, 0.80):
+            by_policy = {r.policy: r for r in results
+                         if r.target.level == level}
+            assert by_policy["random"].utilization_improvement == \
+                pytest.approx(by_policy["smite"].utilization_improvement)
+
+    def test_looser_target_more_utilization(self, results):
+        smite = {r.target.level: r.utilization_improvement
+                 for r in results if r.policy == "smite"}
+        assert smite[0.80] >= smite[0.90]
+
+    def test_oracle_never_violates(self, results):
+        for r in results:
+            if r.policy == "oracle":
+                assert r.violations.violated_servers == 0
+
+    def test_random_violates_more_than_smite(self, results):
+        for level in (0.90, 0.80):
+            by_policy = {r.policy: r for r in results
+                         if r.target.level == level}
+            assert (by_policy["random"].violations.rate
+                    >= by_policy["smite"].violations.rate)
+
+
+class TestTailModelFitting:
+    def test_fit_tail_model(self, study):
+        app = cloudsuite_apps()[0]
+        model = fit_tail_model(study.simulator, study.predictor, app,
+                               des_jobs=20_000, sweep_points=3)
+        assert model.is_fitted
+        # The recovered queue should resemble the app's configuration.
+        assert model.queue.arrival_rate == pytest.approx(
+            app.arrival_rate_hz, rel=0.3
+        )
+        assert model.queue.utilization < 0.7
+
+    def test_tail_models_cached(self, study):
+        first = study.tail_models()
+        second = study.tail_models()
+        assert first is second
+        assert set(first) == {"web-search", "data-caching"}

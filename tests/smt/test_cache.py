@@ -1,0 +1,129 @@
+"""Tests for the cache capture/sharing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.cache import (
+    HitFractions,
+    capture_fraction,
+    hit_fractions,
+    occupancy_pressures,
+    share_capacity,
+)
+from repro.workloads.profile import FootprintStratum
+
+KB = 1024
+CAPS = (32.0 * KB, 256.0 * KB, 8192.0 * KB)
+
+
+def stratum(footprint, fraction=1.0):
+    return FootprintStratum(footprint_bytes=footprint,
+                            access_fraction=fraction)
+
+
+class TestCaptureFraction:
+    def test_fits_fully(self):
+        assert capture_fraction(1024, 2048, 0.65) == 1.0
+
+    def test_partial(self):
+        value = capture_fraction(2048, 1024, 0.65)
+        assert 0.0 < value < 1.0
+        assert value == pytest.approx(0.5 ** 0.65)
+
+    def test_monotone_in_capacity(self):
+        values = [capture_fraction(8192, c, 0.65) for c in (512, 1024, 4096)]
+        assert values == sorted(values)
+
+    def test_zero_capacity(self):
+        assert capture_fraction(1024, 0, 0.65) == 0.0
+
+    def test_bad_footprint(self):
+        with pytest.raises(ConfigurationError):
+            capture_fraction(0, 1024, 0.65)
+
+
+class TestHitFractions:
+    def test_fractions_sum_to_one(self):
+        hits = hit_fractions([stratum(64 * KB, 0.5), stratum(1024 * KB, 0.5)],
+                             CAPS, 0.65)
+        total = hits.l1 + hits.l2 + hits.l3 + hits.memory
+        assert total == pytest.approx(1.0)
+
+    def test_tiny_footprint_all_l1(self):
+        hits = hit_fractions([stratum(4 * KB)], CAPS, 0.65)
+        assert hits.l1 == pytest.approx(1.0)
+        assert hits.memory == 0.0
+
+    def test_huge_footprint_reaches_memory(self):
+        hits = hit_fractions([stratum(512 * 1024 * KB)], CAPS, 0.65)
+        assert hits.memory > 0.5
+
+    def test_no_strata(self):
+        hits = hit_fractions([], CAPS, 0.65)
+        assert hits == HitFractions(0.0, 0.0, 0.0, 0.0)
+
+    def test_smaller_l1_pushes_hits_down(self):
+        full = hit_fractions([stratum(24 * KB)], CAPS, 0.65)
+        shared = hit_fractions([stratum(24 * KB)],
+                               (12.0 * KB, CAPS[1], CAPS[2]), 0.65)
+        assert shared.l1 < full.l1
+        assert shared.l2 > full.l2
+
+    def test_non_monotone_capacities_clamped(self):
+        """An L2 allocation below L1's cannot reduce cumulative capture."""
+        hits = hit_fractions([stratum(64 * KB)],
+                             (32.0 * KB, 16.0 * KB, CAPS[2]), 0.65)
+        assert hits.l2 >= 0.0
+        assert hits.l1 + hits.l2 + hits.l3 + hits.memory == pytest.approx(1.0)
+
+    def test_beyond_helpers(self):
+        hits = HitFractions(l1=0.6, l2=0.2, l3=0.1, memory=0.1)
+        assert hits.beyond_l1 == pytest.approx(0.4)
+        assert hits.beyond_l2 == pytest.approx(0.2)
+
+
+class TestOccupancyPressures:
+    def test_no_accesses_no_pressure(self):
+        assert occupancy_pressures([], 0.0, CAPS, 0.65) == (0.0, 0.0, 0.0)
+
+    def test_l1_resident_pressures_only_l1(self):
+        p1, p2, p3 = occupancy_pressures([stratum(16 * KB)], 0.4, CAPS, 0.65)
+        assert p1 > 0.0
+        assert p2 == pytest.approx(0.0)
+        assert p3 == pytest.approx(0.0)
+
+    def test_pressure_scales_with_rate(self):
+        low = occupancy_pressures([stratum(16 * KB)], 0.2, CAPS, 0.65)
+        high = occupancy_pressures([stratum(16 * KB)], 0.4, CAPS, 0.65)
+        assert high[0] == pytest.approx(2 * low[0])
+
+    def test_pressure_monotone_in_footprint_at_target_level(self):
+        small = occupancy_pressures([stratum(8 * KB)], 0.4, CAPS, 0.65)
+        large = occupancy_pressures([stratum(24 * KB)], 0.4, CAPS, 0.65)
+        assert large[0] > small[0]
+
+    def test_big_stratum_pressures_l3(self):
+        _, _, p3 = occupancy_pressures([stratum(4096 * KB)], 0.4, CAPS, 0.65)
+        assert p3 > 0.0
+
+
+class TestShareCapacity:
+    def test_single_context_keeps_all(self):
+        assert share_capacity(1000.0, [5.0], 0.05) == [1000.0]
+
+    def test_proportional_split(self):
+        shares = share_capacity(1000.0, [3.0, 1.0], 0.05)
+        assert shares == pytest.approx([750.0, 250.0])
+
+    def test_zero_pressure_contexts_unaffected(self):
+        shares = share_capacity(1000.0, [0.0, 2.0, 2.0], 0.05)
+        assert shares[0] == 1000.0  # never touches the level
+        assert shares[1] == shares[2] == pytest.approx(500.0)
+
+    def test_floor_protects_weak_streams(self):
+        shares = share_capacity(1000.0, [99.0, 1.0], 0.10)
+        assert shares[1] == pytest.approx(100.0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            share_capacity(0.0, [1.0], 0.05)

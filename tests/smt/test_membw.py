@@ -1,0 +1,47 @@
+"""Tests for the DRAM bandwidth model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.membw import aggregate_traffic, dram_latency_factor
+
+
+class TestAggregateTraffic:
+    def test_sums(self):
+        assert aggregate_traffic([1.0, 2.0, 3.5]) == pytest.approx(6.5)
+
+    def test_empty(self):
+        assert aggregate_traffic([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_traffic([1.0, -0.5])
+
+
+class TestLatencyFactor:
+    def test_idle_channel_no_inflation(self):
+        assert dram_latency_factor(0.0, 10.0, 0.35, 0.95) == 1.0
+
+    def test_monotone_in_traffic(self):
+        values = [dram_latency_factor(t, 10.0, 0.35, 0.95)
+                  for t in (1.0, 5.0, 9.0)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_cap_keeps_factor_finite(self):
+        over = dram_latency_factor(100.0, 10.0, 0.35, 0.95)
+        at_cap = dram_latency_factor(9.5, 10.0, 0.35, 0.95)
+        assert over == pytest.approx(at_cap)
+
+    def test_beta_scales(self):
+        soft = dram_latency_factor(5.0, 10.0, 0.1, 0.95)
+        hard = dram_latency_factor(5.0, 10.0, 1.0, 0.95)
+        assert hard > soft
+
+    def test_bad_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dram_latency_factor(1.0, 0.0, 0.35, 0.95)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dram_latency_factor(-1.0, 10.0, 0.35, 0.95)

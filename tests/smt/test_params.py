@@ -1,0 +1,73 @@
+"""Tests for machine specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.params import IVY_BRIDGE, MACHINES, SANDY_BRIDGE_EN, CacheSpec
+
+
+class TestTableOne:
+    """The two machines of the paper's Table I."""
+
+    def test_sandy_bridge_en(self):
+        m = SANDY_BRIDGE_EN
+        assert "E5-2420" in m.processor
+        assert m.microarchitecture == "Sandy Bridge-EN"
+        assert m.kernel_version == "3.8.0"
+        assert m.frequency_ghz == pytest.approx(1.9)
+        assert m.cores == 6
+        assert m.total_contexts == 12
+
+    def test_ivy_bridge(self):
+        m = IVY_BRIDGE
+        assert "i7-3770" in m.processor
+        assert m.frequency_ghz == pytest.approx(3.4)
+        assert m.cores == 4
+        assert m.total_contexts == 8
+
+    def test_registry(self):
+        assert MACHINES["sandy-bridge-en"] is SANDY_BRIDGE_EN
+        assert MACHINES["ivy-bridge"] is IVY_BRIDGE
+
+    def test_cache_hierarchy_ordering(self):
+        for m in MACHINES.values():
+            assert m.l1d.size_bytes < m.l2.size_bytes < m.l3.size_bytes
+
+
+class TestValidation:
+    def test_cache_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            IVY_BRIDGE.with_knobs()  # no-op is fine
+            # shrinking L3 below L2 must fail
+            import dataclasses
+            dataclasses.replace(
+                IVY_BRIDGE, l3=CacheSpec(size_bytes=1024, latency_cycles=1.0)
+            )
+
+    def test_bad_cache_spec(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(size_bytes=0, latency_cycles=1.0)
+        with pytest.raises(ConfigurationError):
+            CacheSpec(size_bytes=64, latency_cycles=-1.0)
+
+    def test_knob_bounds(self):
+        with pytest.raises(ConfigurationError):
+            IVY_BRIDGE.with_knobs(contention_rho_cap=1.5)
+        with pytest.raises(ConfigurationError):
+            IVY_BRIDGE.with_knobs(capture_exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            IVY_BRIDGE.with_knobs(capacity_share_floor=0.7)
+
+
+class TestDerived:
+    def test_dram_bytes_per_cycle(self):
+        assert IVY_BRIDGE.dram_bytes_per_cycle == pytest.approx(25.6 / 3.4)
+
+    def test_with_knobs_returns_copy(self):
+        tweaked = IVY_BRIDGE.with_knobs(port_contention_kappa=0.1)
+        assert tweaked.port_contention_kappa == 0.1
+        assert IVY_BRIDGE.port_contention_kappa != 0.1
+
+    def test_cache_levels_order(self):
+        l1, l2, l3 = IVY_BRIDGE.cache_levels()
+        assert (l1, l2, l3) == (IVY_BRIDGE.l1d, IVY_BRIDGE.l2, IVY_BRIDGE.l3)

@@ -1,0 +1,97 @@
+"""Tests for the simulated PMU."""
+
+import pytest
+
+from repro.smt.pmu import (
+    PERFECT_PMU,
+    PMU_COUNTERS,
+    PORT_COUNTERS,
+    PmuDefectModel,
+    read_pmu,
+)
+from repro.workloads.spec import SPEC_CPU2006
+
+
+class TestCounterSet:
+    def test_eleven_model_counters(self):
+        """The paper's PMU model uses exactly 11 counters."""
+        assert len(PMU_COUNTERS) == 11
+
+    def test_six_port_counters(self):
+        assert len(PORT_COUNTERS) == 6
+
+    def test_read_covers_everything(self, clean_sim):
+        counters = read_pmu(clean_sim.run_solo(SPEC_CPU2006["403.gcc"]),
+                            PERFECT_PMU)
+        for name in PMU_COUNTERS + PORT_COUNTERS:
+            assert name in counters
+
+
+class TestTrueValues:
+    def test_ipc_counter_matches_result(self, clean_sim):
+        result = clean_sim.run_solo(SPEC_CPU2006["456.hmmer"])
+        counters = read_pmu(result, PERFECT_PMU)
+        assert counters["instructions_per_cycle"] == pytest.approx(result.ipc)
+
+    def test_cache_counters_partition_accesses(self, clean_sim):
+        profile = SPEC_CPU2006["482.sphinx3"]
+        result = clean_sim.run_solo(profile)
+        counters = read_pmu(result, PERFECT_PMU)
+        per_cycle = (counters["l1d_hits_per_cycle"]
+                     + counters["l2_hits_per_cycle"]
+                     + counters["l3_hits_per_cycle"]
+                     + counters["mem_hits_per_cycle"])
+        expected = profile.accesses_per_instruction * result.ipc
+        assert per_cycle == pytest.approx(expected)
+
+    def test_l2_misses_equal_l3_plus_memory(self, clean_sim):
+        result = clean_sim.run_solo(SPEC_CPU2006["403.gcc"])
+        counters = read_pmu(result, PERFECT_PMU)
+        assert counters["l2_misses_per_cycle"] == pytest.approx(
+            counters["l3_hits_per_cycle"] + counters["mem_hits_per_cycle"]
+        )
+
+    def test_port_counters_match_utilization(self, clean_sim):
+        result = clean_sim.run_solo(SPEC_CPU2006["444.namd"])
+        counters = read_pmu(result, PERFECT_PMU)
+        for port, util in result.port_utilization.items():
+            assert counters[f"uops_dispatched_port{port}"] == pytest.approx(util)
+
+
+class TestDefects:
+    def test_deterministic_bias(self):
+        model = PmuDefectModel()
+        assert model.bias("l1d_hits_per_cycle", "x") == \
+            model.bias("l1d_hits_per_cycle", "x")
+
+    def test_bias_varies_by_workload(self):
+        model = PmuDefectModel()
+        biases = {model.bias("l1d_hits_per_cycle", f"wl{i}")
+                  for i in range(20)}
+        assert len(biases) > 10
+
+    def test_buggy_counters_worse(self):
+        model = PmuDefectModel(amplitude=0.05, buggy_amplitude=0.3)
+        buggy_spread = max(
+            abs(model.bias("l1d_hits_per_cycle", f"w{i}") - 1.0)
+            for i in range(50)
+        )
+        clean_spread = max(
+            abs(model.bias("l2_hits_per_cycle", f"w{i}") - 1.0)
+            for i in range(50)
+        )
+        assert buggy_spread > clean_spread
+
+    def test_bias_within_amplitude(self):
+        model = PmuDefectModel(amplitude=0.1, buggy_amplitude=0.2)
+        for i in range(50):
+            assert abs(model.bias("l2_hits_per_cycle", f"w{i}") - 1.0) <= 0.1
+
+    def test_perfect_pmu_unbiased(self):
+        assert PERFECT_PMU.bias("l1d_hits_per_cycle", "anything") == 1.0
+
+    def test_defects_change_readings(self, clean_sim):
+        result = clean_sim.run_solo(SPEC_CPU2006["403.gcc"])
+        clean = read_pmu(result, PERFECT_PMU)
+        dirty = read_pmu(result, PmuDefectModel())
+        assert clean["l1d_hits_per_cycle"] != dirty["l1d_hits_per_cycle"]

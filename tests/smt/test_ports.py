@@ -1,0 +1,137 @@
+"""Tests for port demand balancing and contention inflation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import UopKind
+from repro.smt.ports import (
+    balance_port_demand,
+    contention_inflation,
+    split_port_demand,
+    water_fill,
+)
+
+
+class TestWaterFill:
+    def test_equalizes_from_flat(self):
+        assert water_fill([0.0, 0.0], 1.0) == pytest.approx([0.5, 0.5])
+
+    def test_fills_lowest_first(self):
+        result = water_fill([0.5, 0.0], 0.3)
+        assert result == pytest.approx([0.0, 0.3])
+
+    def test_levels_meet_then_share(self):
+        result = water_fill([0.4, 0.0], 1.0)
+        # 0.4 raises the low bin to parity, the remaining 0.6 splits.
+        assert result == pytest.approx([0.3, 0.7])
+        assert 0.4 + result[0] == pytest.approx(result[1])
+
+    def test_conserves_amount(self):
+        levels = [0.7, 0.1, 0.4]
+        result = water_fill(levels, 0.9)
+        assert sum(result) == pytest.approx(0.9)
+
+    def test_zero_amount(self):
+        assert water_fill([1.0, 2.0], 0.0) == [0.0, 0.0]
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ConfigurationError):
+            water_fill([0.0], -1.0)
+
+    def test_no_bins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            water_fill([], 1.0)
+
+
+class TestSplitPortDemand:
+    def test_pinned_kinds(self):
+        pinned, flexible = split_port_demand({UopKind.FP_MUL: 0.3,
+                                              UopKind.STORE: 0.1})
+        assert pinned[0] == 0.3
+        assert pinned[4] == 0.1
+        assert flexible == []
+
+    def test_flexible_sorted_fewest_choices_first(self):
+        _, flexible = split_port_demand({UopKind.INT_ALU: 0.3,
+                                         UopKind.LOAD: 0.2})
+        assert [kind for kind, _, _ in flexible] == [UopKind.LOAD,
+                                                     UopKind.INT_ALU]
+
+    def test_nop_ignored(self):
+        pinned, flexible = split_port_demand({UopKind.NOP: 0.5,
+                                              UopKind.FP_ADD: 0.1})
+        assert sum(pinned.values()) == pytest.approx(0.1)
+        assert not flexible
+
+
+class TestBalancePortDemand:
+    def test_loads_split_over_ports_2_3(self):
+        demand = balance_port_demand({UopKind.LOAD: 0.4})
+        assert demand[2] == pytest.approx(0.2)
+        assert demand[3] == pytest.approx(0.2)
+
+    def test_int_spreads_over_fu_ports(self):
+        demand = balance_port_demand({UopKind.INT_ALU: 0.9})
+        assert demand[0] == demand[1] == demand[5] == pytest.approx(0.3)
+
+    def test_int_avoids_busy_port(self):
+        demand = balance_port_demand({UopKind.FP_MUL: 0.4,
+                                      UopKind.INT_ALU: 0.2})
+        # INT steers around the mul-occupied port 0.
+        assert demand[0] == pytest.approx(0.4)
+        assert demand[1] == pytest.approx(0.1)
+        assert demand[5] == pytest.approx(0.1)
+
+    def test_background_steering(self):
+        """A sibling saturating port 0 pushes flexible INT elsewhere."""
+        quiet = balance_port_demand({UopKind.INT_ALU: 0.3})
+        loud = balance_port_demand({UopKind.INT_ALU: 0.3},
+                                   background={0: 1.0, 1: 0.0, 5: 0.0},
+                                   own_rate=1.0)
+        assert loud[0] < quiet[0]
+        assert loud[1] > quiet[1]
+
+    def test_demand_conserved(self):
+        mix = {UopKind.FP_MUL: 0.2, UopKind.INT_ALU: 0.4, UopKind.LOAD: 0.3,
+               UopKind.STORE: 0.1, UopKind.BRANCH: 0.15}
+        demand = balance_port_demand(mix)
+        assert sum(demand.values()) == pytest.approx(sum(mix.values()))
+
+    def test_all_ports_present(self):
+        demand = balance_port_demand({UopKind.FP_SHF: 0.1})
+        assert set(demand) == {0, 1, 2, 3, 4, 5}
+
+    def test_bad_own_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balance_port_demand({UopKind.LOAD: 0.1}, own_rate=0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balance_port_demand({UopKind.LOAD: -0.1})
+
+
+class TestContentionInflation:
+    def test_no_competition_no_inflation(self):
+        assert contention_inflation(0.0, 0.8, 0.92) == 1.0
+
+    def test_monotone_in_rho(self):
+        values = [contention_inflation(r, 0.8, 0.92)
+                  for r in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+        assert values[0] > 1.0
+
+    def test_cap_bounds_inflation(self):
+        capped = contention_inflation(5.0, 0.8, 0.92)
+        at_cap = contention_inflation(0.92, 0.8, 0.92)
+        assert capped == at_cap
+
+    def test_kappa_scales(self):
+        weak = contention_inflation(0.5, 0.1, 0.92)
+        strong = contention_inflation(0.5, 1.0, 0.92)
+        assert strong > weak
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contention_inflation(-0.1, 0.8, 0.92)
+        with pytest.raises(ConfigurationError):
+            contention_inflation(0.5, -0.8, 0.92)

@@ -1,0 +1,67 @@
+"""Tests for the CPI-stack / utilization reporting helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.reporting import (
+    cpi_stack,
+    explain_pair,
+    utilization_report,
+)
+from repro.workloads.spec import SPEC_CPU2006
+
+
+class TestCpiStack:
+    def test_mentions_all_components(self, clean_sim, mcf):
+        text = cpi_stack(clean_sim.run_solo(mcf))
+        for label in ("issue/port/dependency", "DRAM stalls",
+                      "branch mispredictions", "TOTAL"):
+            assert label in text
+
+    def test_shares_sum_to_one(self, clean_sim, namd):
+        result = clean_sim.run_solo(namd)
+        text = cpi_stack(result)
+        assert f"{result.ipc:.3f}" in text
+
+
+class TestUtilizationReport:
+    def test_lists_every_context(self, clean_sim, mcf, namd):
+        result = clean_sim.run_pair(mcf, namd, "smt")
+        text = utilization_report(result)
+        assert "429.mcf" in text
+        assert "444.namd" in text
+        assert "ivy-bridge" in text
+
+
+class TestExplainPair:
+    def test_decomposition_sums_to_slowdown(self, clean_sim, namd, hmmer):
+        breakdown = explain_pair(clean_sim, namd, hmmer, "smt")
+        total_delta = sum(d for _, d in breakdown.component_deltas)
+        assert total_delta == pytest.approx(
+            breakdown.pair_cpi - breakdown.solo_cpi, rel=1e-3
+        )
+
+    def test_memory_aggressor_blames_memory(self, clean_sim, lbm):
+        sphinx = SPEC_CPU2006["482.sphinx3"]
+        breakdown = explain_pair(clean_sim, sphinx, lbm, "smt")
+        top_label = breakdown.component_deltas[0][0]
+        assert "stall" in top_label or "memory" in top_label.lower() \
+            or "cache" in top_label
+
+    def test_compute_aggressor_blames_contention(self, clean_sim, namd):
+        breakdown = explain_pair(clean_sim, namd,
+                                 SPEC_CPU2006["456.hmmer"], "smt")
+        labels = [label for label, _ in breakdown.component_deltas[:2]]
+        assert any("queueing" in l or "SMT" in l for l in labels)
+
+    def test_degradation_consistent(self, clean_sim, mcf, lbm):
+        breakdown = explain_pair(clean_sim, mcf, lbm, "smt")
+        measured = clean_sim.run_pair(mcf, lbm, "smt")
+        solo = clean_sim.run_solo(mcf)
+        expected = 1.0 - measured[0].ipc / solo.ipc
+        assert breakdown.degradation == pytest.approx(expected, abs=1e-3)
+
+    def test_render(self, clean_sim, namd, hmmer):
+        text = explain_pair(clean_sim, namd, hmmer, "smt").render()
+        assert "degraded" in text
+        assert "SMT" in text

@@ -1,0 +1,73 @@
+"""Tests for result containers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.cache import HitFractions
+from repro.smt.results import ContextResult, CpiBreakdown, RunResult
+from repro.workloads.spec import SPEC_CPU2006
+
+
+def _breakdown(**overrides):
+    base = dict(frontend=0.25, port=0.3, dependency=0.2, compute=0.3,
+                contention=0.1, smt_overhead=0.01, memory=0.5, branch=0.05,
+                tlb=0.02, icache=0.01)
+    base.update(overrides)
+    return CpiBreakdown(**base)
+
+
+def _context(name="429.mcf", ipc=0.5, core=0):
+    return ContextResult(
+        profile=SPEC_CPU2006[name],
+        core=core,
+        ipc=ipc,
+        breakdown=_breakdown(),
+        hits=HitFractions(0.7, 0.2, 0.05, 0.05),
+        port_utilization={p: 0.1 for p in range(6)},
+        effective_capacities=(1.0, 2.0, 3.0),
+    )
+
+
+class TestBreakdown:
+    def test_total(self):
+        b = _breakdown()
+        assert b.total == pytest.approx(0.3 + 0.1 + 0.01 + 0.5 + 0.05
+                                        + 0.02 + 0.01)
+
+
+class TestContextResult:
+    def test_cpi_inverse_of_ipc(self):
+        assert _context(ipc=0.5).cpi == pytest.approx(2.0)
+
+    def test_nonpositive_ipc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _context(ipc=0.0)
+
+
+class TestRunResult:
+    def _run(self):
+        return RunResult(
+            machine_name="ivy-bridge",
+            contexts=(_context("429.mcf"), _context("444.namd", core=0),
+                      _context("429.mcf", core=1)),
+            dram_utilization=0.4,
+            iterations=50,
+        )
+
+    def test_indexing(self):
+        run = self._run()
+        assert run[1].name == "444.namd"
+
+    def test_by_name(self):
+        assert self._run().by_name("444.namd").name == "444.namd"
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            self._run().by_name("no-such")
+
+    def test_all_named(self):
+        assert len(self._run().all_named("429.mcf")) == 2
+
+    def test_aggregate_port_utilization(self):
+        agg = self._run().aggregate_port_utilization
+        assert agg[0] == pytest.approx(0.3)  # three contexts x 0.1

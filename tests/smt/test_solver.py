@@ -1,0 +1,170 @@
+"""Tests for the fixed-point co-run solver.
+
+These exercise the *model semantics* the rest of the reproduction relies
+on: co-location always costs something under SMT, CMP interference is a
+subset of SMT interference, identical contexts converge to symmetric
+states, and the breakdown terms respond to the right knobs.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.params import IVY_BRIDGE
+from repro.smt.solver import ContextPlacement, solve
+from repro.workloads.spec import SPEC_CPU2006
+
+
+def _solo(profile, machine=IVY_BRIDGE):
+    return solve(machine, [ContextPlacement(profile, core=0)])[0]
+
+
+def _pair(a, b, mode="smt", machine=IVY_BRIDGE):
+    core_b = 0 if mode == "smt" else 1
+    return solve(machine, [ContextPlacement(a, core=0),
+                           ContextPlacement(b, core=core_b)])
+
+
+class TestSoloRuns:
+    def test_reasonable_ipcs(self):
+        for profile in SPEC_CPU2006.values():
+            result = _solo(profile)
+            assert 0.01 < result.ipc < 4.0, profile.name
+
+    def test_compute_bound_apps_faster_than_memory_bound(self):
+        namd = _solo(SPEC_CPU2006["444.namd"])
+        mcf = _solo(SPEC_CPU2006["429.mcf"])
+        assert namd.ipc > 3 * mcf.ipc
+
+    def test_memory_breakdown_dominates_for_mcf(self):
+        mcf = _solo(SPEC_CPU2006["429.mcf"])
+        assert mcf.breakdown.memory > mcf.breakdown.compute
+
+    def test_no_contention_when_alone(self):
+        result = _solo(SPEC_CPU2006["403.gcc"])
+        assert result.breakdown.contention == 0.0
+        assert result.breakdown.smt_overhead == 0.0
+
+    def test_breakdown_sums_to_cpi(self):
+        result = _solo(SPEC_CPU2006["482.sphinx3"])
+        assert result.breakdown.total == pytest.approx(result.cpi)
+
+    def test_solo_keeps_full_caches(self):
+        result = _solo(SPEC_CPU2006["401.bzip2"])
+        assert result.effective_capacities == (
+            float(IVY_BRIDGE.l1d.size_bytes),
+            float(IVY_BRIDGE.l2.size_bytes),
+            float(IVY_BRIDGE.l3.size_bytes),
+        )
+
+
+class TestPairRuns:
+    def test_smt_always_costs_something(self):
+        names = ["444.namd", "429.mcf", "456.hmmer", "470.lbm"]
+        for a_name in names:
+            for b_name in names:
+                a = SPEC_CPU2006[a_name]
+                b = SPEC_CPU2006[b_name]
+                pair = _pair(a, b, "smt")
+                assert pair[0].ipc < _solo(a).ipc
+                assert pair[1].ipc < _solo(b).ipc
+
+    def test_cmp_milder_than_smt(self):
+        a = SPEC_CPU2006["403.gcc"]
+        b = SPEC_CPU2006["470.lbm"]
+        smt = _pair(a, b, "smt")[0].ipc
+        cmp_ = _pair(a, b, "cmp")[0].ipc
+        assert cmp_ > smt
+
+    def test_identical_contexts_symmetric(self):
+        p = SPEC_CPU2006["401.bzip2"]
+        pair = _pair(p, p, "smt")
+        assert pair[0].ipc == pytest.approx(pair[1].ipc, rel=1e-4)
+
+    def test_order_invariance(self):
+        a = SPEC_CPU2006["444.namd"]
+        b = SPEC_CPU2006["429.mcf"]
+        ab = _pair(a, b, "smt")
+        ba = _pair(b, a, "smt")
+        # Fixed-point tolerance bounds the symmetry error.
+        assert ab[0].ipc == pytest.approx(ba[1].ipc, rel=1e-4)
+        assert ab[1].ipc == pytest.approx(ba[0].ipc, rel=1e-4)
+
+    def test_cmp_does_not_touch_private_caches(self):
+        # Both apps have multi-MB strata, so both pressure the shared L3.
+        a = SPEC_CPU2006["403.gcc"]
+        b = SPEC_CPU2006["470.lbm"]
+        pair = _pair(a, b, "cmp")
+        assert pair[0].effective_capacities[0] == float(IVY_BRIDGE.l1d.size_bytes)
+        assert pair[0].effective_capacities[1] == float(IVY_BRIDGE.l2.size_bytes)
+        # but the L3 is shared chip-wide
+        assert pair[0].effective_capacities[2] < float(IVY_BRIDGE.l3.size_bytes)
+
+    def test_smt_splits_private_caches(self):
+        a = SPEC_CPU2006["454.calculix"]
+        b = SPEC_CPU2006["401.bzip2"]
+        pair = _pair(a, b, "smt")
+        assert pair[0].effective_capacities[0] < float(IVY_BRIDGE.l1d.size_bytes)
+
+    def test_deterministic(self):
+        a = SPEC_CPU2006["435.gromacs"]
+        b = SPEC_CPU2006["433.milc"]
+        first = _pair(a, b)[0].ipc
+        second = _pair(a, b)[0].ipc
+        assert first == second
+
+
+class TestKnobs:
+    def test_port_kappa_scales_contention(self):
+        a = SPEC_CPU2006["444.namd"]
+        b = SPEC_CPU2006["456.hmmer"]
+        soft = IVY_BRIDGE.with_knobs(port_contention_kappa=0.1)
+        hard = IVY_BRIDGE.with_knobs(port_contention_kappa=1.5)
+        assert (_pair(a, b, machine=hard)[0].ipc
+                < _pair(a, b, machine=soft)[0].ipc)
+
+    def test_mlp_penalty_hits_memory_apps(self):
+        a = SPEC_CPU2006["429.mcf"]
+        b = SPEC_CPU2006["456.hmmer"]
+        none = IVY_BRIDGE.with_knobs(smt_mlp_penalty=0.0)
+        heavy = IVY_BRIDGE.with_knobs(smt_mlp_penalty=1.0)
+        assert (_pair(a, b, machine=heavy)[0].breakdown.memory
+                > _pair(a, b, machine=none)[0].breakdown.memory)
+
+    def test_static_overhead(self):
+        a = SPEC_CPU2006["456.hmmer"]
+        none = IVY_BRIDGE.with_knobs(smt_static_overhead=0.0)
+        pair = _pair(a, a, machine=none)
+        assert pair[0].breakdown.smt_overhead == 0.0
+
+
+class TestPlacementValidation:
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve(IVY_BRIDGE, [])
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve(IVY_BRIDGE, [ContextPlacement(SPEC_CPU2006["429.mcf"],
+                                                core=99)])
+
+    def test_oversubscribed_core_rejected(self):
+        p = SPEC_CPU2006["429.mcf"]
+        with pytest.raises(ConfigurationError):
+            solve(IVY_BRIDGE, [ContextPlacement(p, core=0)] * 3)
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContextPlacement(SPEC_CPU2006["429.mcf"], core=-1)
+
+
+class TestSharedMemoryEntities:
+    def test_shared_threads_do_not_fight_each_other(self):
+        """Two threads of one shares_memory app keep more cache than two
+        independent copies of the same profile."""
+        base = SPEC_CPU2006["454.calculix"]
+        shared = base.replace(name="calculix-mt", shares_memory=True)
+        independent = _pair(base, base, "smt")
+        cooperative = _pair(shared, shared, "smt")
+        assert (cooperative[0].effective_capacities[0]
+                > independent[0].effective_capacities[0])
+        assert cooperative[0].ipc > independent[0].ipc

@@ -1,0 +1,100 @@
+"""Tests for the TCO model and co-location savings analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tco.analysis import ColocationTcoAnalysis
+from repro.tco.model import TcoModel
+from repro.tco.params import GOOGLE_PUE_2014, TcoParams
+
+
+class TestParams:
+    def test_paper_pue(self):
+        assert TcoParams().pue == GOOGLE_PUE_2014 == 1.12
+
+    def test_power_model_linear(self):
+        p = TcoParams(server_peak_power_w=200.0, idle_power_fraction=0.5)
+        assert p.server_power_w(0.0) == pytest.approx(100.0)
+        assert p.server_power_w(1.0) == pytest.approx(200.0)
+        assert p.server_power_w(0.5) == pytest.approx(150.0)
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TcoParams().server_power_w(1.5)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcoParams(pue=0.9)
+        with pytest.raises(ConfigurationError):
+            TcoParams(server_price_usd=0)
+        with pytest.raises(ConfigurationError):
+            TcoParams(idle_power_fraction=1.5)
+
+
+class TestTcoModel:
+    def test_scales_linearly_in_servers(self):
+        model = TcoModel(params=TcoParams())
+        one = model.fleet_tco(1000, 0.5).total
+        two = model.fleet_tco(2000, 0.5).total
+        assert two == pytest.approx(2 * one)
+
+    def test_higher_utilization_costs_energy_only(self):
+        model = TcoModel(params=TcoParams())
+        idle = model.fleet_tco(1000, 0.2)
+        busy = model.fleet_tco(1000, 0.9)
+        assert busy.energy > idle.energy
+        assert busy.server_capex == idle.server_capex
+        assert busy.datacenter_capex == idle.datacenter_capex
+
+    def test_zero_servers_zero_cost(self):
+        model = TcoModel(params=TcoParams())
+        assert model.fleet_tco(0, 0.5).total == 0.0
+
+    def test_breakdown_sums(self):
+        b = TcoModel(params=TcoParams()).fleet_tco(100, 0.5)
+        assert b.total == pytest.approx(
+            b.server_capex + b.server_interest + b.datacenter_capex
+            + b.energy + b.maintenance
+        )
+
+    def test_negative_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcoModel(params=TcoParams()).fleet_tco(-1, 0.5)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcoModel(params=TcoParams(), horizon_years=0.0)
+
+
+class TestColocationAnalysis:
+    @pytest.fixture
+    def analysis(self):
+        return ColocationTcoAnalysis(model=TcoModel(params=TcoParams()))
+
+    def test_no_improvement_no_saving(self, analysis):
+        savings = analysis.savings_for(0.95, 0.0)
+        assert savings.saving_fraction == pytest.approx(0.0, abs=1e-3)
+        assert savings.servers_removed == 0
+
+    def test_more_utilization_more_saving(self, analysis):
+        small = analysis.savings_for(0.95, 0.10)
+        large = analysis.savings_for(0.85, 0.40)
+        assert large.saving_fraction > small.saving_fraction > 0.0
+
+    def test_servers_removed_formula(self, analysis):
+        # 2000 latency servers x 6 slots x 30% absorbed / 6 per batch server
+        savings = analysis.savings_for(0.9, 0.30)
+        assert savings.servers_removed == int(0.30 * 2000 * 6 / 6)
+
+    def test_removal_capped_at_batch_fleet(self, analysis):
+        savings = analysis.savings_for(0.5, 1.0)
+        assert savings.servers_removed <= analysis.batch_servers
+
+    def test_saving_bounded_by_half(self, analysis):
+        """Removing the whole batch tier cannot save more than its share."""
+        savings = analysis.savings_for(0.5, 1.0)
+        assert savings.saving_fraction < 0.5
+
+    def test_negative_improvement_rejected(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.savings_for(0.9, -0.1)

@@ -1,0 +1,61 @@
+"""Tests for the one-off CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloads:
+    def test_lists_everything(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "429.mcf" in out
+        assert "web-search" in out
+
+
+class TestCharacterize:
+    def test_prints_all_dimensions(self, capsys):
+        assert main(["characterize", "444.namd"]) == 0
+        out = capsys.readouterr().out
+        for dim in ("FP_MUL", "FP_ADD", "FP_SHF", "INT_ADD", "L1", "L2",
+                    "L3"):
+            assert dim in out
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["characterize", "no-such-app"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_machine_choice(self, capsys):
+        assert main(["characterize", "429.mcf",
+                     "--machine", "sandy-bridge-en"]) == 0
+        assert "sandy-bridge-en" in capsys.readouterr().out
+
+
+class TestPredict:
+    def test_prediction_output(self, capsys):
+        assert main(["predict", "429.mcf", "470.lbm"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted degradation" in out
+
+    def test_verify_adds_measurement(self, capsys):
+        assert main(["predict", "429.mcf", "470.lbm", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "measured degradation" in out
+        assert "absolute error" in out
+
+    def test_cmp_mode(self, capsys):
+        assert main(["predict", "429.mcf", "470.lbm", "--mode", "cmp"]) == 0
+        assert "CMP" in capsys.readouterr().out
+
+
+class TestSafeBatch:
+    @pytest.mark.slow
+    def test_reports_counts(self, capsys):
+        assert main(["safe-batch", "web-search", "--qos", "0.85"]) == 0
+        out = capsys.readouterr().out
+        assert "safe instances" in out
+        assert "85% QoS target" in out
+
+    def test_rejects_non_latency_app(self, capsys):
+        assert main(["safe-batch", "429.mcf"]) == 1
+        assert "latency-sensitive" in capsys.readouterr().err

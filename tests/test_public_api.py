@@ -1,0 +1,69 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+from repro import (
+    IVY_BRIDGE,
+    MACHINES,
+    SANDY_BRIDGE_EN,
+    Dimension,
+    ReproError,
+    SMiTe,
+    Simulator,
+    Suite,
+    TailLatencyModel,
+    WorkloadProfile,
+    default_suite,
+)
+from repro.errors import (
+    AsmSyntaxError,
+    CharacterizationError,
+    ConfigurationError,
+    ConvergenceError,
+    ModelNotFittedError,
+    QueueingError,
+    SchedulingError,
+    UnknownWorkloadError,
+    ValidationError,
+)
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_machines_exported(self):
+        assert IVY_BRIDGE in MACHINES.values()
+        assert SANDY_BRIDGE_EN in MACHINES.values()
+
+    def test_headline_types_importable(self):
+        assert callable(Simulator)
+        assert callable(SMiTe)
+        assert callable(TailLatencyModel)
+        assert callable(default_suite)
+        assert len(Dimension) == 7
+        assert len(Suite) == 5
+        assert WorkloadProfile is not None
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (ConfigurationError, ConvergenceError, AsmSyntaxError,
+                    UnknownWorkloadError, CharacterizationError,
+                    ModelNotFittedError, ValidationError, QueueingError,
+                    SchedulingError):
+            assert issubclass(exc, ReproError)
+
+    def test_unknown_workload_is_key_error(self):
+        """Registry lookups interoperate with dict-style error handling."""
+        assert issubclass(UnknownWorkloadError, KeyError)
+
+    def test_one_except_catches_everything(self):
+        from repro.workloads.registry import get_profile
+        try:
+            get_profile("missing")
+        except ReproError:
+            pass  # the point: library errors are one catchable family

@@ -1,0 +1,88 @@
+"""Tests for the CloudSuite workload models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.cloudsuite import (
+    CLOUDSUITE,
+    LatencySensitiveWorkload,
+    cloudsuite_apps,
+)
+from repro.workloads.profile import Suite
+from repro.workloads.spec import SPEC_CPU2006
+
+
+class TestPopulation:
+    def test_four_applications(self):
+        assert len(CLOUDSUITE) == 4
+        assert {w.name for w in cloudsuite_apps()} == {
+            "web-search", "data-caching", "data-serving", "graph-analytics",
+        }
+
+    def test_suite_tag(self):
+        for workload in cloudsuite_apps():
+            assert workload.profile.suite is Suite.CLOUDSUITE
+
+    def test_threads_share_memory(self):
+        """CloudSuite threads serve one shared data set (index/heap/graph)."""
+        for workload in cloudsuite_apps():
+            assert workload.profile.shares_memory
+
+    def test_percentile_reporting_matches_paper(self):
+        """Only Web-Search and Data-Caching report percentile latency."""
+        reporting = {w.name for w in cloudsuite_apps()
+                     if w.reports_percentile_latency}
+        assert reporting == {"web-search", "data-caching"}
+
+    def test_int_like_functional_units(self):
+        """Finding 5: cloud apps use FUs like SPEC_INT (no FP pipelines)."""
+        for workload in cloudsuite_apps():
+            assert workload.profile.fp_mul == 0.0
+            assert workload.profile.fp_add == 0.0
+            assert workload.profile.int_alu > 0.3
+
+    def test_large_l3_footprints(self):
+        """Finding 8's driver: multi-megabyte LLC working sets."""
+        for workload in cloudsuite_apps():
+            big = sum(s.access_fraction for s in workload.profile.strata
+                      if s.footprint_bytes > 2 * 1024 * 1024)
+            assert big >= 0.4
+
+    def test_heavier_icache_than_spec(self):
+        spec_mean = sum(p.icache_mpki for p in SPEC_CPU2006.values()) / 29
+        for workload in cloudsuite_apps():
+            assert workload.profile.icache_mpki > spec_mean
+
+
+class TestQueueingParameters:
+    def test_half_loaded(self):
+        for workload in cloudsuite_apps():
+            assert workload.utilization == pytest.approx(0.5)
+
+    def test_unstable_load_rejected(self):
+        base = cloudsuite_apps()[0]
+        with pytest.raises(ConfigurationError):
+            LatencySensitiveWorkload(
+                profile=base.profile,
+                service_rate_hz=100.0,
+                arrival_rate_hz=100.0,
+            )
+
+    def test_nonpositive_service_rate_rejected(self):
+        base = cloudsuite_apps()[0]
+        with pytest.raises(ConfigurationError):
+            LatencySensitiveWorkload(
+                profile=base.profile,
+                service_rate_hz=0.0,
+                arrival_rate_hz=-1.0,
+            )
+
+    def test_thread_count_positive(self):
+        base = cloudsuite_apps()[0]
+        with pytest.raises(ConfigurationError):
+            LatencySensitiveWorkload(
+                profile=base.profile,
+                service_rate_hz=10.0,
+                arrival_rate_hz=5.0,
+                threads_per_server=0,
+            )

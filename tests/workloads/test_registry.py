@@ -1,0 +1,67 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.profile import Suite
+from repro.workloads.registry import (
+    all_profiles,
+    get_profile,
+    register_profile,
+    spec_profiles,
+    unregister_profile,
+)
+from repro.workloads.synthetic import random_profile
+
+
+class TestLookup:
+    def test_spec_lookup(self):
+        assert get_profile("429.mcf").name == "429.mcf"
+
+    def test_cloudsuite_lookup(self):
+        assert get_profile("web-search").suite is Suite.CLOUDSUITE
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_profile("no-such-benchmark")
+
+    def test_all_profiles_count(self):
+        assert len(all_profiles(include_custom=False)) == 33  # 29 + 4
+
+    def test_spec_profiles_filter(self):
+        ints = spec_profiles(Suite.SPEC_INT)
+        fps = spec_profiles(Suite.SPEC_FP)
+        assert len(ints) + len(fps) == 29
+        assert all(p.suite is Suite.SPEC_INT for p in ints)
+
+
+class TestCustomProfiles:
+    def test_register_and_lookup(self):
+        profile = random_profile(1, name="my-custom-app")
+        register_profile(profile)
+        try:
+            assert get_profile("my-custom-app") is profile
+            assert profile in all_profiles()
+        finally:
+            unregister_profile("my-custom-app")
+
+    def test_shadowing_builtin_rejected(self):
+        profile = random_profile(2, name="429.mcf")
+        with pytest.raises(UnknownWorkloadError):
+            register_profile(profile)
+
+    def test_overwrite_flag(self):
+        first = random_profile(3, name="replaceable")
+        second = random_profile(4, name="replaceable")
+        register_profile(first)
+        try:
+            with pytest.raises(UnknownWorkloadError):
+                register_profile(second)
+            register_profile(second, overwrite=True)
+            assert get_profile("replaceable") is second
+        finally:
+            unregister_profile("replaceable")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UnknownWorkloadError):
+            unregister_profile("never-registered")

@@ -1,0 +1,115 @@
+"""Tests for the SPEC CPU2006 population: size, split, and diversity."""
+
+import pytest
+
+from repro.workloads.profile import Suite
+from repro.workloads.spec import SPEC_CPU2006, spec_even, spec_odd
+
+
+class TestPopulation:
+    def test_twenty_nine_benchmarks(self):
+        assert len(SPEC_CPU2006) == 29
+
+    def test_names_match_numbers(self):
+        for name, profile in SPEC_CPU2006.items():
+            assert name.startswith(str(profile.spec_number))
+
+    def test_suites(self):
+        suites = {p.suite for p in SPEC_CPU2006.values()}
+        assert suites == {Suite.SPEC_INT, Suite.SPEC_FP}
+
+    def test_int_benchmarks_have_no_fp_mul(self):
+        for profile in SPEC_CPU2006.values():
+            if profile.suite is Suite.SPEC_INT:
+                assert profile.fp_mul == 0.0
+                assert profile.fp_add == 0.0
+
+    def test_fp_benchmarks_have_fp_work(self):
+        for profile in SPEC_CPU2006.values():
+            if profile.suite is Suite.SPEC_FP:
+                assert profile.fp_mul + profile.fp_add > 0.2
+
+    def test_every_profile_has_memory_behaviour(self):
+        for profile in SPEC_CPU2006.values():
+            assert profile.accesses_per_instruction > 0.2
+            assert profile.strata
+
+
+class TestParitySplit:
+    def test_split_covers_everything(self):
+        even, odd = spec_even(), spec_odd()
+        assert len(even) + len(odd) == 29
+        assert {p.name for p in even}.isdisjoint({p.name for p in odd})
+
+    def test_even_numbers_even(self):
+        assert all(p.spec_number % 2 == 0 for p in spec_even())
+
+    def test_odd_numbers_odd(self):
+        assert all(p.spec_number % 2 == 1 for p in spec_odd())
+
+    def test_split_sizes_paper(self):
+        # 14 even / 15 odd in SPEC CPU2006's numbering.
+        assert len(spec_even()) == 14
+        assert len(spec_odd()) == 15
+
+
+class TestAnchors:
+    """The paper's named Finding anchors must hold in the population."""
+
+    def test_calculix_leans_on_port0(self):
+        calculix = SPEC_CPU2006["454.calculix"]
+        assert calculix.fp_mul > calculix.fp_add
+
+    def test_lbm_leans_on_port1(self):
+        lbm = SPEC_CPU2006["470.lbm"]
+        assert lbm.fp_add > lbm.fp_mul
+
+    def test_mcf_is_memory_bound(self):
+        mcf = SPEC_CPU2006["429.mcf"]
+        assert mcf.total_footprint_bytes > 16 * 1024 * 1024
+        assert mcf.mlp < 2.0
+
+    def test_namd_is_compute_bound(self):
+        namd = SPEC_CPU2006["444.namd"]
+        assert namd.total_footprint_bytes < 2 * 1024 * 1024
+        assert namd.fp_mul > 0.3
+
+    def test_calculix_l1_reliant(self):
+        """Finding 7: calculix's working set is essentially L1-resident."""
+        calculix = SPEC_CPU2006["454.calculix"]
+        small = sum(s.access_fraction for s in calculix.strata
+                    if s.footprint_bytes <= 32 * 1024)
+        assert small >= 0.85
+
+    def test_branchy_int_apps(self):
+        for name in ("445.gobmk", "458.sjeng", "473.astar"):
+            assert SPEC_CPU2006[name].branch_misprediction_rate >= 0.01
+
+
+class TestDiversity:
+    def test_fp_mul_add_ratios_spread(self):
+        """Finding 4 needs per-port diversity across the FP population."""
+        ratios = [
+            p.fp_mul / p.fp_add
+            for p in SPEC_CPU2006.values()
+            if p.suite is Suite.SPEC_FP and p.fp_add > 0
+        ]
+        assert min(ratios) < 0.5
+        assert max(ratios) > 1.5
+
+    def test_footprints_span_cache_levels(self):
+        footprints = [p.total_footprint_bytes for p in SPEC_CPU2006.values()]
+        assert min(footprints) < 256 * 1024       # cache-resident apps
+        assert max(footprints) > 64 * 1024 * 1024  # DRAM-streaming apps
+
+    def test_l2_band_represented(self):
+        """Some strata must live in the 64KB-256KB (L2-resident) band."""
+        in_band = [
+            s for p in SPEC_CPU2006.values() for s in p.strata
+            if 64 * 1024 <= s.footprint_bytes <= 256 * 1024
+        ]
+        assert len(in_band) >= 4
+
+    def test_mlp_spread(self):
+        mlps = [p.mlp for p in SPEC_CPU2006.values()]
+        assert min(mlps) < 2.0 and max(mlps) > 6.0
