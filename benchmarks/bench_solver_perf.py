@@ -2,15 +2,76 @@
 
 These measure real wall-clock cost (multiple rounds) for the operations
 the methodology performs thousands of times: solo solves, SMT pair
-solves, and the full 12-context server solve.
+solves, the full 12-context server solve, and — the pipeline's dominant
+shape — a whole 33x33 co-location grid, solved both sequentially with
+the scalar solver and in one ``solve_many`` batch.
+
+The session writes ``BENCH_solver.json`` (override the path with
+``SMITE_BENCH_OUT``) recording ops/sec per shape plus the batch-grid
+speedup; ``scripts/bench_regress.py`` gates changes against the
+committed copy.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
+import pytest
+
+from repro.smt.batch import solve_many
 from repro.smt.params import SANDY_BRIDGE_EN
 from repro.smt.solver import ContextPlacement, solve
 from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.registry import all_profiles
 from repro.workloads.spec import SPEC_CPU2006
+
+pytestmark = pytest.mark.bench_regress
+
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    """Dump everything the module measured once its benchmarks finish."""
+    yield
+    if not _RESULTS:
+        return
+    report: dict = {
+        "machine": SANDY_BRIDGE_EN.name,
+        "ops_per_sec": {
+            name: rate for name, rate in sorted(_RESULTS.items())
+            if not name.startswith("_")
+        },
+    }
+    scalar = _RESULTS.get("_pair_grid_scalar_seconds")
+    batch = _RESULTS.get("_pair_grid_batch_seconds")
+    if scalar and batch:
+        report["pair_grid"] = {
+            "pairs": int(_RESULTS["_pair_grid_pairs"]),
+            "scalar_seconds": scalar,
+            "batch_seconds": batch,
+            "batch_speedup": scalar / batch,
+        }
+    out = os.environ.get("SMITE_BENCH_OUT", "BENCH_solver.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def _record(name: str, benchmark) -> None:
+    _RESULTS[name] = 1.0 / benchmark.stats.stats.mean
+
+
+def _pair_grid():
+    """Every ordered co-location of the full workload population."""
+    profiles = all_profiles()
+    return [
+        [ContextPlacement(a, core=0), ContextPlacement(b, core=0)]
+        for a in profiles
+        for b in profiles
+    ]
 
 
 def test_perf_solo_solve(benchmark):
@@ -19,6 +80,7 @@ def test_perf_solo_solve(benchmark):
         solve, SANDY_BRIDGE_EN, [ContextPlacement(profile, core=0)]
     )
     assert result[0].ipc > 0
+    _record("solo_solve", benchmark)
 
 
 def test_perf_smt_pair_solve(benchmark):
@@ -27,6 +89,7 @@ def test_perf_smt_pair_solve(benchmark):
     placements = [ContextPlacement(a, core=0), ContextPlacement(b, core=0)]
     result = benchmark(solve, SANDY_BRIDGE_EN, placements)
     assert len(result.contexts) == 2
+    _record("smt_pair_solve", benchmark)
 
 
 def test_perf_full_server_solve(benchmark):
@@ -36,3 +99,45 @@ def test_perf_full_server_solve(benchmark):
     placements += [ContextPlacement(batch, core=i) for i in range(6)]
     result = benchmark(solve, SANDY_BRIDGE_EN, placements)
     assert len(result.contexts) == 12
+    _record("full_server_solve", benchmark)
+
+
+def test_perf_pair_grid_scalar(benchmark):
+    grid = _pair_grid()
+
+    def run_grid():
+        started = time.perf_counter()
+        results = [solve(SANDY_BRIDGE_EN, placements) for placements in grid]
+        _RESULTS["_pair_grid_scalar_seconds"] = time.perf_counter() - started
+        return results
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    assert len(results) == len(grid)
+    _RESULTS["_pair_grid_pairs"] = float(len(grid))
+    _RESULTS["pair_grid_scalar"] = (
+        len(grid) / _RESULTS["_pair_grid_scalar_seconds"]
+    )
+
+
+def test_perf_pair_grid_batch(benchmark):
+    grid = _pair_grid()
+
+    def run_grid():
+        started = time.perf_counter()
+        results = solve_many(SANDY_BRIDGE_EN, grid)
+        _RESULTS["_pair_grid_batch_seconds"] = time.perf_counter() - started
+        return results
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    assert len(results) == len(grid)
+    _RESULTS["_pair_grid_pairs"] = float(len(grid))
+    _RESULTS["pair_grid_batch"] = (
+        len(grid) / _RESULTS["_pair_grid_batch_seconds"]
+    )
+    scalar = _RESULTS.get("_pair_grid_scalar_seconds")
+    if scalar is not None:
+        # The batching is the whole point: a full grid must beat 1089
+        # sequential scalar solves by an order of magnitude.
+        assert scalar / _RESULTS["_pair_grid_batch_seconds"] >= 10.0

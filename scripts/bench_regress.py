@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Solver throughput regression gate.
+
+Runs the ``bench_regress``-marked micro-benchmarks in
+``benchmarks/bench_solver_perf.py``, then compares the fresh numbers
+against the committed ``BENCH_solver.json`` baseline. The gate fails when
+the batch pair-grid throughput (the pipeline's dominant operation) drops
+more than 20% below the baseline.
+
+Usage::
+
+    python scripts/bench_regress.py            # gate against baseline
+    python scripts/bench_regress.py --update   # refresh the baseline
+
+The baseline is machine-dependent; refresh it with ``--update`` when
+benchmarking hardware changes, and commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "BENCH_solver.json"
+GATED_METRIC = "pair_grid_batch"
+ALLOWED_REGRESSION = 0.20
+
+
+def _run_benchmarks(out_path: Path) -> dict:
+    env = dict(os.environ)
+    env["SMITE_BENCH_OUT"] = str(out_path)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        str(REPO / "benchmarks" / "bench_solver_perf.py"),
+        "-m", "bench_regress", "-q", "-p", "no:cacheprovider",
+    ]
+    subprocess.run(command, cwd=REPO, env=env, check=True)
+    with out_path.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline and exit")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = _run_benchmarks(Path(tmp) / "BENCH_solver.json")
+
+    grid = fresh.get("pair_grid", {})
+    print(f"\nbatch pair-grid: {fresh['ops_per_sec'][GATED_METRIC]:.0f} "
+          f"pairs/s over {grid.get('pairs', '?')} pairs "
+          f"({grid.get('batch_speedup', 0.0):.1f}x vs scalar)")
+
+    if args.update or not BASELINE.exists():
+        BASELINE.write_text(json.dumps(fresh, indent=2) + "\n",
+                            encoding="utf-8")
+        print(f"baseline written to {BASELINE}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    reference = baseline["ops_per_sec"][GATED_METRIC]
+    measured = fresh["ops_per_sec"][GATED_METRIC]
+    floor = (1.0 - ALLOWED_REGRESSION) * reference
+    print(f"baseline {reference:.0f} pairs/s -> floor {floor:.0f} pairs/s")
+    if measured < floor:
+        print(f"FAIL: {GATED_METRIC} regressed "
+              f"{1.0 - measured / reference:.0%} (> "
+              f"{ALLOWED_REGRESSION:.0%} allowed)", file=sys.stderr)
+        return 1
+    print(f"OK: {GATED_METRIC} within {ALLOWED_REGRESSION:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.evaluation import EvaluationReport, PairPrediction
 from repro.errors import ConfigurationError
-from repro.smt.simulator import PairMode, Simulator
+from repro.smt.simulator import ContextPlacement, PairMode, Simulator
 from repro.workloads.profile import WorkloadProfile
 
 __all__ = [
@@ -86,6 +86,19 @@ def build_pair_dataset(
     others = list(aggressors) if aggressors is not None else list(victims)
     if not others:
         raise ConfigurationError("pair dataset needs at least one aggressor")
+    co_core = 0 if mode == "smt" else 1
+    jobs: list[list[ContextPlacement]] = [
+        [ContextPlacement(profile, core=0)]
+        for profile in {p.name: p for p in [*victims, *others]}.values()
+    ]
+    jobs.extend(
+        [ContextPlacement(victim, core=0),
+         ContextPlacement(aggressor, core=co_core)]
+        for victim in victims
+        for aggressor in others
+        if include_self_pairs or victim.name != aggressor.name
+    )
+    simulator.prefetch(jobs)
     samples = []
     for victim in victims:
         for aggressor in others:
@@ -123,6 +136,18 @@ def build_server_dataset(
     if max_instances is None:
         max_instances = (simulator.machine.cores if mode == "smt"
                          else simulator.machine.cores // 2)
+    jobs = [
+        [ContextPlacement(batch_app, core=0)] for batch_app in batch_apps
+    ]
+    jobs.extend(
+        simulator.server_placements(latency_app, batch_app, instances=k,
+                                    mode=mode,
+                                    latency_threads=latency_threads)
+        for latency_app in latency_apps
+        for batch_app in batch_apps
+        for k in range(max_instances + 1)
+    )
+    simulator.prefetch(jobs)
     samples = []
     for latency_app in latency_apps:
         for batch_app in batch_apps:

@@ -18,6 +18,10 @@ class ExperimentConfig:
     ``fast`` shrinks the expensive studies (cluster size, DES job counts)
     for CI and benchmarking runs; results keep the same shape, with more
     sampling noise. ``seed`` feeds every stochastic component.
+
+    Must stay frozen and picklable: the parallel runner ships one config
+    to every worker process, and the figure modules key their memoized
+    fixtures on its field values.
     """
 
     fast: bool = False

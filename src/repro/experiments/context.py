@@ -16,6 +16,7 @@ from repro.core.predictor import SMiTe
 from repro.core.trainer import PairDataset, build_pair_dataset
 from repro.rulers.base import RulerSuite
 from repro.rulers.suite import default_suite
+from repro.smt.diskcache import default_cache
 from repro.smt.params import IVY_BRIDGE, SANDY_BRIDGE_EN
 from repro.smt.simulator import PairMode, Simulator
 from repro.workloads.cloudsuite import cloudsuite_apps
@@ -38,13 +39,13 @@ __all__ = [
 @lru_cache(maxsize=None)
 def ivy_simulator() -> Simulator:
     """The Ivy Bridge machine of the SPEC accuracy experiments."""
-    return Simulator(IVY_BRIDGE)
+    return Simulator(IVY_BRIDGE, disk_cache=default_cache())
 
 
 @lru_cache(maxsize=None)
 def snb_simulator() -> Simulator:
     """The Sandy Bridge-EN machine of the CloudSuite/scale-out studies."""
-    return Simulator(SANDY_BRIDGE_EN)
+    return Simulator(SANDY_BRIDGE_EN, disk_cache=default_cache())
 
 
 @lru_cache(maxsize=None)

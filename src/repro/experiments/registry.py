@@ -28,8 +28,8 @@ from repro.experiments.fig14_17_scaleout import (
     run_fig17,
 )
 
-__all__ = ["EXPERIMENTS", "all_experiment_ids", "get_experiment",
-           "run_experiment"]
+__all__ = ["EXPERIMENTS", "EXPERIMENT_FAMILIES", "all_experiment_ids",
+           "get_experiment", "group_by_family", "run_experiment"]
 
 ExperimentFn = Callable[[ExperimentConfig], ExperimentResult]
 
@@ -52,6 +52,42 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "fig17": run_fig17,
     "fig18": fig18_tco.run,
 }
+
+
+#: Experiments that share expensive in-process fixtures (the memoized
+#: characterizations, predictors, and scale-out studies in
+#: :mod:`repro.experiments.context` and the figure modules). A parallel
+#: runner should keep each family in one worker: splitting a family
+#: across processes recomputes its shared fixture once per process.
+#: Ordered roughly most-expensive-first so a longest-job-first scheduler
+#: can simply submit in declaration order.
+EXPERIMENT_FAMILIES: tuple[tuple[str, ...], ...] = (
+    ("fig14", "fig15", "fig18"),   # average-performance scale-out study
+    ("fig16", "fig17"),            # tail-latency scale-out study
+    ("fig12", "fig13"),            # CloudSuite predictor + tail models
+    ("fig10", "fig11"),            # SPEC accuracy predictors
+    ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9"),
+    ("table1",),
+)
+
+
+def group_by_family(ids: list[str]) -> list[list[str]]:
+    """Partition requested ids into fixture-sharing work units.
+
+    Family-internal order follows the request; unknown ids become
+    singleton groups (get_experiment will report them properly later).
+    """
+    groups: dict[int, list[str]] = {}
+    family_of = {eid: i for i, family in enumerate(EXPERIMENT_FAMILIES)
+                 for eid in family}
+    extras: list[list[str]] = []
+    for eid in ids:
+        index = family_of.get(eid)
+        if index is None:
+            extras.append([eid])
+        else:
+            groups.setdefault(index, []).append(eid)
+    return [groups[i] for i in sorted(groups)] + extras
 
 
 def all_experiment_ids() -> list[str]:

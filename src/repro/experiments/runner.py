@@ -5,19 +5,43 @@ Usage::
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner fig10 fig11
     python -m repro.experiments.runner --all [--fast] [--json out.json]
+    python -m repro.experiments.runner --all --jobs 4
+
+With ``--jobs N`` (or ``SMITE_JOBS=N``) experiments fan out over a
+process pool. Workers share the persistent solve cache (atomic writes,
+no locking needed), so the expensive fixed-point solves are computed
+once cluster-wide even when several experiments need the same ones; a
+warm cache makes re-runs nearly solver-free.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
-from repro.experiments.base import ExperimentConfig
-from repro.experiments.registry import all_experiment_ids, run_experiment
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import (
+    all_experiment_ids,
+    group_by_family,
+    run_experiment,
+)
 
 __all__ = ["main"]
+
+
+def _default_jobs() -> int:
+    raw = os.environ.get("SMITE_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        print(f"ignoring invalid SMITE_JOBS={raw!r}", file=sys.stderr)
+        return 1
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -37,7 +61,38 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--json", metavar="PATH",
                         help="also dump results (rows + metrics) as JSON")
+    parser.add_argument("--jobs", "-j", type=int, default=_default_jobs(),
+                        metavar="N",
+                        help="worker processes (default: $SMITE_JOBS or 1)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persistent solve-cache directory "
+                             "(default: $SMITE_CACHE_DIR or .smite_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent solve cache")
     return parser.parse_args(argv)
+
+
+def _run_one(experiment_id: str,
+             config: ExperimentConfig) -> tuple[ExperimentResult, float]:
+    """Run one experiment; module-level so worker processes can pickle it."""
+    started = time.time()
+    result = run_experiment(experiment_id, config)
+    return result, time.time() - started
+
+
+def _run_group(
+    ids: list[str], config: ExperimentConfig,
+) -> list[tuple[ExperimentResult, float]]:
+    """Run one fixture-sharing family serially inside a worker."""
+    return [_run_one(experiment_id, config) for experiment_id in ids]
+
+
+def _apply_cache_env(args: argparse.Namespace) -> None:
+    """Translate cache flags into the env vars the workers inherit."""
+    if args.no_cache:
+        os.environ["SMITE_NO_CACHE"] = "1"
+    elif args.cache_dir is not None:
+        os.environ["SMITE_CACHE_DIR"] = args.cache_dir
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,13 +106,29 @@ def main(argv: list[str] | None = None) -> int:
         print("nothing to run; pass experiment ids or --all (see --list)",
               file=sys.stderr)
         return 2
+    _apply_cache_env(args)
 
     config = ExperimentConfig(fast=args.fast, seed=args.seed)
+    jobs = max(1, args.jobs)
+    groups = group_by_family(ids)
     dumps = {}
+    if jobs == 1 or len(groups) == 1:
+        outcomes = {experiment_id: _run_one(experiment_id, config)
+                    for experiment_id in ids}
+    else:
+        # One task per fixture-sharing family (splitting a family across
+        # workers would recompute its shared fixtures per process); the
+        # groups come back heaviest-first, keeping workers balanced.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
+            futures = [pool.submit(_run_group, group, config)
+                       for group in groups]
+            outcomes = {
+                experiment_id: outcome
+                for group, future in zip(groups, futures)
+                for experiment_id, outcome in zip(group, future.result())
+            }
     for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(experiment_id, config)
-        elapsed = time.time() - started
+        result, elapsed = outcomes[experiment_id]
         print(result.render())
         print(f"[{experiment_id} completed in {elapsed:.1f}s]")
         print()

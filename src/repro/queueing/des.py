@@ -73,14 +73,7 @@ def simulate_fcfs_mm1(
     inter_arrivals = rng.exponential(1.0 / arrival_rate, size=jobs)
     services = rng.exponential(1.0 / service_rate, size=jobs)
 
-    waits = np.empty(jobs)
-    wait = 0.0
-    for k in range(jobs):
-        waits[k] = wait
-        # Lindley: next wait = max(0, this wait + service - next gap).
-        if k + 1 < jobs:
-            wait = max(0.0, wait + services[k] - inter_arrivals[k + 1])
-    sojourn = waits + services
+    sojourn = _lindley_waits(inter_arrivals, services) + services
 
     skip = int(jobs * warmup_fraction)
     return FcfsQueueSimulation(
@@ -88,3 +81,31 @@ def simulate_fcfs_mm1(
         service_rate=service_rate,
         sojourn_times=sojourn[skip:],
     )
+
+
+def _lindley_waits(inter_arrivals: np.ndarray,
+                   services: np.ndarray) -> np.ndarray:
+    """Waiting times under the Lindley recursion, in closed form.
+
+    The recursion ``W_{k+1} = max(0, W_k + S_k - A_{k+1})`` unrolls to
+    ``W_k = P_k - min_{0<=j<=k} P_j`` where ``P`` is the prefix sum of
+    the increments ``S_k - A_{k+1}`` (with ``P_0 = 0``): each reset to an
+    empty queue is exactly the running minimum re-anchoring the sum. Two
+    cumulative passes replace the per-job Python loop.
+    """
+    increments = services[:-1] - inter_arrivals[1:]
+    prefix = np.concatenate(([0.0], np.cumsum(increments)))
+    return prefix - np.minimum.accumulate(prefix)
+
+
+def _lindley_waits_reference(inter_arrivals: np.ndarray,
+                             services: np.ndarray) -> np.ndarray:
+    """Direct per-job recursion; kept as the oracle for agreement tests."""
+    jobs = services.size
+    waits = np.empty(jobs)
+    wait = 0.0
+    for k in range(jobs):
+        waits[k] = wait
+        if k + 1 < jobs:
+            wait = max(0.0, wait + services[k] - inter_arrivals[k + 1])
+    return waits

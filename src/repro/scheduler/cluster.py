@@ -18,7 +18,7 @@ from repro.core.tail import TailLatencyModel
 from repro.errors import SchedulingError
 from repro.scheduler.policies import ColocationPolicy
 from repro.scheduler.qos import QosTarget
-from repro.smt.simulator import Simulator
+from repro.smt.simulator import ContextPlacement, Simulator
 from repro.workloads.cloudsuite import LatencySensitiveWorkload
 from repro.workloads.profile import WorkloadProfile
 
@@ -98,7 +98,19 @@ class Cluster:
         *,
         tail_models: dict[str, TailLatencyModel] | None = None,
     ) -> None:
-        """Run the policy over every server and record actual outcomes."""
+        """Run the policy over every server and record actual outcomes.
+
+        Decisions run strictly in server order (policies may be stateful),
+        but the solves behind them are batched: an oracle-style policy gets
+        its whole (app, candidate, instances) decision space prefetched up
+        front, and the outcome measurements are prefetched between the
+        decision and measurement passes. With 4,000 servers drawing from a
+        small app x candidate pool, this collapses thousands of
+        ``measure_server_degradation`` calls into a few batch solves.
+        """
+        if policy.uses_simulator:
+            self._prefetch_decision_space()
+        decisions: list[int] = []
         for server in self.servers:
             tail_model = None
             if tail_models is not None:
@@ -107,13 +119,15 @@ class Cluster:
                     raise SchedulingError(
                         f"no tail model for {server.latency_app.name}"
                     )
-            instances = policy.decide(
+            decisions.append(policy.decide(
                 server.latency_app,
                 server.batch_candidate,
                 target,
                 max_instances=self.threads_per_server,
                 tail_model=tail_model,
-            )
+            ))
+        self._prefetch_outcomes(decisions)
+        for server, instances in zip(self.servers, decisions):
             server.instances = instances
             if instances == 0:
                 server.actual_degradation = 0.0
@@ -126,6 +140,33 @@ class Cluster:
                         mode="smt",
                     )
                 )
+
+    def _prefetch_decision_space(self) -> None:
+        """Batch-solve every placement an exhaustive policy could query."""
+        jobs = []
+        for app, batch in {(s.latency_app, s.batch_candidate)
+                           for s in self.servers}:
+            jobs.append([ContextPlacement(batch, core=0)])
+            jobs.extend(
+                self.simulator.server_placements(app.profile, batch,
+                                                 instances=k, mode="smt")
+                for k in range(self.threads_per_server + 1)
+            )
+        self.simulator.prefetch(jobs)
+
+    def _prefetch_outcomes(self, decisions: Sequence[int]) -> None:
+        """Batch-solve the placements the measurement pass will read."""
+        jobs = []
+        for app, batch, instances in {
+            (s.latency_app, s.batch_candidate, k)
+            for s, k in zip(self.servers, decisions) if k > 0
+        }:
+            jobs.append([ContextPlacement(batch, core=0)])
+            jobs.append(self.simulator.server_placements(
+                app.profile, batch, instances=0, mode="smt"))
+            jobs.append(self.simulator.server_placements(
+                app.profile, batch, instances=instances, mode="smt"))
+        self.simulator.prefetch(jobs)
 
     # ------------------------------------------------------------------
 

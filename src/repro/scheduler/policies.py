@@ -40,6 +40,9 @@ class ColocationPolicy(ABC):
     """Decides batch-instance counts per server."""
 
     name: str = "policy"
+    #: True when ``decide`` itself queries the simulator (so a driver can
+    #: bulk-prefetch the decision space before the per-server loop).
+    uses_simulator: bool = False
 
     @abstractmethod
     def decide(
@@ -90,6 +93,7 @@ class OraclePolicy(ColocationPolicy):
     """Admit based on the actual measured degradation (offline exhaustive)."""
 
     name = "oracle"
+    uses_simulator = True
 
     def __init__(self, simulator: Simulator) -> None:
         self.simulator = simulator

@@ -97,15 +97,14 @@ def random_counts_for_gain(
     """
     if total_instances > n_servers * max_per_server:
         raise SchedulingError("cannot place that many instances")
+    # A seeded shuffle of every available (server, slot) pair, keeping the
+    # first ``total_instances``: one pass, no rejection loop, and every
+    # feasible assignment remains equally likely.
     rng = np.random.default_rng(seed)
-    counts = {i: 0 for i in range(n_servers)}
-    placed = 0
-    while placed < total_instances:
-        candidate = int(rng.integers(0, n_servers))
-        if counts[candidate] < max_per_server:
-            counts[candidate] += 1
-            placed += 1
-    return counts
+    slots = np.repeat(np.arange(n_servers), max_per_server)
+    rng.shuffle(slots)
+    filled = np.bincount(slots[:total_instances], minlength=n_servers)
+    return {i: int(filled[i]) for i in range(n_servers)}
 
 
 @dataclass

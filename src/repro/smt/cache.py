@@ -12,6 +12,13 @@ portion of its footprint the level could hold. This is how an LRU cache
 behaves under interleaved access streams, and it is exactly the mechanism
 a Ruler exploits — a high-rate stream over a footprint equal to the cache
 size claims roughly half the capacity.
+
+Pressures here are *intrinsic* — built from access rates and footprints,
+never from the evolving IPC estimates. The batch solver
+(:mod:`repro.smt.batch`) relies on that: it computes capacity shares and
+hit fractions once per problem instead of once per iteration. If sharing
+ever becomes IPC-dependent, that hoist (and the scalar loop's idempotent
+recompute) must both change.
 """
 
 from __future__ import annotations

@@ -1,0 +1,161 @@
+"""Persistent on-disk cache for steady-state solves.
+
+Re-running the experiment pipeline after an unrelated edit should skip
+every already-converged solve. The cache keys a solve by a content hash
+of everything that determines its result:
+
+- the full machine spec (architecture facts *and* model knobs);
+- the canonical placement: every profile's full value tuple plus its
+  core assignment;
+- the solver's iteration limits; and
+- a hash of the interference-model *source code* itself, so editing the
+  model silently invalidates stale entries while edits elsewhere in the
+  repo (experiments, scheduler, docs) leave the cache warm.
+
+Entries are one pickle file per solve under ``<root>/solves/<hh>/``,
+written atomically (temp file + rename) so concurrent experiment workers
+can share one cache directory without locking. The default location is
+``.smite_cache/`` in the working directory; ``SMITE_CACHE_DIR`` moves it
+and ``SMITE_NO_CACHE=1`` disables it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Sequence
+
+from repro.smt.params import MachineSpec
+from repro.smt.results import RunResult
+from repro.smt.solver import ContextPlacement
+
+__all__ = ["PersistentSolveCache", "default_cache", "solve_key"]
+
+_CACHE_SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def _model_code_hash() -> str:
+    """Hash of every source file whose edits change solve results."""
+    from repro.isa import opcodes
+    from repro.smt import batch, cache, membw, params, ports, results, solver
+    from repro.workloads import profile
+
+    digest = hashlib.sha256()
+    for module in (solver, batch, cache, ports, membw, params, results,
+                   profile, opcodes):
+        digest.update(Path(module.__file__).read_bytes())
+    return digest.hexdigest()
+
+
+def _machine_payload(machine: MachineSpec) -> str:
+    """The machine's rendered value tuple, cached on the frozen instance."""
+    try:
+        return machine.__dict__["_cache_payload"]
+    except KeyError:
+        payload = repr(dataclasses.astuple(machine))
+        object.__setattr__(machine, "_cache_payload", payload)
+        return payload
+
+
+def _profile_payload(profile) -> str:
+    """A profile's rendered value tuple, cached on the frozen instance."""
+    try:
+        return profile.__dict__["_cache_payload"]
+    except KeyError:
+        payload = repr(profile.key())
+        object.__setattr__(profile, "_cache_payload", payload)
+        return payload
+
+
+def solve_key(machine: MachineSpec,
+              placements: Sequence[ContextPlacement],
+              *,
+              max_iterations: int | None = None,
+              tolerance: float | None = None) -> str:
+    """Deterministic content hash identifying one solve."""
+    payload = repr((
+        _CACHE_SCHEMA_VERSION,
+        _machine_payload(machine),
+        [(_profile_payload(pl.profile), pl.core) for pl in placements],
+        max_iterations,
+        tolerance,
+    ))
+    digest = hashlib.sha256(_model_code_hash().encode())
+    digest.update(payload.encode())
+    return digest.hexdigest()
+
+
+class PersistentSolveCache:
+    """A directory of pickled :class:`RunResult` keyed by content hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "solves" / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> RunResult | None:
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # A truncated or stale-format entry can raise nearly anything
+            # out of the pickle machinery (UnpicklingError, ValueError,
+            # EOFError, AttributeError, ...): drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic on POSIX: safe across workers
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __len__(self) -> int:
+        solves = self.root / "solves"
+        if not solves.is_dir():
+            return 0
+        return sum(1 for _ in solves.glob("*/*.pkl"))
+
+
+def default_cache() -> PersistentSolveCache | None:
+    """The environment-configured cache (None when disabled).
+
+    ``SMITE_CACHE_DIR`` overrides the ``.smite_cache`` default (an empty
+    value disables caching, as does ``SMITE_NO_CACHE=1``).
+    """
+    if os.environ.get("SMITE_NO_CACHE"):
+        return None
+    root = os.environ.get("SMITE_CACHE_DIR", ".smite_cache")
+    if not root:
+        return None
+    return PersistentSolveCache(root)

@@ -5,6 +5,9 @@ L3-missing access times the line size; as aggregate traffic approaches the
 peak, effective DRAM latency inflates with the usual open-queue factor
 ``1 + beta * rho / (1 - rho)`` (rho capped to keep the model finite when a
 streaming workload would nominally over-subscribe the channels).
+
+:mod:`repro.smt.batch` evaluates the same traffic sum and latency factor
+per problem inside its stacked iteration; keep the formulas in lockstep.
 """
 
 from __future__ import annotations

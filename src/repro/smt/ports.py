@@ -10,6 +10,10 @@ scheduler achieves in steady state.
 port when its core sibling keeps that port busy a fraction ``rho`` of
 cycles: ``1 + kappa * rho / (1 - rho)``, with ``rho`` capped so a
 saturating Ruler produces a large-but-finite slowdown.
+
+:mod:`repro.smt.batch` carries row-vectorized twins of ``water_fill``
+and the pinned/flexible placement order below; changes here must be
+mirrored there (the batch-vs-scalar property tests will object if not).
 """
 
 from __future__ import annotations

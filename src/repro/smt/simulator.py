@@ -22,11 +22,15 @@ IPCs.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Literal, Sequence
 
 from repro.errors import ConfigurationError
+from repro.smt.batch import solve_many
+from repro.smt.diskcache import PersistentSolveCache, solve_key
 from repro.smt.params import IVY_BRIDGE, MachineSpec
 from repro.smt.pmu import PmuDefectModel, read_pmu
 from repro.smt.results import ContextResult, RunResult
@@ -36,6 +40,54 @@ from repro.workloads.profile import WorkloadProfile
 __all__ = ["Simulator", "ContextPlacement", "PairMode"]
 
 PairMode = Literal["smt", "cmp"]
+
+
+def _profile_sort_key(profile: WorkloadProfile) -> tuple[str, str]:
+    """A deterministic (cross-process) total order on profiles.
+
+    Cached on the (immutable) profile: rendering the full value tuple is
+    much too slow to redo on every canonicalization of the hot
+    measurement paths.
+    """
+    try:
+        return profile.__dict__["_sort_key"]
+    except KeyError:
+        sort_key = (profile.name, repr(profile.key()))
+        object.__setattr__(profile, "_sort_key", sort_key)
+        return sort_key
+
+
+def _canonical_placements(
+    placements: Sequence[ContextPlacement],
+) -> tuple[list[ContextPlacement], list[int]]:
+    """Reduce a placement to its canonical symmetric form.
+
+    Cores are homogeneous and context order is irrelevant to the model's
+    fixed point, so ``run_pair(a, b)`` and ``run_pair(b, a)`` — or any
+    core relabeling — describe one physical co-location. Members of each
+    core are sorted, cores are sorted by their member multisets and
+    relabeled densely from zero. Returns the canonical placement plus
+    the original indices in canonical order (to map results back).
+    """
+    by_core: dict[int, list[int]] = {}
+    for i, pl in enumerate(placements):
+        by_core.setdefault(pl.core, []).append(i)
+    groups = []
+    for members in by_core.values():
+        ordered = sorted(members,
+                         key=lambda i: _profile_sort_key(placements[i].profile))
+        group_key = tuple(_profile_sort_key(placements[i].profile)
+                          for i in ordered)
+        groups.append((group_key, ordered))
+    groups.sort(key=lambda g: g[0])
+    canonical: list[ContextPlacement] = []
+    order: list[int] = []
+    for new_core, (_key, ordered) in enumerate(groups):
+        for i in ordered:
+            canonical.append(ContextPlacement(placements[i].profile,
+                                              core=new_core))
+            order.append(i)
+    return canonical, order
 
 
 @dataclass(frozen=True)
@@ -64,6 +116,7 @@ class Simulator:
         jitter: float = 0.01,
         seed: int = 0,
         pmu_defects: PmuDefectModel | None = None,
+        disk_cache: PersistentSolveCache | str | Path | None = None,
     ) -> None:
         if jitter < 0 or jitter >= 0.5:
             raise ConfigurationError(f"jitter must be in [0, 0.5), got {jitter}")
@@ -71,6 +124,9 @@ class Simulator:
         self.jitter = jitter
         self.seed = seed
         self.pmu_defects = pmu_defects if pmu_defects is not None else PmuDefectModel()
+        if isinstance(disk_cache, (str, Path)):
+            disk_cache = PersistentSolveCache(disk_cache)
+        self.disk_cache = disk_cache
         self._cache: dict[tuple, RunResult] = {}
         self._solve_count = 0
 
@@ -78,15 +134,112 @@ class Simulator:
     # Raw solves (no measurement jitter)
 
     def run(self, placements: Sequence[ContextPlacement]) -> RunResult:
-        """Solve an arbitrary placement, memoized."""
-        key = tuple((p.profile, p.core) for p in placements)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = solve(self.machine, placements)
+        """Solve an arbitrary placement, memoized.
+
+        Memoization is symmetry-aware: placements that differ only by
+        context order or core labels share one solve, so the AxB and BxA
+        halves of a pair grid cost one fixed point each.
+        """
+        placements = list(placements)
+        canonical, order = _canonical_placements(placements)
+        key = self._memo_key(canonical)
+        result = self._cache.get(key)
+        if result is None:
+            result = self._solve_canonical(canonical, key)
+        return self._reindex(result, order, placements)
+
+    def run_many(
+        self, placements_list: Sequence[Sequence[ContextPlacement]],
+    ) -> list[RunResult]:
+        """Solve many independent placements, batched.
+
+        Cache misses (memory, then disk) are deduplicated by canonical
+        key and handed to the vectorized batch solver in one stacked
+        iteration; results land in both caches. Output order matches the
+        input.
+        """
+        requests = []
+        todo: dict[tuple, list[ContextPlacement]] = {}
+        for placements in placements_list:
+            placements = list(placements)
+            canonical, order = _canonical_placements(placements)
+            key = self._memo_key(canonical)
+            requests.append((key, order, placements))
+            if key not in self._cache and key not in todo:
+                if self._load_from_disk(canonical, key) is None:
+                    todo[key] = canonical
+        if todo:
+            keys = list(todo)
+            solved = solve_many(self.machine, [todo[k] for k in keys])
+            for key, canonical, result in zip(keys, (todo[k] for k in keys),
+                                              solved):
+                self._store(canonical, key, result)
+        return [self._reindex(self._cache[key], order, placements)
+                for key, order, placements in requests]
+
+    def prefetch(
+        self, placements_list: Sequence[Sequence[ContextPlacement]],
+    ) -> None:
+        """Fill the solve caches in bulk without materializing results."""
+        todo: dict[tuple, list[ContextPlacement]] = {}
+        for placements in placements_list:
+            canonical, _order = _canonical_placements(list(placements))
+            key = self._memo_key(canonical)
+            if key not in self._cache and key not in todo:
+                if self._load_from_disk(canonical, key) is None:
+                    todo[key] = canonical
+        if todo:
+            keys = list(todo)
+            solved = solve_many(self.machine, [todo[k] for k in keys])
+            for key, result in zip(keys, solved):
+                self._store(todo[key], key, result)
+
+    # -- cache plumbing -------------------------------------------------
+
+    @staticmethod
+    def _memo_key(canonical: Sequence[ContextPlacement]) -> tuple:
+        return tuple((pl.profile, pl.core) for pl in canonical)
+
+    def _load_from_disk(self, canonical: list[ContextPlacement],
+                        key: tuple) -> RunResult | None:
+        if self.disk_cache is None:
+            return None
+        result = self.disk_cache.get(solve_key(self.machine, canonical))
+        if result is not None:
+            self._cache[key] = result
+        return result
+
+    def _store(self, canonical: Sequence[ContextPlacement], key: tuple,
+               result: RunResult) -> None:
         self._cache[key] = result
         self._solve_count += 1
+        if self.disk_cache is not None:
+            self.disk_cache.put(solve_key(self.machine, canonical), result)
+
+    def _solve_canonical(self, canonical: list[ContextPlacement],
+                         key: tuple) -> RunResult:
+        result = self._load_from_disk(canonical, key)
+        if result is None:
+            result = solve(self.machine, canonical)
+            self._store(canonical, key, result)
         return result
+
+    @staticmethod
+    def _reindex(canonical_result: RunResult, order: list[int],
+                 placements: list[ContextPlacement]) -> RunResult:
+        """Map a canonical solve back to the caller's context order."""
+        if order == list(range(len(order))) and all(
+            ctx.core == pl.core
+            for ctx, pl in zip(canonical_result.contexts, placements)
+        ):
+            return canonical_result
+        inverse = {orig: pos for pos, orig in enumerate(order)}
+        contexts = tuple(
+            dataclasses.replace(canonical_result.contexts[inverse[i]],
+                                core=pl.core)
+            for i, pl in enumerate(placements)
+        )
+        return dataclasses.replace(canonical_result, contexts=contexts)
 
     def run_solo(self, profile: WorkloadProfile) -> ContextResult:
         """One context alone on the machine."""
@@ -100,7 +253,7 @@ class Simulator:
         return self.run([ContextPlacement(a, core=0),
                          ContextPlacement(b, core=core_b)])
 
-    def run_server(
+    def server_placements(
         self,
         latency_profile: WorkloadProfile,
         batch_profile: WorkloadProfile,
@@ -108,15 +261,8 @@ class Simulator:
         instances: int,
         mode: PairMode = "smt",
         latency_threads: int | None = None,
-    ) -> RunResult:
-        """The CloudSuite server topology (Section IV-B2).
-
-        SMT mode: ``latency_threads`` (default: one per core, i.e. a
-        half-loaded server) latency contexts on distinct cores, plus
-        ``instances`` batch contexts on the sibling SMT slots of the first
-        cores. CMP mode: latency threads on the first cores, batch
-        instances on the remaining (otherwise idle) cores.
-        """
+    ) -> list[ContextPlacement]:
+        """The placement list :meth:`run_server` solves (for prefetching)."""
         self._check_mode(mode)
         cores = self.machine.cores
         if mode == "smt":
@@ -148,7 +294,29 @@ class Simulator:
                           for i in range(threads)]
             placements += [ContextPlacement(batch_profile, core=threads + i)
                            for i in range(instances)]
-        return self.run(placements)
+        return placements
+
+    def run_server(
+        self,
+        latency_profile: WorkloadProfile,
+        batch_profile: WorkloadProfile,
+        *,
+        instances: int,
+        mode: PairMode = "smt",
+        latency_threads: int | None = None,
+    ) -> RunResult:
+        """The CloudSuite server topology (Section IV-B2).
+
+        SMT mode: ``latency_threads`` (default: one per core, i.e. a
+        half-loaded server) latency contexts on distinct cores, plus
+        ``instances`` batch contexts on the sibling SMT slots of the first
+        cores. CMP mode: latency threads on the first cores, batch
+        instances on the remaining (otherwise idle) cores.
+        """
+        return self.run(self.server_placements(
+            latency_profile, batch_profile, instances=instances, mode=mode,
+            latency_threads=latency_threads,
+        ))
 
     # ------------------------------------------------------------------
     # Measurements (with jitter) and Eq. 7 degradations

@@ -16,6 +16,12 @@ fixed point with damped iteration:
 
 The model is smooth and contractive under damping; ~50-150 iterations
 converge to 1e-6 for every workload population we ship.
+
+This module is the *reference implementation*. :mod:`repro.smt.batch`
+vectorizes the identical iteration across many independent problems and
+must stay in lockstep: any change to the update order, the CPI terms, or
+the damping here has a twin in ``batch.py``, and the property tests in
+``tests/properties/test_prop_batch.py`` hold the two to 1e-6 agreement.
 """
 
 from __future__ import annotations

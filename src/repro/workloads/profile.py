@@ -212,5 +212,15 @@ class WorkloadProfile:
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
 
     def key(self) -> tuple:
-        """A full value tuple, usable as a memoization key."""
-        return dataclasses.astuple(self)
+        """A full value tuple, usable as a memoization key.
+
+        ``astuple`` recurses (and deepcopies) the whole profile, which is
+        far too slow for the hot canonicalization path, so the tuple is
+        computed once and stashed on the (frozen, immutable) instance.
+        """
+        try:
+            return self.__dict__["_key"]
+        except KeyError:
+            key = dataclasses.astuple(self)
+            object.__setattr__(self, "_key", key)
+            return key

@@ -1,9 +1,14 @@
 """Tests for the discrete-event FCFS queue simulator."""
 
+import numpy as np
 import pytest
 
 from repro.errors import QueueingError
-from repro.queueing.des import simulate_fcfs_mm1
+from repro.queueing.des import (
+    _lindley_waits,
+    _lindley_waits_reference,
+    simulate_fcfs_mm1,
+)
 from repro.queueing.mm1 import Mm1Queue
 
 
@@ -26,6 +31,39 @@ class TestAgainstTheory:
         light = simulate_fcfs_mm1(20.0, 100.0, jobs=100_000, seed=3)
         heavy = simulate_fcfs_mm1(80.0, 100.0, jobs=100_000, seed=3)
         assert heavy.percentile(0.9) > 3 * light.percentile(0.9)
+
+
+class TestLindleyVectorization:
+    """The closed-form cumulative recursion equals the per-job loop."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    @pytest.mark.parametrize("load", [0.2, 0.5, 0.9, 0.99])
+    def test_waits_match_reference(self, seed, load):
+        rng = np.random.default_rng(seed)
+        inter_arrivals = rng.exponential(1.0, size=20_000)
+        services = rng.exponential(load, size=20_000)
+        fast = _lindley_waits(inter_arrivals, services)
+        slow = _lindley_waits_reference(inter_arrivals, services)
+        assert np.allclose(fast, slow, rtol=1e-9, atol=1e-9)
+
+    def test_percentiles_match_reference(self):
+        run = simulate_fcfs_mm1(80.0, 100.0, jobs=120_000, seed=11)
+        rng = np.random.default_rng(11)
+        inter_arrivals = rng.exponential(1.0 / 80.0, size=120_000)
+        services = rng.exponential(1.0 / 100.0, size=120_000)
+        sojourn = _lindley_waits_reference(inter_arrivals, services) + services
+        skip = int(120_000 * 0.05)
+        for p in (0.5, 0.9, 0.99):
+            assert run.percentile(p) == pytest.approx(
+                float(np.quantile(sojourn[skip:], p)), rel=1e-9)
+
+    def test_empty_queue_resets(self):
+        # Huge gaps force repeated idle periods; every reset must land
+        # exactly on zero wait.
+        inter_arrivals = np.full(100, 10.0)
+        services = np.full(100, 1.0)
+        waits = _lindley_waits(inter_arrivals, services)
+        assert (waits == 0.0).all()
 
 
 class TestMechanics:

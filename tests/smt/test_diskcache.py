@@ -1,0 +1,163 @@
+"""Tests for symmetric memoization, run_many, and the persistent cache."""
+
+import pickle
+
+import pytest
+
+from repro.smt.diskcache import PersistentSolveCache, default_cache, solve_key
+from repro.smt.params import IVY_BRIDGE, SANDY_BRIDGE_EN
+from repro.smt.simulator import ContextPlacement, Simulator
+from repro.workloads.spec import SPEC_CPU2006
+
+
+def _profiles(n):
+    return list(dict(SPEC_CPU2006).values())[:n]
+
+
+class TestSymmetricMemoization:
+    def test_swapped_pair_reuses_solve(self, mcf, namd):
+        sim = Simulator(IVY_BRIDGE, jitter=0.0)
+        ab = sim.run_pair(mcf, namd, "smt")
+        solves = sim.solve_count
+        ba = sim.run_pair(namd, mcf, "smt")
+        assert sim.solve_count == solves
+        assert ba[0].ipc == ab[1].ipc
+        assert ba[1].ipc == ab[0].ipc
+        assert ba[0].profile == namd
+        assert ba[1].profile == mcf
+
+    def test_core_relabeling_reuses_solve(self, mcf, namd):
+        sim = Simulator(IVY_BRIDGE, jitter=0.0)
+        first = sim.run([ContextPlacement(mcf, core=0),
+                         ContextPlacement(namd, core=2)])
+        solves = sim.solve_count
+        second = sim.run([ContextPlacement(namd, core=3),
+                          ContextPlacement(mcf, core=1)])
+        assert sim.solve_count == solves
+        assert second[0].ipc == first[1].ipc
+        assert second[1].ipc == first[0].ipc
+        # results carry the caller's core labels, not the canonical ones
+        assert second[0].core == 3
+        assert second[1].core == 1
+
+    def test_pair_grid_costs_one_triangle(self):
+        profiles = _profiles(5)
+        sim = Simulator(IVY_BRIDGE, jitter=0.0)
+        for a in profiles:
+            for b in profiles:
+                sim.run_pair(a, b, "smt")
+        # 25 ordered pairs, but only n*(n+1)/2 = 15 distinct co-locations
+        assert sim.solve_count == 15
+
+
+class TestRunMany:
+    def test_matches_run_and_dedups(self, mcf, namd, lbm):
+        sim = Simulator(IVY_BRIDGE, jitter=0.0)
+        jobs = [
+            [ContextPlacement(mcf, core=0)],
+            [ContextPlacement(mcf, core=0), ContextPlacement(namd, core=0)],
+            [ContextPlacement(namd, core=0), ContextPlacement(mcf, core=0)],
+            [ContextPlacement(lbm, core=0), ContextPlacement(lbm, core=1)],
+        ]
+        results = sim.run_many(jobs)
+        assert sim.solve_count == 3  # the swapped pair is free
+        reference = Simulator(IVY_BRIDGE, jitter=0.0)
+        for job, got in zip(jobs, results):
+            want = reference.run(job)
+            assert [c.ipc for c in got.contexts] == \
+                [c.ipc for c in want.contexts]
+            assert [c.core for c in got.contexts] == [pl.core for pl in job]
+
+    def test_prefetch_makes_runs_free(self, mcf, namd):
+        sim = Simulator(IVY_BRIDGE, jitter=0.0)
+        jobs = [[ContextPlacement(mcf, core=0), ContextPlacement(namd, core=0)]]
+        sim.prefetch(jobs)
+        solves = sim.solve_count
+        sim.run_pair(mcf, namd, "smt")
+        sim.run_pair(namd, mcf, "smt")
+        assert sim.solve_count == solves
+
+
+class TestPersistentCache:
+    def test_warm_simulator_never_solves(self, tmp_path, mcf, namd, lbm):
+        profiles = [mcf, namd, lbm]
+        cold = Simulator(IVY_BRIDGE, jitter=0.0, disk_cache=tmp_path)
+        for a in profiles:
+            for b in profiles:
+                cold.run_pair(a, b, "smt")
+        cold.run_many([[ContextPlacement(p, core=0)] for p in profiles])
+        assert cold.solve_count > 0
+        assert cold.disk_cache.writes == cold.solve_count
+
+        warm = Simulator(IVY_BRIDGE, jitter=0.0, disk_cache=tmp_path)
+        for a in profiles:
+            for b in profiles:
+                warm.run_pair(a, b, "smt")
+        warm.run_many([[ContextPlacement(p, core=0)] for p in profiles])
+        assert warm.solve_count == 0
+
+    def test_warm_results_identical(self, tmp_path, mcf, namd):
+        cold = Simulator(IVY_BRIDGE, jitter=0.0, disk_cache=tmp_path)
+        first = cold.run_pair(mcf, namd, "smt")
+        warm = Simulator(IVY_BRIDGE, jitter=0.0, disk_cache=tmp_path)
+        second = warm.run_pair(mcf, namd, "smt")
+        assert first == second
+
+    def test_key_separates_machines(self, mcf):
+        placements = [ContextPlacement(mcf, core=0)]
+        assert solve_key(IVY_BRIDGE, placements) != \
+            solve_key(SANDY_BRIDGE_EN, placements)
+
+    def test_key_separates_topologies(self, mcf, namd):
+        smt = [ContextPlacement(mcf, core=0), ContextPlacement(namd, core=0)]
+        cmp_ = [ContextPlacement(mcf, core=0), ContextPlacement(namd, core=1)]
+        assert solve_key(IVY_BRIDGE, smt) != solve_key(IVY_BRIDGE, cmp_)
+
+    # Corrupt bytes take different routes out of the pickle machinery:
+    # b"not a pickle" raises UnpicklingError, but b"garbage\n" parses as
+    # a LONG opcode and raises ValueError. Both must fall back to a miss.
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b""])
+    def test_corrupt_entry_recomputed(self, tmp_path, mcf, junk):
+        cache = PersistentSolveCache(tmp_path)
+        key = solve_key(IVY_BRIDGE, [ContextPlacement(mcf, core=0)])
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(junk)
+        assert cache.get(key) is None
+        assert not path.exists()
+        sim = Simulator(IVY_BRIDGE, jitter=0.0, disk_cache=cache)
+        assert sim.run_solo(mcf).ipc > 0
+
+    def test_roundtrip(self, tmp_path, mcf):
+        cache = PersistentSolveCache(tmp_path)
+        sim = Simulator(IVY_BRIDGE, jitter=0.0, disk_cache=cache)
+        result = sim.run_solo(mcf)
+        key = solve_key(IVY_BRIDGE, [ContextPlacement(mcf, core=0)])
+        stored = cache.get(key)
+        assert stored is not None
+        assert stored.contexts == (result,)
+        assert len(cache) == 1
+
+    def test_results_pickle_stable(self, mcf, namd):
+        # The cache stores pickles; RunResult must round-trip by value.
+        sim = Simulator(IVY_BRIDGE, jitter=0.0)
+        result = sim.run_pair(mcf, namd, "smt")
+        assert pickle.loads(pickle.dumps(result)) == result
+
+
+class TestDefaultCache:
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("SMITE_NO_CACHE", "1")
+        assert default_cache() is None
+
+    def test_disabled_by_empty_dir(self, monkeypatch):
+        monkeypatch.delenv("SMITE_NO_CACHE", raising=False)
+        monkeypatch.setenv("SMITE_CACHE_DIR", "")
+        assert default_cache() is None
+
+    def test_directory_override(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("SMITE_NO_CACHE", raising=False)
+        monkeypatch.setenv("SMITE_CACHE_DIR", str(tmp_path / "solves"))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.root == tmp_path / "solves"
