@@ -12,7 +12,10 @@ Two workflows an operator runs against a production-like cluster:
    QoS target.
 
 Run:  python examples/colocation_debugging.py
+(set SMITE_EXAMPLE_FAST=1 to train on a SPEC subset, for smoke tests)
 """
+
+import os
 
 from repro import SANDY_BRIDGE_EN, Simulator, SMiTe
 from repro.core import ProfilingBudget, admission_check
@@ -42,8 +45,11 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Workflow 2: online admission for an arriving batch job.
     print("\n== admitting arriving batch jobs at a 90% QoS target ==\n")
-    predictor = SMiTe(simulator).fit(spec_odd(), mode="smt")
-    predictor.fit_server(spec_odd(), instance_counts=(1, 2, 4, 6))
+    train_set = spec_odd()
+    if os.environ.get("SMITE_EXAMPLE_FAST"):
+        train_set = train_set[:8]
+    predictor = SMiTe(simulator).fit(train_set, mode="smt")
+    predictor.fit_server(train_set, instance_counts=(1, 2, 4, 6))
     target = QosTarget.average(0.90)
     for name in ("416.gamess", "444.namd", "470.lbm"):
         decision = admission_check(

@@ -8,8 +8,10 @@ to co-locate on the idle SMT contexts; we compare their utilization gain
 and QoS violations at three average-performance targets.
 
 Run:  python examples/datacenter_scheduling.py  [servers-per-app]
+(set SMITE_EXAMPLE_FAST=1 for a smoke-test-sized cluster and train set)
 """
 
+import os
 import sys
 
 from repro import SANDY_BRIDGE_EN, Simulator, SMiTe
@@ -18,19 +20,23 @@ from repro.scheduler import QosTarget, ScaleOutStudy
 from repro.workloads import cloudsuite_apps, spec_even, spec_odd
 
 
-def main(servers_per_app: int = 100) -> None:
+def main(servers_per_app: int | None = None) -> None:
+    fast = bool(os.environ.get("SMITE_EXAMPLE_FAST"))
+    if servers_per_app is None:
+        servers_per_app = 10 if fast else 100
     simulator = Simulator(SANDY_BRIDGE_EN)
 
+    train_set = spec_odd()[:8] if fast else spec_odd()
     print("training the SMiTe predictor on odd-numbered SPEC ...")
-    predictor = SMiTe(simulator).fit(spec_odd(), mode="smt")
+    predictor = SMiTe(simulator).fit(train_set, mode="smt")
     print("calibrating the server-topology models ...")
-    predictor.fit_server(spec_odd(), instance_counts=(1, 2, 4, 6))
+    predictor.fit_server(train_set, instance_counts=(1, 2, 4, 6))
 
     study = ScaleOutStudy(
         simulator=simulator,
         predictor=predictor,
         latency_apps=cloudsuite_apps(),
-        batch_pool=spec_even(),
+        batch_pool=spec_even()[:6] if fast else spec_even(),
         servers_per_app=servers_per_app,
     )
     targets = [QosTarget.average(level) for level in (0.95, 0.90, 0.85)]
@@ -66,4 +72,4 @@ def main(servers_per_app: int = 100) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 100)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else None)

@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Solver throughput regression gate.
+"""Solver throughput regression gate, with per-phase attribution.
 
 Runs the ``bench_regress``-marked micro-benchmarks in
 ``benchmarks/bench_solver_perf.py``, then compares the fresh numbers
 against the committed ``BENCH_solver.json`` baseline. The gate fails when
 the batch pair-grid throughput (the pipeline's dominant operation) drops
 more than 20% below the baseline.
+
+The benchmark session also emits a ``repro.obs`` run report
+(``SMITE_METRICS_OUT``), from which this gate derives *phase* numbers —
+mean scalar solve time, fixed-point iterations, batch time per problem —
+so a regression is attributed to the phase that slowed down rather than
+reported as one opaque ratio. ``--update`` stores the phases alongside
+the throughput baseline for future comparisons.
 
 Usage::
 
@@ -32,9 +39,10 @@ GATED_METRIC = "pair_grid_batch"
 ALLOWED_REGRESSION = 0.20
 
 
-def _run_benchmarks(out_path: Path) -> dict:
+def _run_benchmarks(out_path: Path, metrics_path: Path) -> tuple[dict, dict]:
     env = dict(os.environ)
     env["SMITE_BENCH_OUT"] = str(out_path)
+    env["SMITE_METRICS_OUT"] = str(metrics_path)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
     )
@@ -45,7 +53,56 @@ def _run_benchmarks(out_path: Path) -> dict:
     ]
     subprocess.run(command, cwd=REPO, env=env, check=True)
     with out_path.open(encoding="utf-8") as fh:
-        return json.load(fh)
+        fresh = json.load(fh)
+    metrics: dict = {}
+    if metrics_path.exists():
+        with metrics_path.open(encoding="utf-8") as fh:
+            metrics = json.load(fh).get("metrics", {})
+    return fresh, metrics
+
+
+def _phases(metrics: dict) -> dict[str, float]:
+    """Per-phase costs derived from the observability report."""
+    phases: dict[str, float] = {}
+    histograms = metrics.get("histograms", {})
+
+    def mean_of(name: str) -> float | None:
+        hist = histograms.get(name)
+        if not hist or not hist.get("count"):
+            return None
+        return hist["sum"] / hist["count"]
+
+    for phase, source in (
+        ("scalar_solve_mean_s", "smt.solver.solve_seconds"),
+        ("scalar_iterations_mean", "smt.solver.iterations"),
+        ("batch_call_mean_s", "smt.batch.solve_seconds"),
+    ):
+        value = mean_of(source)
+        if value is not None:
+            phases[phase] = value
+    counters = metrics.get("counters", {})
+    calls = counters.get("smt.batch.calls", 0)
+    problems = counters.get("smt.batch.problems", 0)
+    batch_hist = histograms.get("smt.batch.solve_seconds", {})
+    if problems and batch_hist.get("count"):
+        phases["batch_s_per_problem"] = batch_hist["sum"] / problems
+    if calls:
+        phases["batch_problems_per_call"] = problems / calls
+    return phases
+
+
+def _print_attribution(fresh_phases: dict[str, float],
+                       baseline_phases: dict[str, float]) -> None:
+    if not fresh_phases:
+        return
+    print("\nphase attribution (from the obs run report):")
+    width = max(len(name) for name in fresh_phases)
+    for name, value in sorted(fresh_phases.items()):
+        line = f"  {name:<{width}}  {value:.6g}"
+        reference = baseline_phases.get(name)
+        if reference:
+            line += f"  (baseline {reference:.6g}, x{value / reference:.2f})"
+        print(line)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,12 +112,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory() as tmp:
-        fresh = _run_benchmarks(Path(tmp) / "BENCH_solver.json")
+        fresh, metrics = _run_benchmarks(
+            Path(tmp) / "BENCH_solver.json",
+            Path(tmp) / "BENCH_metrics.json",
+        )
 
     grid = fresh.get("pair_grid", {})
     print(f"\nbatch pair-grid: {fresh['ops_per_sec'][GATED_METRIC]:.0f} "
           f"pairs/s over {grid.get('pairs', '?')} pairs "
           f"({grid.get('batch_speedup', 0.0):.1f}x vs scalar)")
+
+    fresh["phases"] = _phases(metrics)
 
     if args.update or not BASELINE.exists():
         BASELINE.write_text(json.dumps(fresh, indent=2) + "\n",
@@ -73,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
     measured = fresh["ops_per_sec"][GATED_METRIC]
     floor = (1.0 - ALLOWED_REGRESSION) * reference
     print(f"baseline {reference:.0f} pairs/s -> floor {floor:.0f} pairs/s")
+    _print_attribution(fresh["phases"], baseline.get("phases", {}))
     if measured < floor:
         print(f"FAIL: {GATED_METRIC} regressed "
               f"{1.0 - measured / reference:.0%} (> "

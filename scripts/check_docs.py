@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Keep the prose honest: run doc snippets, check relative links.
+
+Walks the user-facing markdown (README.md, EXPERIMENTS.md, DESIGN.md,
+docs/*.md) and
+
+1. **executes fenced code snippets** in a scratch directory with the
+   repository's ``src/`` on ``PYTHONPATH``, so a renamed API or a stale
+   import in the docs fails CI instead of a reader;
+2. **resolves every relative markdown link**, so moved or deleted files
+   can't leave dead references behind.
+
+Snippet policy, controlled by an HTML comment on the line above the
+fence:
+
+- ``python`` blocks run by default; ``<!-- check-docs: skip -->``
+  exempts one (interactive fragments, pseudo-code).
+- ``bash``/``sh``/``shell`` blocks run only when opted in with
+  ``<!-- check-docs: run -->`` — most shell blocks install packages or
+  launch long experiment sweeps, which a docs check must not do.
+- Blocks in any other (or no) language are never executed.
+
+Usage::
+
+    python scripts/check_docs.py            # check everything
+    python scripts/check_docs.py --links-only
+
+The same checks run inside the test suite (``tests/test_check_docs.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The user-facing documents; generated or internal notes are exempt.
+DOC_FILES = ("README.md", "EXPERIMENTS.md", "DESIGN.md")
+DOC_GLOBS = ("docs/*.md",)
+
+SKIP_MARK = "<!-- check-docs: skip -->"
+RUN_MARK = "<!-- check-docs: run -->"
+
+_FENCE = re.compile(r"^```(?P<lang>[A-Za-z]*)\s*$")
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\((?P<target>[^)\s]+)\)")
+_SNIPPET_TIMEOUT = 120
+
+
+@dataclass
+class Snippet:
+    path: Path
+    line: int  # 1-based line of the opening fence
+    lang: str
+    code: str
+    marker: str | None
+
+    @property
+    def where(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO)
+        except ValueError:  # a doc outside the repo (tests use tmp dirs)
+            rel = self.path
+        return f"{rel}:{self.line}"
+
+    @property
+    def should_run(self) -> bool:
+        if self.marker == SKIP_MARK:
+            return False
+        if self.lang == "python":
+            return True
+        return self.lang in ("bash", "sh", "shell") and \
+            self.marker == RUN_MARK
+
+
+def doc_paths() -> list[Path]:
+    paths = [REPO / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        paths.extend(sorted(REPO.glob(pattern)))
+    return [path for path in paths if path.exists()]
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    snippets: list[Snippet] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    index = 0
+    while index < len(lines):
+        match = _FENCE.match(lines[index])
+        if match and match["lang"]:
+            marker = lines[index - 1].strip() if index else ""
+            body: list[str] = []
+            start = index
+            index += 1
+            while index < len(lines) and lines[index].rstrip() != "```":
+                body.append(lines[index])
+                index += 1
+            snippets.append(Snippet(
+                path=path,
+                line=start + 1,
+                lang=match["lang"].lower(),
+                code="\n".join(body) + "\n",
+                marker=marker if marker.startswith("<!-- check-docs:")
+                else None,
+            ))
+        index += 1
+    return snippets
+
+
+def run_snippet(snippet: Snippet, workdir: Path) -> str | None:
+    """Execute one snippet; the error text on failure, None on success."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    env.pop("SMITE_METRICS_OUT", None)
+    if snippet.lang == "python":
+        command = [sys.executable, "-c", snippet.code]
+    else:
+        command = ["bash", "-euo", "pipefail", "-c", snippet.code]
+    try:
+        completed = subprocess.run(
+            command, cwd=workdir, env=env, capture_output=True, text=True,
+            timeout=_SNIPPET_TIMEOUT,
+        )
+    except subprocess.TimeoutExpired:
+        return f"{snippet.where}: snippet timed out ({_SNIPPET_TIMEOUT}s)"
+    if completed.returncode != 0:
+        return (f"{snippet.where}: {snippet.lang} snippet exited "
+                f"{completed.returncode}\n{completed.stderr.strip()}")
+    return None
+
+
+def check_snippets() -> list[str]:
+    errors: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as tmp:
+        for path in doc_paths():
+            for snippet in extract_snippets(path):
+                if not snippet.should_run:
+                    continue
+                error = run_snippet(snippet, Path(tmp))
+                if error:
+                    errors.append(error)
+    return errors
+
+
+def check_links() -> list[str]:
+    errors: list[str] = []
+    for path in doc_paths():
+        for line_number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match["target"]
+                if target.startswith(("http://", "https://", "mailto:",
+                                      "#")):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{line_number}: "
+                        f"dead relative link -> {target}"
+                    )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links-only", action="store_true",
+                        help="skip snippet execution")
+    args = parser.parse_args(argv)
+
+    errors = check_links()
+    if not args.links_only:
+        errors += check_snippets()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        checked = ", ".join(str(p.relative_to(REPO)) for p in doc_paths())
+        print(f"docs OK ({checked})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

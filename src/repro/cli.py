@@ -20,6 +20,7 @@ import sys
 from repro.analysis.tables import format_table
 from repro.core.predictor import SMiTe
 from repro.errors import ReproError
+from repro.obs.report import maybe_write_env_report
 from repro.scheduler.qos import QosTarget
 from repro.smt.params import IVY_BRIDGE, MACHINES, SANDY_BRIDGE_EN
 from repro.smt.simulator import Simulator
@@ -125,6 +126,9 @@ def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="SMiTe one-off predictions and characterizations",
+        epilog="All flags and SMITE_* environment variables (cache, jobs, "
+               "metrics) are documented in one table in README.md "
+               "('Configuration reference').",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -172,6 +176,9 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output was piped into something like `head`; not an error.
         return 0
+    finally:
+        # One-off commands honor SMITE_METRICS_OUT like the runner does.
+        maybe_write_env_report()
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.errors import CharacterizationError
+from repro.obs import counter, span
 from repro.rulers.base import Dimension, RulerSuite
 from repro.smt.simulator import ContextPlacement, PairMode, Simulator
 from repro.workloads.profile import WorkloadProfile
@@ -75,6 +76,7 @@ def characterize(
     the SMT sibling context; CMP characterization puts the Ruler on a
     different core (used when predicting CMP co-locations).
     """
+    counter("core.characterize.workloads").inc()
     sensitivity: dict[Dimension, float] = {}
     contentiousness: dict[Dimension, float] = {}
     for dimension in suite:
@@ -103,22 +105,23 @@ def characterize_many(
     stacked fixed-point iteration; the per-pair measurements then read
     straight out of the simulator's memo cache.
     """
-    profiles = list(profiles)
-    rulers = [suite[dimension].profile for dimension in suite]
-    co_core = 0 if mode == "smt" else 1
-    jobs: list[list[ContextPlacement]] = [
-        [ContextPlacement(ruler, core=0)] for ruler in rulers
-    ]
-    for profile in profiles:
-        jobs.append([ContextPlacement(profile, core=0)])
-        jobs.extend(
-            [ContextPlacement(profile, core=0),
-             ContextPlacement(ruler, core=co_core)]
-            for ruler in rulers
-        )
-    simulator.prefetch(jobs)
-    result: dict[str, Characterization] = {}
-    for profile in profiles:
-        result[profile.name] = characterize(simulator, profile, suite,
-                                            mode=mode)
-    return result
+    with span("characterize_many"):
+        profiles = list(profiles)
+        rulers = [suite[dimension].profile for dimension in suite]
+        co_core = 0 if mode == "smt" else 1
+        jobs: list[list[ContextPlacement]] = [
+            [ContextPlacement(ruler, core=0)] for ruler in rulers
+        ]
+        for profile in profiles:
+            jobs.append([ContextPlacement(profile, core=0)])
+            jobs.extend(
+                [ContextPlacement(profile, core=0),
+                 ContextPlacement(ruler, core=co_core)]
+                for ruler in rulers
+            )
+        simulator.prefetch(jobs)
+        result: dict[str, Characterization] = {}
+        for profile in profiles:
+            result[profile.name] = characterize(simulator, profile, suite,
+                                                mode=mode)
+        return result

@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.evaluation import EvaluationReport, PairPrediction
 from repro.errors import ConfigurationError
+from repro.obs import counter, span
 from repro.smt.simulator import ContextPlacement, PairMode, Simulator
 from repro.workloads.profile import WorkloadProfile
 
@@ -86,31 +87,33 @@ def build_pair_dataset(
     others = list(aggressors) if aggressors is not None else list(victims)
     if not others:
         raise ConfigurationError("pair dataset needs at least one aggressor")
-    co_core = 0 if mode == "smt" else 1
-    jobs: list[list[ContextPlacement]] = [
-        [ContextPlacement(profile, core=0)]
-        for profile in {p.name: p for p in [*victims, *others]}.values()
-    ]
-    jobs.extend(
-        [ContextPlacement(victim, core=0),
-         ContextPlacement(aggressor, core=co_core)]
-        for victim in victims
-        for aggressor in others
-        if include_self_pairs or victim.name != aggressor.name
-    )
-    simulator.prefetch(jobs)
-    samples = []
-    for victim in victims:
-        for aggressor in others:
-            if not include_self_pairs and victim.name == aggressor.name:
-                continue
-            measured = simulator.measure_pair(victim, aggressor, mode)
-            samples.append(PairSample(
-                victim=victim,
-                aggressor=aggressor,
-                degradation=measured.degradation_a,
-            ))
-    return PairDataset(mode=mode, samples=tuple(samples))
+    with span("trainer.pair_dataset"):
+        co_core = 0 if mode == "smt" else 1
+        jobs: list[list[ContextPlacement]] = [
+            [ContextPlacement(profile, core=0)]
+            for profile in {p.name: p for p in [*victims, *others]}.values()
+        ]
+        jobs.extend(
+            [ContextPlacement(victim, core=0),
+             ContextPlacement(aggressor, core=co_core)]
+            for victim in victims
+            for aggressor in others
+            if include_self_pairs or victim.name != aggressor.name
+        )
+        simulator.prefetch(jobs)
+        samples = []
+        for victim in victims:
+            for aggressor in others:
+                if not include_self_pairs and victim.name == aggressor.name:
+                    continue
+                measured = simulator.measure_pair(victim, aggressor, mode)
+                samples.append(PairSample(
+                    victim=victim,
+                    aggressor=aggressor,
+                    degradation=measured.degradation_a,
+                ))
+        counter("core.trainer.pair_samples").inc(len(samples))
+        return PairDataset(mode=mode, samples=tuple(samples))
 
 
 @dataclass(frozen=True)
@@ -136,33 +139,35 @@ def build_server_dataset(
     if max_instances is None:
         max_instances = (simulator.machine.cores if mode == "smt"
                          else simulator.machine.cores // 2)
-    jobs = [
-        [ContextPlacement(batch_app, core=0)] for batch_app in batch_apps
-    ]
-    jobs.extend(
-        simulator.server_placements(latency_app, batch_app, instances=k,
-                                    mode=mode,
-                                    latency_threads=latency_threads)
-        for latency_app in latency_apps
-        for batch_app in batch_apps
-        for k in range(max_instances + 1)
-    )
-    simulator.prefetch(jobs)
-    samples = []
-    for latency_app in latency_apps:
-        for batch_app in batch_apps:
-            for k in range(1, max_instances + 1):
-                degradation = simulator.measure_server_degradation(
-                    latency_app, batch_app, instances=k, mode=mode,
-                    latency_threads=latency_threads,
-                )
-                samples.append(ServerSample(
-                    latency_app=latency_app,
-                    batch_app=batch_app,
-                    instances=k,
-                    degradation=degradation,
-                ))
-    return tuple(samples)
+    with span("trainer.server_dataset"):
+        jobs = [
+            [ContextPlacement(batch_app, core=0)] for batch_app in batch_apps
+        ]
+        jobs.extend(
+            simulator.server_placements(latency_app, batch_app, instances=k,
+                                        mode=mode,
+                                        latency_threads=latency_threads)
+            for latency_app in latency_apps
+            for batch_app in batch_apps
+            for k in range(max_instances + 1)
+        )
+        simulator.prefetch(jobs)
+        samples = []
+        for latency_app in latency_apps:
+            for batch_app in batch_apps:
+                for k in range(1, max_instances + 1):
+                    degradation = simulator.measure_server_degradation(
+                        latency_app, batch_app, instances=k, mode=mode,
+                        latency_threads=latency_threads,
+                    )
+                    samples.append(ServerSample(
+                        latency_app=latency_app,
+                        batch_app=batch_app,
+                        instances=k,
+                        degradation=degradation,
+                    ))
+        counter("core.trainer.server_samples").inc(len(samples))
+        return tuple(samples)
 
 
 def evaluate_model(

@@ -6,12 +6,19 @@ Usage::
     python -m repro.experiments.runner fig10 fig11
     python -m repro.experiments.runner --all [--fast] [--json out.json]
     python -m repro.experiments.runner --all --jobs 4
+    python -m repro.experiments.runner --all --metrics --metrics-out run.json
 
 With ``--jobs N`` (or ``SMITE_JOBS=N``) experiments fan out over a
 process pool. Workers share the persistent solve cache (atomic writes,
 no locking needed), so the expensive fixed-point solves are computed
 once cluster-wide even when several experiments need the same ones; a
 warm cache makes re-runs nearly solver-free.
+
+Every run can emit a machine-readable *run report* — per-experiment
+span durations, solve-cache hit rates, and per-worker metric snapshots
+merged back into one registry (see ``docs/OBSERVABILITY.md``). Write it
+with ``--metrics-out PATH`` or by setting ``SMITE_METRICS_OUT``; print
+the human summary (top spans, cache ratios) with ``--metrics``.
 """
 
 from __future__ import annotations
@@ -22,15 +29,23 @@ import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from typing import Any
 
+from repro import obs
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.registry import (
     all_experiment_ids,
     group_by_family,
     run_experiment,
 )
+from repro.obs import report as obs_report
 
 __all__ = ["main"]
+
+_EPILOG = (
+    "All flags and SMITE_* environment variables are documented in one "
+    "table in README.md ('Configuration reference')."
+)
 
 
 def _default_jobs() -> int:
@@ -48,6 +63,7 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="smite-experiments",
         description="Reproduce the SMiTe paper's tables and figures.",
+        epilog=_EPILOG,
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids (e.g. fig10 fig14); "
@@ -69,6 +85,13 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                              "(default: $SMITE_CACHE_DIR or .smite_cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent solve cache")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the run's metric summary "
+                             "(top spans, cache hit rates)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        default=obs_report.env_metrics_path(),
+                        help="write the machine-readable run report as JSON "
+                             "(default: $SMITE_METRICS_OUT)")
     return parser.parse_args(argv)
 
 
@@ -76,15 +99,23 @@ def _run_one(experiment_id: str,
              config: ExperimentConfig) -> tuple[ExperimentResult, float]:
     """Run one experiment; module-level so worker processes can pickle it."""
     started = time.time()
-    result = run_experiment(experiment_id, config)
+    with obs.span(f"experiment.{experiment_id}"):
+        result = run_experiment(experiment_id, config)
     return result, time.time() - started
 
 
 def _run_group(
     ids: list[str], config: ExperimentConfig,
-) -> list[tuple[ExperimentResult, float]]:
-    """Run one fixture-sharing family serially inside a worker."""
-    return [_run_one(experiment_id, config) for experiment_id in ids]
+) -> tuple[list[tuple[ExperimentResult, float]], dict[str, Any]]:
+    """Run one fixture-sharing family serially inside a worker.
+
+    The worker's metrics registry is reset first and snapshotted after,
+    so the returned snapshot is exactly this group's contribution even
+    when the pool reuses a worker process for several groups.
+    """
+    obs.reset()
+    outcomes = [_run_one(experiment_id, config) for experiment_id in ids]
+    return outcomes, obs.snapshot()
 
 
 def _apply_cache_env(args: argparse.Namespace) -> None:
@@ -111,10 +142,17 @@ def main(argv: list[str] | None = None) -> int:
     config = ExperimentConfig(fast=args.fast, seed=args.seed)
     jobs = max(1, args.jobs)
     groups = group_by_family(ids)
+    obs.get_registry().gauge("runner.jobs").set(jobs)
+    obs.get_registry().gauge("runner.experiments").set(len(ids))
+    run_started = time.time()
+    workers: list[dict[str, Any]] = []
     dumps = {}
     if jobs == 1 or len(groups) == 1:
+        baseline = obs.snapshot()
         outcomes = {experiment_id: _run_one(experiment_id, config)
                     for experiment_id in ids}
+        workers.append({"worker": 0, "experiments": list(ids),
+                        "metrics": _snapshot_delta(baseline, obs.snapshot())})
     else:
         # One task per fixture-sharing family (splitting a family across
         # workers would recompute its shared fixtures per process); the
@@ -122,11 +160,13 @@ def main(argv: list[str] | None = None) -> int:
         with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
             futures = [pool.submit(_run_group, group, config)
                        for group in groups]
-            outcomes = {
-                experiment_id: outcome
-                for group, future in zip(groups, futures)
-                for experiment_id, outcome in zip(group, future.result())
-            }
+            outcomes = {}
+            for index, (group, future) in enumerate(zip(groups, futures)):
+                group_outcomes, worker_snapshot = future.result()
+                outcomes.update(zip(group, group_outcomes))
+                obs.merge(worker_snapshot)
+                workers.append({"worker": index, "experiments": list(group),
+                                "metrics": worker_snapshot})
     for experiment_id in ids:
         result, elapsed = outcomes[experiment_id]
         print(result.render())
@@ -143,7 +183,39 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(dumps, fh, indent=2, default=str)
         print(f"wrote {args.json}")
+    if args.metrics:
+        print(obs_report.render_summary(obs.snapshot()))
+    if args.metrics_out:
+        report = obs_report.build_report(
+            wall_seconds=time.time() - run_started,
+            experiments={experiment_id: outcomes[experiment_id][1]
+                         for experiment_id in ids},
+            workers=workers,
+        )
+        obs_report.write_report(args.metrics_out, report)
+        print(f"wrote {args.metrics_out}")
     return 0
+
+
+def _snapshot_delta(baseline: dict[str, Any],
+                    current: dict[str, Any]) -> dict[str, Any]:
+    """The in-process "worker" view of a serial run: current - baseline.
+
+    Counters subtract; gauges and distributions (whose buckets do not
+    subtract meaningfully) are reported as-is — the serial baseline is
+    empty in practice, the subtraction only matters when a caller embeds
+    the runner after other instrumented work.
+    """
+    counters = {
+        name: value - baseline.get("counters", {}).get(name, 0)
+        for name, value in current.get("counters", {}).items()
+    }
+    return {
+        "counters": {n: v for n, v in counters.items() if v},
+        "gauges": dict(current.get("gauges", {})),
+        "histograms": dict(current.get("histograms", {})),
+        "spans": dict(current.get("spans", {})),
+    }
 
 
 if __name__ == "__main__":

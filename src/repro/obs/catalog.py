@@ -1,0 +1,136 @@
+"""The catalog of every metric and span the codebase emits.
+
+Instrumentation sites must use names declared here; the catalog is the
+single source of truth that ``docs/OBSERVABILITY.md`` documents and that
+``tests/obs/test_catalog.py`` verifies in both directions:
+
+- every name in the docs table exists in this catalog (and vice versa);
+- every metric a live pipeline run emits matches a catalog entry.
+
+Dynamic name parts are written as ``{placeholder}`` patterns
+(``experiment.{id}`` matches ``experiment.fig10``). Span entries name
+span *leaves*: recorded span paths are slash-joined nesting stacks
+(``experiment.fig14/cluster.apply_policy``), and each segment of a path
+must match a span leaf in the catalog.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = ["CATALOG", "MetricSpec", "find_spec", "match_span_path",
+           "specs_of_kind"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One documented metric: its kind, name pattern, unit, and meaning."""
+
+    kind: str  # "counter" | "gauge" | "histogram" | "span"
+    name: str  # exact name, or a pattern with {placeholder} segments
+    unit: str
+    description: str
+
+    @property
+    def pattern(self) -> "re.Pattern[str]":
+        return _compile(self.name)
+
+
+@lru_cache(maxsize=None)
+def _compile(name: str) -> "re.Pattern[str]":
+    parts = re.split(r"\{[a-z_]+\}", name)
+    return re.compile("^" + "[A-Za-z0-9_.-]+".join(map(re.escape, parts)) + "$")
+
+
+CATALOG: tuple[MetricSpec, ...] = (
+    # -- persistent solve cache (smt/diskcache.py) ----------------------
+    MetricSpec("counter", "smt.diskcache.requests", "probes",
+               "disk-cache lookups; equals hits + misses by construction"),
+    MetricSpec("counter", "smt.diskcache.hits", "probes",
+               "lookups served from a cached pickle"),
+    MetricSpec("counter", "smt.diskcache.misses", "probes",
+               "lookups that found no (usable) entry"),
+    MetricSpec("counter", "smt.diskcache.invalidations", "entries",
+               "corrupt or stale-format entries dropped during a lookup"),
+    MetricSpec("counter", "smt.diskcache.writes", "entries",
+               "solve results persisted to disk"),
+    MetricSpec("counter", "smt.diskcache.bytes_read", "bytes",
+               "pickle bytes read on cache hits"),
+    MetricSpec("counter", "smt.diskcache.bytes_written", "bytes",
+               "pickle bytes written on cache stores"),
+    # -- simulator facade (smt/simulator.py) ----------------------------
+    MetricSpec("counter", "smt.simulator.requests", "placements",
+               "placement solve requests (run / run_many / prefetch)"),
+    MetricSpec("counter", "smt.simulator.memo_hits", "placements",
+               "requests served from the in-memory memo cache"),
+    MetricSpec("counter", "smt.simulator.canonicalizations", "placements",
+               "symmetry canonicalizations performed"),
+    # -- fixed-point solvers (smt/solver.py, smt/batch.py) --------------
+    MetricSpec("counter", "smt.solver.solves", "solves",
+               "scalar fixed-point solves executed"),
+    MetricSpec("histogram", "smt.solver.iterations", "iterations",
+               "fixed-point iterations per scalar solve"),
+    MetricSpec("histogram", "smt.solver.solve_seconds", "seconds",
+               "wall time per scalar solve"),
+    MetricSpec("counter", "smt.batch.calls", "calls",
+               "vectorized solve_many invocations"),
+    MetricSpec("counter", "smt.batch.problems", "problems",
+               "independent problems stacked across all batch calls"),
+    MetricSpec("histogram", "smt.batch.batch_size", "problems",
+               "problems per solve_many call"),
+    MetricSpec("histogram", "smt.batch.solve_seconds", "seconds",
+               "wall time per solve_many call"),
+    # -- characterization and training (core/) --------------------------
+    MetricSpec("counter", "core.characterize.workloads", "workloads",
+               "workloads characterized against the Ruler suite"),
+    MetricSpec("counter", "core.trainer.pair_samples", "samples",
+               "ordered co-location pairs measured for datasets"),
+    MetricSpec("counter", "core.trainer.server_samples", "samples",
+               "server-topology co-locations measured for datasets"),
+    # -- cluster scheduler (scheduler/cluster.py) ------------------------
+    MetricSpec("counter", "scheduler.cluster.decisions", "servers",
+               "placement decisions evaluated by a policy pass"),
+    MetricSpec("counter", "scheduler.cluster.colocations", "servers",
+               "decisions that admitted at least one batch instance"),
+    MetricSpec("counter", "scheduler.cluster.instances", "instances",
+               "batch instances admitted across the cluster"),
+    MetricSpec("counter", "scheduler.cluster.qos_violations", "servers",
+               "admitted co-locations whose measured outcome broke the "
+               "QoS target (mispredicted-safe placements)"),
+    # -- experiment runner (experiments/runner.py) -----------------------
+    MetricSpec("gauge", "runner.jobs", "processes",
+               "worker processes the runner used"),
+    MetricSpec("gauge", "runner.experiments", "experiments",
+               "experiments the runner was asked to run"),
+    # -- spans (leaf names; paths are slash-joined nestings) -------------
+    MetricSpec("span", "experiment.{id}", "seconds",
+               "one experiment driver, end to end"),
+    MetricSpec("span", "characterize_many", "seconds",
+               "Ruler characterization sweep over a population"),
+    MetricSpec("span", "trainer.pair_dataset", "seconds",
+               "pairwise co-location dataset build"),
+    MetricSpec("span", "trainer.server_dataset", "seconds",
+               "server-topology dataset build"),
+    MetricSpec("span", "cluster.apply_policy", "seconds",
+               "one policy pass over the whole cluster"),
+)
+
+
+def specs_of_kind(kind: str) -> tuple[MetricSpec, ...]:
+    return tuple(spec for spec in CATALOG if spec.kind == kind)
+
+
+def find_spec(kind: str, name: str) -> MetricSpec | None:
+    """The catalog entry a concrete metric name falls under, if any."""
+    for spec in CATALOG:
+        if spec.kind == kind and spec.pattern.match(name):
+            return spec
+    return None
+
+
+def match_span_path(path: str) -> bool:
+    """Whether every segment of a recorded span path is cataloged."""
+    return all(find_spec("span", segment) is not None
+               for segment in path.split("/"))

@@ -1,0 +1,169 @@
+"""Machine-readable run reports and the human summary table.
+
+A *run report* is one JSON document describing everything a pipeline
+invocation did: the merged metrics snapshot, per-worker sub-snapshots
+(so cross-process aggregation stays auditable), per-experiment wall
+times, and the command line. The experiment runner writes one with
+``--metrics-out PATH``; setting ``SMITE_METRICS_OUT`` does the same for
+any entry point that calls :func:`maybe_write_env_report` (the runner
+and the benchmark harness both do).
+
+``scripts/bench_regress.py`` consumes these reports to attribute a
+throughput regression to a phase: the top spans and the cache ratios
+say *where* the time went, not just that it grew.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import os
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.tables import format_table
+from repro.obs.registry import snapshot
+
+__all__ = [
+    "ENV_METRICS_OUT",
+    "SCHEMA_VERSION",
+    "build_report",
+    "cache_ratios",
+    "env_metrics_path",
+    "maybe_write_env_report",
+    "render_summary",
+    "top_spans",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+ENV_METRICS_OUT = "SMITE_METRICS_OUT"
+
+
+def build_report(
+    *,
+    command: Sequence[str] | None = None,
+    wall_seconds: float | None = None,
+    experiments: Mapping[str, float] | None = None,
+    workers: Sequence[Mapping[str, Any]] | None = None,
+    metrics: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a run report around the (already merged) metrics snapshot.
+
+    ``workers`` carries the per-worker sub-snapshots (each a dict with at
+    least ``experiments`` and ``metrics`` keys); the top-level
+    ``metrics`` must already contain their merged totals.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "generator": "repro.obs",
+        "command": list(command) if command is not None else sys.argv,
+        "wall_seconds": wall_seconds,
+        "experiments": dict(experiments or {}),
+        "workers": [dict(w) for w in (workers or [])],
+        "metrics": dict(metrics) if metrics is not None else snapshot(),
+    }
+
+
+def write_report(path: str | Path, report: Mapping[str, Any]) -> Path:
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def env_metrics_path() -> str | None:
+    """The ``SMITE_METRICS_OUT`` destination, or None when unset/empty."""
+    return os.environ.get(ENV_METRICS_OUT) or None
+
+
+def maybe_write_env_report(**kwargs: Any) -> Path | None:
+    """Write a report to ``SMITE_METRICS_OUT`` if the variable is set."""
+    path = env_metrics_path()
+    if path is None:
+        return None
+    return write_report(path, build_report(**kwargs))
+
+
+# ----------------------------------------------------------------------
+# Derived views
+
+def top_spans(metrics: Mapping[str, Any],
+              limit: int = 8) -> list[tuple[str, int, float, float]]:
+    """(path, count, total_seconds, max_seconds) rows, busiest first."""
+    rows = [
+        (path, int(h["count"]), float(h["sum"]), float(h["max"]))
+        for path, h in metrics.get("spans", {}).items()
+    ]
+    rows.sort(key=lambda r: -r[2])
+    return rows[:limit]
+
+
+def cache_ratios(metrics: Mapping[str, Any]) -> dict[str, float]:
+    """Hit rates of the two solve caches (absent caches are omitted)."""
+    counters = metrics.get("counters", {})
+    ratios: dict[str, float] = {}
+    disk_requests = counters.get("smt.diskcache.requests", 0)
+    if disk_requests:
+        ratios["smt.diskcache"] = (
+            counters.get("smt.diskcache.hits", 0) / disk_requests
+        )
+    sim_requests = counters.get("smt.simulator.requests", 0)
+    if sim_requests:
+        ratios["smt.simulator.memo"] = (
+            counters.get("smt.simulator.memo_hits", 0) / sim_requests
+        )
+    return ratios
+
+
+def render_summary(report_or_metrics: Mapping[str, Any],
+                   *, limit: int = 8) -> str:
+    """The opt-in human summary: top spans, cache ratios, key counters."""
+    metrics = report_or_metrics.get("metrics", report_or_metrics)
+    parts: list[str] = []
+
+    spans = top_spans(metrics, limit)
+    if spans:
+        parts.append(format_table(
+            ("span", "count", "total s", "max s"),
+            [(path, count, total, worst)
+             for path, count, total, worst in spans],
+            title="top spans",
+        ))
+
+    ratios = cache_ratios(metrics)
+    counters = metrics.get("counters", {})
+    if ratios:
+        rows = []
+        if "smt.diskcache" in ratios:
+            rows.append((
+                "persistent disk cache",
+                counters.get("smt.diskcache.hits", 0),
+                counters.get("smt.diskcache.misses", 0),
+                f"{ratios['smt.diskcache']:.1%}",
+            ))
+        if "smt.simulator.memo" in ratios:
+            rows.append((
+                "in-memory memo",
+                counters.get("smt.simulator.memo_hits", 0),
+                counters.get("smt.simulator.requests", 0)
+                - counters.get("smt.simulator.memo_hits", 0),
+                f"{ratios['smt.simulator.memo']:.1%}",
+            ))
+        parts.append(format_table(
+            ("cache", "hits", "misses", "hit rate"), rows,
+            title="solve caches",
+        ))
+
+    interesting = [
+        (name, value) for name, value in sorted(counters.items())
+        if not name.startswith(("smt.diskcache.", "smt.simulator."))
+    ]
+    if interesting:
+        parts.append(format_table(("counter", "value"), interesting,
+                                  title="counters"))
+    if not parts:
+        return "no metrics recorded"
+    return "\n\n".join(parts)

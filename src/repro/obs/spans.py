@@ -1,0 +1,73 @@
+"""Context-manager timing spans.
+
+A span measures the wall time of one phase and records it into the
+registry's span namespace. Spans nest: entering a span pushes its name
+onto a thread-local stack, and the recorded path is the slash-joined
+stack, so a characterization sweep timed inside an experiment appears
+as ``experiment.fig2/characterize_many`` while the same sweep invoked
+directly records plain ``characterize_many``.
+
+Each path is backed by a mergeable histogram, so worker-process span
+timings fold into the parent exactly like every other metric.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["span", "time_histogram", "current_span_path"]
+
+_stack = threading.local()
+
+
+def _current_stack() -> list[str]:
+    try:
+        return _stack.names
+    except AttributeError:
+        _stack.names = []
+        return _stack.names
+
+
+def current_span_path() -> str:
+    """The slash-joined path of the spans this thread is inside ('' if none)."""
+    return "/".join(_current_stack())
+
+
+@contextmanager
+def span(name: str,
+         registry: MetricsRegistry | None = None) -> Iterator[None]:
+    """Time a block and record the duration under the nested span path."""
+    if "/" in name:
+        raise ValueError(f"span names must not contain '/', got {name!r}")
+    registry = registry if registry is not None else get_registry()
+    stack = _current_stack()
+    stack.append(name)
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - started
+        path = "/".join(stack)
+        stack.pop()
+        registry.span_histogram(path).record(elapsed)
+
+
+@contextmanager
+def time_histogram(name: str,
+                   registry: MetricsRegistry | None = None) -> Iterator[None]:
+    """Time a block into a *flat* histogram (no nesting path).
+
+    For hot operations (a solve, a batch call) where the distribution
+    matters but a per-call span path would explode the namespace.
+    """
+    registry = registry if registry is not None else get_registry()
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        registry.histogram(name).record(time.perf_counter() - started)

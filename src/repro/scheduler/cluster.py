@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.tail import TailLatencyModel
 from repro.errors import SchedulingError
+from repro.obs import counter, span
 from repro.scheduler.policies import ColocationPolicy
 from repro.scheduler.qos import QosTarget
 from repro.smt.simulator import ContextPlacement, Simulator
@@ -108,38 +109,50 @@ class Cluster:
         small app x candidate pool, this collapses thousands of
         ``measure_server_degradation`` calls into a few batch solves.
         """
-        if policy.uses_simulator:
-            self._prefetch_decision_space()
-        decisions: list[int] = []
-        for server in self.servers:
-            tail_model = None
-            if tail_models is not None:
-                tail_model = tail_models.get(server.latency_app.name)
-                if tail_model is None:
-                    raise SchedulingError(
-                        f"no tail model for {server.latency_app.name}"
+        with span("cluster.apply_policy"):
+            if policy.uses_simulator:
+                self._prefetch_decision_space()
+            decisions: list[int] = []
+            for server in self.servers:
+                tail_model = None
+                if tail_models is not None:
+                    tail_model = tail_models.get(server.latency_app.name)
+                    if tail_model is None:
+                        raise SchedulingError(
+                            f"no tail model for {server.latency_app.name}"
+                        )
+                decisions.append(policy.decide(
+                    server.latency_app,
+                    server.batch_candidate,
+                    target,
+                    max_instances=self.threads_per_server,
+                    tail_model=tail_model,
+                ))
+            counter("scheduler.cluster.decisions").inc(len(decisions))
+            self._prefetch_outcomes(decisions)
+            violations = 0
+            for server, instances in zip(self.servers, decisions):
+                server.instances = instances
+                if instances == 0:
+                    server.actual_degradation = 0.0
+                else:
+                    server.actual_degradation = (
+                        self.simulator.measure_server_degradation(
+                            server.latency_app.profile,
+                            server.batch_candidate,
+                            instances=instances,
+                            mode="smt",
+                        )
                     )
-            decisions.append(policy.decide(
-                server.latency_app,
-                server.batch_candidate,
-                target,
-                max_instances=self.threads_per_server,
-                tail_model=tail_model,
-            ))
-        self._prefetch_outcomes(decisions)
-        for server, instances in zip(self.servers, decisions):
-            server.instances = instances
-            if instances == 0:
-                server.actual_degradation = 0.0
-            else:
-                server.actual_degradation = (
-                    self.simulator.measure_server_degradation(
-                        server.latency_app.profile,
-                        server.batch_candidate,
-                        instances=instances,
-                        mode="smt",
-                    )
-                )
+                    tail_model = (tail_models.get(server.latency_app.name)
+                                  if tail_models is not None else None)
+                    if not target.is_met(server.actual_degradation,
+                                         tail_model):
+                        violations += 1
+            counter("scheduler.cluster.colocations").inc(
+                sum(1 for k in decisions if k > 0))
+            counter("scheduler.cluster.instances").inc(sum(decisions))
+            counter("scheduler.cluster.qos_violations").inc(violations)
 
     def _prefetch_decision_space(self) -> None:
         """Batch-solve every placement an exhaustive policy could query."""

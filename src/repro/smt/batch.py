@@ -31,11 +31,13 @@ the full workload population.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.obs import counter, histogram
 from repro.isa.opcodes import ALL_PORTS, PORT_BINDINGS, UopKind
 from repro.smt.params import MachineSpec
 from repro.smt.results import ContextResult, CpiBreakdown, RunResult
@@ -268,6 +270,10 @@ def solve_many(
     """
     if not placements_list:
         return []
+    started = time.perf_counter()
+    counter("smt.batch.calls").inc()
+    counter("smt.batch.problems").inc(len(placements_list))
+    histogram("smt.batch.batch_size").record(len(placements_list))
     problems = [_prepare(machine, pls) for pls in placements_list]
     # Capacity shares and hit fractions depend only on intrinsic
     # pressures, so one pass pins them for the whole iteration (the
@@ -355,4 +361,5 @@ def solve_many(
             dram_utilization=float(dram_rho[p]),
             iterations=int(iterations[p]),
         ))
+    histogram("smt.batch.solve_seconds").record(time.perf_counter() - started)
     return results

@@ -30,6 +30,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Sequence
 
+from repro.obs import counter
 from repro.smt.params import MachineSpec
 from repro.smt.results import RunResult
 from repro.smt.solver import ContextPlacement
@@ -104,12 +105,14 @@ class PersistentSolveCache:
         return self.root / "solves" / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> RunResult | None:
+        counter("smt.diskcache.requests").inc()
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
+            payload = path.read_bytes()
+            result = pickle.loads(payload)
         except FileNotFoundError:
             self.misses += 1
+            counter("smt.diskcache.misses").inc()
             return None
         except Exception:
             # A truncated or stale-format entry can raise nearly anything
@@ -120,17 +123,22 @@ class PersistentSolveCache:
             except OSError:
                 pass
             self.misses += 1
+            counter("smt.diskcache.misses").inc()
+            counter("smt.diskcache.invalidations").inc()
             return None
         self.hits += 1
+        counter("smt.diskcache.hits").inc()
+        counter("smt.diskcache.bytes_read").inc(len(payload))
         return result
 
     def put(self, key: str, result: RunResult) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(payload)
             os.replace(tmp, path)  # atomic on POSIX: safe across workers
         except OSError:
             try:
@@ -139,6 +147,8 @@ class PersistentSolveCache:
                 pass
             raise
         self.writes += 1
+        counter("smt.diskcache.writes").inc()
+        counter("smt.diskcache.bytes_written").inc(len(payload))
 
     def __len__(self) -> int:
         solves = self.root / "solves"

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Literal, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import counter
 from repro.smt.batch import solve_many
 from repro.smt.diskcache import PersistentSolveCache, solve_key
 from repro.smt.params import IVY_BRIDGE, MachineSpec
@@ -141,11 +142,15 @@ class Simulator:
         halves of a pair grid cost one fixed point each.
         """
         placements = list(placements)
+        counter("smt.simulator.requests").inc()
+        counter("smt.simulator.canonicalizations").inc()
         canonical, order = _canonical_placements(placements)
         key = self._memo_key(canonical)
         result = self._cache.get(key)
         if result is None:
             result = self._solve_canonical(canonical, key)
+        else:
+            counter("smt.simulator.memo_hits").inc()
         return self._reindex(result, order, placements)
 
     def run_many(
@@ -160,14 +165,20 @@ class Simulator:
         """
         requests = []
         todo: dict[tuple, list[ContextPlacement]] = {}
+        memo_hits = 0
         for placements in placements_list:
             placements = list(placements)
             canonical, order = _canonical_placements(placements)
             key = self._memo_key(canonical)
             requests.append((key, order, placements))
-            if key not in self._cache and key not in todo:
+            if key in self._cache:
+                memo_hits += 1
+            elif key not in todo:
                 if self._load_from_disk(canonical, key) is None:
                     todo[key] = canonical
+        counter("smt.simulator.requests").inc(len(requests))
+        counter("smt.simulator.canonicalizations").inc(len(requests))
+        counter("smt.simulator.memo_hits").inc(memo_hits)
         if todo:
             keys = list(todo)
             solved = solve_many(self.machine, [todo[k] for k in keys])
@@ -182,12 +193,20 @@ class Simulator:
     ) -> None:
         """Fill the solve caches in bulk without materializing results."""
         todo: dict[tuple, list[ContextPlacement]] = {}
+        n_requests = 0
+        memo_hits = 0
         for placements in placements_list:
+            n_requests += 1
             canonical, _order = _canonical_placements(list(placements))
             key = self._memo_key(canonical)
-            if key not in self._cache and key not in todo:
+            if key in self._cache:
+                memo_hits += 1
+            elif key not in todo:
                 if self._load_from_disk(canonical, key) is None:
                     todo[key] = canonical
+        counter("smt.simulator.requests").inc(n_requests)
+        counter("smt.simulator.canonicalizations").inc(n_requests)
+        counter("smt.simulator.memo_hits").inc(memo_hits)
         if todo:
             keys = list(todo)
             solved = solve_many(self.machine, [todo[k] for k in keys])

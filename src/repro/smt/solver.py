@@ -26,10 +26,12 @@ the damping here has a twin in ``batch.py``, and the property tests in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs import counter, histogram
 from repro.isa.opcodes import UOP_LATENCY
 from repro.smt.cache import (HitFractions, hit_fractions,
                              occupancy_pressures, share_capacity)
@@ -320,6 +322,7 @@ def solve(
     tolerance: float = _TOLERANCE,
 ) -> RunResult:
     """Solve the steady state for a set of co-located contexts."""
+    started = time.perf_counter()
     states = _prepare(machine, placements)
     line = float(machine.l3.line_bytes)
     peak = machine.dram_bytes_per_cycle
@@ -357,6 +360,10 @@ def solve(
             f"co-run solve did not converge in {max_iterations} iterations "
             f"(last delta {max_delta:.3e})"
         )
+
+    counter("smt.solver.solves").inc()
+    histogram("smt.solver.iterations").record(iterations)
+    histogram("smt.solver.solve_seconds").record(time.perf_counter() - started)
 
     contexts = []
     for state in states:

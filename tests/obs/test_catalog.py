@@ -1,0 +1,51 @@
+"""The metric catalog: patterns, lookups, span-path matching."""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+
+from repro.obs.catalog import CATALOG, find_spec, match_span_path, specs_of_kind
+
+
+def test_names_are_unique_within_a_kind():
+    tally = TallyCounter((spec.kind, spec.name) for spec in CATALOG)
+    duplicated = [key for key, count in tally.items() if count > 1]
+    assert not duplicated
+
+
+def test_every_spec_has_unit_and_description():
+    for spec in CATALOG:
+        assert spec.kind in {"counter", "gauge", "histogram", "span"}
+        assert spec.unit
+        assert spec.description
+
+
+def test_exact_name_lookup():
+    spec = find_spec("counter", "smt.diskcache.hits")
+    assert spec is not None
+    assert spec.unit == "probes"
+
+
+def test_kind_mismatch_is_a_miss():
+    assert find_spec("histogram", "smt.diskcache.hits") is None
+
+
+def test_placeholder_patterns_match_concrete_ids():
+    assert find_spec("span", "experiment.fig10") is not None
+    assert find_spec("span", "experiment.table1") is not None
+    assert find_spec("span", "experiment") is None
+    assert find_spec("span", "made_up_span") is None
+
+
+def test_span_paths_match_per_segment():
+    assert match_span_path("experiment.fig2")
+    assert match_span_path("experiment.fig2/characterize_many")
+    assert match_span_path("experiment.fig14/cluster.apply_policy")
+    assert not match_span_path("experiment.fig2/not_a_span")
+    assert not match_span_path("bogus/characterize_many")
+
+
+def test_specs_of_kind_partitions_the_catalog():
+    kinds = ("counter", "gauge", "histogram", "span")
+    assert sum(len(specs_of_kind(kind)) for kind in kinds) == len(CATALOG)
+    assert all(spec.kind == "span" for spec in specs_of_kind("span"))

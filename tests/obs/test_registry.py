@@ -1,0 +1,235 @@
+"""The metrics registry: instruments, snapshots, merge, concurrency."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_increments(self, registry):
+        registry.counter("c").inc()
+        registry.counter("c").inc(5)
+        assert registry.counter("c").value == 6
+
+    def test_counter_identity(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_gauge_keeps_last_value(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_histogram_exact_stats(self, registry):
+        hist = registry.histogram("h")
+        for value in (1.0, 2.0, 3.0, 10.0):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(16.0)
+        assert hist.min == 1.0
+        assert hist.max == 10.0
+        assert hist.mean == pytest.approx(4.0)
+
+    def test_empty_histogram(self, registry):
+        hist = registry.histogram("h")
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_span_and_histogram_namespaces_are_distinct(self, registry):
+        registry.histogram("x").record(1.0)
+        assert registry.span_histogram("x").count == 0
+
+
+class TestPercentiles:
+    def test_endpoints_are_exact(self, registry):
+        hist = registry.histogram("h")
+        for value in (0.003, 0.17, 42.0):
+            hist.record(value)
+        assert hist.percentile(0) == 0.003
+        assert hist.percentile(100) == 42.0
+
+    def test_median_within_bucket_tolerance(self, registry):
+        hist = registry.histogram("h")
+        for i in range(1, 1001):
+            hist.record(float(i))
+        # Buckets are ~19% wide, so the estimate is within ~10%.
+        assert hist.percentile(50) == pytest.approx(500, rel=0.11)
+        assert hist.percentile(90) == pytest.approx(900, rel=0.11)
+
+    def test_wide_dynamic_range(self, registry):
+        hist = registry.histogram("h")
+        for value in (1e-6, 1e-3, 1.0, 1e3, 1e6):
+            for _ in range(10):
+                hist.record(value)
+        assert hist.percentile(50) == pytest.approx(1.0, rel=0.11)
+
+    def test_nonpositive_values_use_underflow_bucket(self, registry):
+        hist = registry.histogram("h")
+        hist.record(0.0)
+        hist.record(-2.5)
+        hist.record(1.0)
+        assert hist.count == 3
+        assert hist.min == -2.5
+        assert hist.percentile(0) == -2.5
+        assert hist.percentile(100) == 1.0
+
+    def test_out_of_range_percentile_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h").percentile(101)
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_json_serializable(self, registry):
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(0.25)
+        registry.span_histogram("a/b").record(0.01)
+        snap = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped["counters"] == {"c": 3}
+        assert round_tripped["gauges"] == {"g": 1.5}
+        assert round_tripped["histograms"]["h"]["count"] == 1
+        assert round_tripped["spans"]["a/b"]["count"] == 1
+
+    def test_unset_gauges_are_omitted(self, registry):
+        registry.gauge("g")
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_merge_adds_counters(self, registry):
+        other = MetricsRegistry()
+        registry.counter("c").inc(2)
+        other.counter("c").inc(5)
+        other.counter("only_there").inc(1)
+        registry.merge(other.snapshot())
+        assert registry.counter("c").value == 7
+        assert registry.counter("only_there").value == 1
+
+    def test_merge_gauges_last_writer_wins(self, registry):
+        other = MetricsRegistry()
+        registry.gauge("g").set(1)
+        other.gauge("g").set(9)
+        registry.merge(other.snapshot())
+        assert registry.gauge("g").value == 9
+
+    def test_merge_histograms_adds_distributions(self, registry):
+        other = MetricsRegistry()
+        registry.histogram("h").record(1.0)
+        registry.histogram("h").record(2.0)
+        other.histogram("h").record(100.0)
+        registry.merge(other.snapshot())
+        hist = registry.histogram("h")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(103.0)
+        assert hist.min == 1.0
+        assert hist.max == 100.0
+
+    def test_merge_empty_histogram_keeps_min_max(self, registry):
+        registry.histogram("h").record(5.0)
+        registry.merge(MetricsRegistry().snapshot())
+        empty = MetricsRegistry()
+        empty.histogram("h")  # registered but never recorded
+        registry.merge(empty.snapshot())
+        hist = registry.histogram("h")
+        assert hist.count == 1
+        assert (hist.min, hist.max) == (5.0, 5.0)
+
+    def test_merge_is_commutative(self):
+        def build(values):
+            reg = MetricsRegistry()
+            for value in values:
+                reg.counter("c").inc()
+                reg.histogram("h").record(value)
+            return reg.snapshot()
+
+        a, b = build([1.0, 2.0, 3.0]), build([0.5, 40.0])
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.merge(a)
+        left.merge(b)
+        right.merge(b)
+        right.merge(a)
+        assert left.snapshot() == right.snapshot()
+
+    def test_merged_percentiles_match_single_registry(self):
+        """Merging worker snapshots loses nothing vs recording centrally."""
+        central = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in range(4)]
+        for i in range(1, 401):
+            central.histogram("h").record(float(i))
+            workers[i % 4].histogram("h").record(float(i))
+        merged = MetricsRegistry()
+        for worker in workers:
+            merged.merge(worker.snapshot())
+        for p in (0, 25, 50, 75, 90, 100):
+            assert merged.histogram("h").percentile(p) == \
+                central.histogram("h").percentile(p)
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("c").inc()
+        registry.histogram("h").record(1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestConcurrency:
+    def test_threaded_increments_are_not_lost(self, registry):
+        threads = 8
+        per_thread = 2000
+
+        def work():
+            for _ in range(per_thread):
+                registry.counter("c").inc()
+                registry.histogram("h").record(0.5)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert registry.counter("c").value == threads * per_thread
+        assert registry.histogram("h").count == threads * per_thread
+        assert registry.histogram("h").sum == pytest.approx(
+            0.5 * threads * per_thread)
+
+    def test_concurrent_merge_and_record(self, registry):
+        """Merging snapshots while another thread records stays consistent."""
+        worker = MetricsRegistry()
+        worker.counter("c").inc(10)
+        snap = worker.snapshot()
+        stop = threading.Event()
+
+        def recorder():
+            while not stop.is_set():
+                registry.counter("local").inc()
+
+        thread = threading.Thread(target=recorder)
+        thread.start()
+        try:
+            for _ in range(200):
+                registry.merge(snap)
+        finally:
+            stop.set()
+            thread.join()
+        assert registry.counter("c").value == 2000
+
+
+def test_module_level_default_registry_roundtrip():
+    from repro import obs
+
+    before = obs.snapshot()["counters"].get("obs.selftest", 0)
+    obs.counter("obs.selftest").inc(3)
+    after = obs.snapshot()["counters"]["obs.selftest"]
+    assert after - before == 3
+    assert math.isfinite(after)

@@ -1,0 +1,117 @@
+"""Run reports: building, env-var writing, derived views."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import report as obs_report
+from repro.obs.registry import MetricsRegistry
+
+
+def _metrics_with(counters=None, spans=None):
+    registry = MetricsRegistry()
+    for name, value in (counters or {}).items():
+        registry.counter(name).inc(value)
+    for path, duration in (spans or {}).items():
+        registry.span_histogram(path).record(duration)
+    return registry.snapshot()
+
+
+def test_build_report_shape():
+    metrics = _metrics_with(counters={"smt.solver.solves": 4})
+    report = obs_report.build_report(
+        command=["runner", "--all"],
+        wall_seconds=1.25,
+        experiments={"fig2": 0.5},
+        workers=[{"worker": 0, "experiments": ["fig2"], "metrics": metrics}],
+        metrics=metrics,
+    )
+    assert report["schema"] == obs_report.SCHEMA_VERSION
+    assert report["generator"] == "repro.obs"
+    assert report["command"] == ["runner", "--all"]
+    assert report["experiments"] == {"fig2": 0.5}
+    assert report["workers"][0]["worker"] == 0
+    assert report["metrics"]["counters"]["smt.solver.solves"] == 4
+    json.dumps(report)  # must be serializable as-is
+
+
+def test_write_report_creates_parent_dirs(tmp_path):
+    target = tmp_path / "deep" / "run.json"
+    obs_report.write_report(target, {"schema": 1})
+    assert json.loads(target.read_text())["schema"] == 1
+
+
+def test_env_report_respects_unset_variable(monkeypatch):
+    monkeypatch.delenv(obs_report.ENV_METRICS_OUT, raising=False)
+    assert obs_report.env_metrics_path() is None
+    assert obs_report.maybe_write_env_report() is None
+
+
+def test_env_report_writes_when_variable_set(tmp_path, monkeypatch):
+    target = tmp_path / "report.json"
+    monkeypatch.setenv(obs_report.ENV_METRICS_OUT, str(target))
+    written = obs_report.maybe_write_env_report(command=["unit-test"])
+    assert written == target
+    report = json.loads(target.read_text())
+    assert report["command"] == ["unit-test"]
+    assert "metrics" in report
+
+
+def test_top_spans_orders_by_total_time():
+    metrics = _metrics_with(spans={"slow": 2.0, "fast": 0.1, "mid": 0.5})
+    rows = obs_report.top_spans(metrics)
+    assert [row[0] for row in rows] == ["slow", "mid", "fast"]
+    path, count, total, worst = rows[0]
+    assert count == 1
+    assert total >= worst
+
+
+def test_top_spans_respects_limit():
+    metrics = _metrics_with(spans={f"s{i}": float(i) for i in range(10)})
+    assert len(obs_report.top_spans(metrics, limit=3)) == 3
+
+
+def test_cache_ratios():
+    metrics = _metrics_with(counters={
+        "smt.diskcache.requests": 10,
+        "smt.diskcache.hits": 7,
+        "smt.simulator.requests": 4,
+        "smt.simulator.memo_hits": 1,
+    })
+    ratios = obs_report.cache_ratios(metrics)
+    assert ratios["smt.diskcache"] == 0.7
+    assert ratios["smt.simulator.memo"] == 0.25
+
+
+def test_cache_ratios_omit_untouched_caches():
+    assert obs_report.cache_ratios(_metrics_with()) == {}
+
+
+def test_render_summary_tables():
+    metrics = _metrics_with(
+        counters={
+            "smt.diskcache.requests": 10,
+            "smt.diskcache.hits": 9,
+            "smt.diskcache.misses": 1,
+            "core.characterize.workloads": 3,
+        },
+        spans={"experiment.fig2": 1.5},
+    )
+    text = obs_report.render_summary(metrics)
+    assert "top spans" in text
+    assert "experiment.fig2" in text
+    assert "solve caches" in text
+    assert "90.0%" in text
+    assert "core.characterize.workloads" in text
+    # Cache counters live in the cache table, not the counter table.
+    assert "smt.diskcache.requests" not in text
+
+
+def test_render_summary_accepts_full_reports():
+    metrics = _metrics_with(spans={"experiment.fig2": 1.0})
+    report = obs_report.build_report(command=["x"], metrics=metrics)
+    assert "experiment.fig2" in obs_report.render_summary(report)
+
+
+def test_render_summary_empty():
+    assert obs_report.render_summary(_metrics_with()) == "no metrics recorded"

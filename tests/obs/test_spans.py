@@ -1,0 +1,102 @@
+"""Timing spans: nesting, exception safety, thread isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import current_span_path, span, time_histogram
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+def test_flat_span_records_once(registry):
+    with span("phase", registry=registry):
+        pass
+    hist = registry.span_histogram("phase")
+    assert hist.count == 1
+    assert hist.min >= 0.0
+
+
+def test_nested_spans_record_slash_joined_paths(registry):
+    with span("outer", registry=registry):
+        assert current_span_path() == "outer"
+        with span("inner", registry=registry):
+            assert current_span_path() == "outer/inner"
+        with span("inner", registry=registry):
+            pass
+    assert current_span_path() == ""
+    snap = registry.snapshot()["spans"]
+    assert set(snap) == {"outer", "outer/inner"}
+    assert snap["outer"]["count"] == 1
+    assert snap["outer/inner"]["count"] == 2
+
+
+def test_outer_span_time_includes_inner(registry):
+    with span("outer", registry=registry):
+        with span("inner", registry=registry):
+            pass
+    spans = registry.snapshot()["spans"]
+    assert spans["outer"]["sum"] >= spans["outer/inner"]["sum"]
+
+
+def test_span_records_and_unwinds_on_exception(registry):
+    with pytest.raises(RuntimeError):
+        with span("outer", registry=registry):
+            with span("inner", registry=registry):
+                raise RuntimeError("boom")
+    assert current_span_path() == ""
+    snap = registry.snapshot()["spans"]
+    assert snap["outer"]["count"] == 1
+    assert snap["outer/inner"]["count"] == 1
+
+
+def test_span_name_must_be_a_single_segment(registry):
+    with pytest.raises(ValueError):
+        with span("a/b", registry=registry):
+            pass
+    assert current_span_path() == ""
+
+
+def test_span_stacks_are_thread_local(registry):
+    seen: dict[str, str] = {}
+    ready = threading.Event()
+
+    def worker():
+        seen["before"] = current_span_path()
+        with span("worker_phase", registry=registry):
+            seen["inside"] = current_span_path()
+        ready.set()
+
+    with span("main_phase", registry=registry):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert ready.wait(1)
+    # The worker thread never sees the main thread's open span.
+    assert seen["before"] == ""
+    assert seen["inside"] == "worker_phase"
+    paths = set(registry.snapshot()["spans"])
+    assert paths == {"main_phase", "worker_phase"}
+
+
+def test_time_histogram_is_flat(registry):
+    with span("outer", registry=registry):
+        with time_histogram("op_seconds", registry=registry):
+            pass
+    snap = registry.snapshot()
+    assert "op_seconds" in snap["histograms"]
+    assert "outer/op_seconds" not in snap["spans"]
+
+
+def test_explicit_registry_does_not_touch_the_default(registry):
+    from repro import obs
+
+    with span("isolated", registry=registry):
+        pass
+    assert "isolated" not in obs.snapshot()["spans"]

@@ -1,0 +1,123 @@
+"""The docs checker: snippet policy, link checking, and the real docs.
+
+Running this in the suite wires ``scripts/check_docs.py`` into tier-1:
+the repository's own README/docs snippets must execute and its relative
+links must resolve on every test run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO / "scripts" / "check_docs.py")
+check_docs = importlib.util.module_from_spec(_spec)
+sys.modules["check_docs"] = check_docs
+_spec.loader.exec_module(check_docs)
+
+
+# ----------------------------------------------------------------------
+# Snippet extraction and policy
+
+def _snippets_of(tmp_path, text):
+    doc = tmp_path / "doc.md"
+    doc.write_text(text, encoding="utf-8")
+    return check_docs.extract_snippets(doc)
+
+
+def test_python_blocks_run_by_default(tmp_path):
+    (snippet,) = _snippets_of(tmp_path, "```python\nprint('hi')\n```\n")
+    assert snippet.lang == "python"
+    assert snippet.should_run
+
+
+def test_skip_marker_exempts_a_block(tmp_path):
+    (snippet,) = _snippets_of(
+        tmp_path,
+        "<!-- check-docs: skip -->\n```python\n1/0\n```\n",
+    )
+    assert not snippet.should_run
+
+
+def test_bash_blocks_need_an_explicit_opt_in(tmp_path):
+    silent, opted_in = _snippets_of(
+        tmp_path,
+        "```bash\nrm -rf /important\n```\n"
+        "\n<!-- check-docs: run -->\n```bash\ntrue\n```\n",
+    )
+    assert not silent.should_run
+    assert opted_in.should_run
+
+
+def test_untagged_and_data_blocks_never_run(tmp_path):
+    snippets = _snippets_of(
+        tmp_path,
+        "```\nplain diagram\n```\n\n```json\n{\"k\": 1}\n```\n",
+    )
+    assert all(not snippet.should_run for snippet in snippets)
+
+
+def test_failing_snippet_is_reported(tmp_path):
+    (snippet,) = _snippets_of(
+        tmp_path, "```python\nraise SystemExit(3)\n```\n")
+    error = check_docs.run_snippet(snippet, tmp_path)
+    assert error is not None
+    assert "exited 3" in error
+
+
+def test_passing_snippet_reports_nothing(tmp_path):
+    (snippet,) = _snippets_of(tmp_path, "```python\nprint('ok')\n```\n")
+    assert check_docs.run_snippet(snippet, tmp_path) is None
+
+
+def test_snippets_can_import_the_package(tmp_path):
+    (snippet,) = _snippets_of(
+        tmp_path, "```python\nimport repro\n```\n")
+    assert check_docs.run_snippet(snippet, tmp_path) is None
+
+
+# ----------------------------------------------------------------------
+# Link checking
+
+def test_dead_relative_link_is_caught(tmp_path, monkeypatch):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [the guide](docs/NOPE.md) and [ok](docs/REAL.md) and "
+        "[web](https://example.com) and [anchor](#section)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "docs" / "REAL.md").write_text("hi\n", encoding="utf-8")
+    monkeypatch.setattr(check_docs, "REPO", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_FILES", ("README.md",))
+    monkeypatch.setattr(check_docs, "DOC_GLOBS", ())
+    errors = check_docs.check_links()
+    assert len(errors) == 1
+    assert "docs/NOPE.md" in errors[0]
+
+
+def test_anchored_link_to_existing_file_resolves(tmp_path, monkeypatch):
+    (tmp_path / "README.md").write_text(
+        "[sec](OTHER.md#some-heading)\n", encoding="utf-8")
+    (tmp_path / "OTHER.md").write_text("# Some heading\n", encoding="utf-8")
+    monkeypatch.setattr(check_docs, "REPO", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_FILES", ("README.md",))
+    monkeypatch.setattr(check_docs, "DOC_GLOBS", ())
+    assert check_docs.check_links() == []
+
+
+# ----------------------------------------------------------------------
+# The repository's real documentation
+
+def test_repo_docs_have_no_dead_links():
+    assert check_docs.check_links() == []
+
+
+@pytest.mark.slow
+def test_repo_doc_snippets_execute():
+    assert check_docs.check_snippets() == []

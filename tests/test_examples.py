@@ -1,0 +1,58 @@
+"""Every example under examples/ must run clean, end to end.
+
+Each script is executed as a user would run it (a subprocess, importing
+the installed-or-src package), with ``SMITE_EXAMPLE_FAST=1`` shrinking
+the two cluster-scale walkthroughs to smoke-test size. All examples
+share one working directory so the persistent solve cache warms across
+them, the way repeated real runs would.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def test_every_example_is_covered():
+    assert [path.name for path in EXAMPLES] == [
+        "colocation_debugging.py",
+        "custom_workload.py",
+        "datacenter_scheduling.py",
+        "quickstart.py",
+        "ruler_design.py",
+        "tail_latency_sla.py",
+    ]
+
+
+@pytest.fixture(scope="module")
+def example_env(tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("examples")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    env["SMITE_EXAMPLE_FAST"] = "1"
+    env["SMITE_CACHE_DIR"] = str(workdir / "cache")
+    env.pop("SMITE_METRICS_OUT", None)
+    return workdir, env
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, example_env):
+    workdir, env = example_env
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=workdir, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
