@@ -105,11 +105,34 @@ def _print_attribution(fresh_phases: dict[str, float],
         print(line)
 
 
+def _lint_preflight() -> int:
+    """Run the static analyzer before spending minutes on benchmarks.
+
+    A lint violation means the numbers about to be measured come from a
+    tree that would not pass review; fail fast instead.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    command = [sys.executable, "-m", "repro.lint",
+               "--root", str(REPO), str(REPO / "src")]
+    return subprocess.run(command, cwd=REPO, env=env).returncode
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="rewrite the committed baseline and exit")
+    parser.add_argument("--skip-lint", action="store_true",
+                        help="skip the static-analysis preflight")
     args = parser.parse_args(argv)
+
+    if not args.skip_lint and _lint_preflight() != 0:
+        print("FAIL: static-analysis preflight (scripts/lint.py) found new "
+              "violations; fix or baseline them before benchmarking",
+              file=sys.stderr)
+        return 1
 
     with tempfile.TemporaryDirectory() as tmp:
         fresh, metrics = _run_benchmarks(

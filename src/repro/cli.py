@@ -161,6 +161,7 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``smite`` command-line interface."""
     args = _parser().parse_args(argv)
     handlers = {
         "workloads": _cmd_workloads,

@@ -8,7 +8,7 @@ from typing import Mapping, Sequence
 from repro.analysis.tables import format_table
 from repro.errors import ConfigurationError
 
-__all__ = ["ExperimentConfig", "ExperimentResult"]
+__all__ = ["ExperimentConfig", "ExperimentResult", "make_rows"]
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ __all__ = [
     "smite_cloud",
     "pmu_model_spec",
     "spec_test_dataset",
+    "cloud_profiles",
 ]
 
 
@@ -50,11 +51,13 @@ def snb_simulator() -> Simulator:
 
 @lru_cache(maxsize=None)
 def ivy_suite() -> RulerSuite:
+    """The default Ruler suite for the Ivy Bridge machine (cached)."""
     return default_suite(IVY_BRIDGE)
 
 
 @lru_cache(maxsize=None)
 def snb_suite() -> RulerSuite:
+    """The default Ruler suite for the Sandy Bridge-EN machine (cached)."""
     return default_suite(SANDY_BRIDGE_EN)
 
 

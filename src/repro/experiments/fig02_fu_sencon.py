@@ -22,6 +22,7 @@ _FU_DIMS = (Dimension.FP_MUL, Dimension.FP_ADD, Dimension.FP_SHF,
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 2: Sen/Con of every workload against the four FU Rulers."""
     population = characterized_population()
     rows = []
     max_sen = 0.0

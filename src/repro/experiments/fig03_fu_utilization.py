@@ -36,6 +36,7 @@ def aggregate_port_samples(ports=_PORTS) -> dict[int, list[float]]:
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 3: FU-port utilization across SPEC SMT co-location pairs."""
     samples = aggregate_port_samples()
     rows = []
     medians = {}

@@ -22,6 +22,7 @@ _MEM_DIMS = (Dimension.L1, Dimension.L2, Dimension.L3)
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 4: Sen/Con of every workload against the L1/L2/L3 Rulers."""
     population = characterized_population()
     rows = []
     for name, char in sorted(population.items()):

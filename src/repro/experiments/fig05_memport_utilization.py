@@ -17,6 +17,7 @@ _QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9)
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 5: load/store port utilization across SPEC co-locations."""
     samples = aggregate_port_samples(ports=_PORTS)
     rows = []
     medians = {}

@@ -18,6 +18,7 @@ __all__ = ["run"]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 6: the Sen and Con heatmaps over all seven dimensions."""
     population = characterized_population()
     dims = tuple(Dimension)
     rows = []

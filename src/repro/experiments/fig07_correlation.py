@@ -15,6 +15,7 @@ __all__ = ["run"]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 7: Finding 9's Sen-vs-Con correlation per dimension."""
     report = correlation_report(characterized_population())
     rows = [
         (a, b, r) for a, b, r in report.strongest_pairs(count=10)

@@ -21,6 +21,7 @@ __all__ = ["run"]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 9: the Rulers' port purity and intensity-response checks."""
     simulator = ivy_simulator()
     suite = ivy_suite()
     rows = []

@@ -70,6 +70,7 @@ def _build_result(experiment_id: str, title: str, claim: str, mode: str,
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 10: SMT co-run degradation prediction accuracy on SPEC."""
     return _build_result(
         "fig10",
         "SMT co-location prediction accuracy (SPEC CPU2006, Ivy Bridge)",

@@ -13,6 +13,7 @@ __all__ = ["run"]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 11: CMP (separate-core) degradation prediction on SPEC."""
     return _build_result(
         "fig11",
         "CMP co-location prediction accuracy (SPEC CPU2006, Ivy Bridge)",

@@ -84,6 +84,7 @@ def cloudsuite_reports(mode: str) -> tuple[EvaluationReport, EvaluationReport]:
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 12: degradation prediction on the CloudSuite server mix."""
     rows = []
     metrics: dict[str, float] = {}
     for mode in ("smt", "cmp"):

@@ -26,6 +26,7 @@ _PERCENTILE = 0.90
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 13: predicted vs measured tail latency under co-location."""
     simulator = snb_simulator()
     predictor = smite_cloud("smt")
     rows = []

@@ -110,6 +110,7 @@ def _violation_result(metric: str, experiment_id: str, claim: str,
 
 
 def run_fig14(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 14: cluster utilization gain, average-performance QoS."""
     return _utilization_result(
         "average", "fig14",
         "SMiTe improves utilization by 9.24%/25.90%/42.97% at 95/90/85% "
@@ -119,6 +120,7 @@ def run_fig14(config: ExperimentConfig) -> ExperimentResult:
 
 
 def run_fig15(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 15: QoS violation rate, average-performance QoS."""
     return _violation_result(
         "average", "fig15",
         "Random suffers up to 26% QoS violation at matched utilization; "
@@ -128,6 +130,7 @@ def run_fig15(config: ExperimentConfig) -> ExperimentResult:
 
 
 def run_fig16(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 16: cluster utilization gain, tail-latency QoS."""
     return _utilization_result(
         "tail", "fig16",
         "with QoS on 90th-percentile latency SMiTe improves utilization "
@@ -138,6 +141,7 @@ def run_fig16(config: ExperimentConfig) -> ExperimentResult:
 
 
 def run_fig17(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 17: QoS violation rate, tail-latency QoS."""
     return _violation_result(
         "tail", "fig17",
         "Random suffers up to 110% tail-latency QoS violation; SMiTe's "

@@ -19,6 +19,7 @@ __all__ = ["run"]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 18: TCO savings implied by the scale-out utilization gains."""
     analysis = ColocationTcoAnalysis(model=TcoModel(params=TcoParams()))
     rows = []
     metrics: dict[str, float] = {}

@@ -96,6 +96,7 @@ def all_experiment_ids() -> list[str]:
 
 
 def get_experiment(experiment_id: str) -> ExperimentFn:
+    """Look up an experiment's run function by its id."""
     try:
         return EXPERIMENTS[experiment_id]
     except KeyError as exc:

@@ -127,6 +127,7 @@ def _apply_cache_env(args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point for the experiment runner CLI."""
     args = _parse_args(argv)
     if args.list:
         for experiment_id in all_experiment_ids():

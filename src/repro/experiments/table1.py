@@ -9,6 +9,7 @@ __all__ = ["run"]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Table 1: the modeled machines' per-port uop-kind bindings."""
     rows = []
     for machine in MACHINES.values():
         rows.append((

@@ -1,0 +1,65 @@
+"""``repro.lint``: domain-aware static analysis for the SMiTe tree.
+
+A dependency-free, AST-based lint framework with five built-in rule
+families tied to the paper's correctness invariants:
+
+- **determinism** (SMT1xx): unseeded RNGs, wall-clock logic, and
+  set-iteration-order hazards in model code — characterization runs
+  must be bit-reproducible for Eq. 1-3 to mean anything;
+- **metrics** (SMT2xx): every ``repro.obs`` metric/span name recorded
+  anywhere in the tree must be statically resolvable and declared in
+  :mod:`repro.obs.catalog` — a whole-tree superset of the runtime
+  docs-parity check;
+- **numeric** (SMT3xx): exact float equality and unguarded division in
+  the Eq. 1-9 code paths;
+- **api** (SMT4xx): exported names need docstrings; ``__all__`` must
+  not drift from what a module defines;
+- **ports** (SMT5xx): each functional-unit Ruler's kernel, walked
+  through the real ISA layer, must map to exactly one execution port
+  (Table 1) and respect the 0.01% loop-branch purity budget.
+
+Run it as ``python -m repro.lint src``; configure via the
+``[tool.smite-lint]`` block in ``pyproject.toml``; silence one finding
+with ``# smite: noqa[SMT301]: reason``; track legacy findings in the
+checked-in baseline (``--update-baseline``). Full reference:
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, Scope, load_config
+from repro.lint.engine import (
+    LintResult,
+    ModuleContext,
+    collect_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    run,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, find_rule, register
+from repro.lint.suppress import Suppression, parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "Scope",
+    "Severity",
+    "Suppression",
+    "all_rules",
+    "collect_files",
+    "find_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "parse_suppressions",
+    "register",
+    "run",
+]

@@ -1,0 +1,97 @@
+"""The checked-in baseline: legacy findings tracked, new findings fail.
+
+A baseline file is a JSON list of finding fingerprints with
+multiplicities. ``apply`` subtracts baseline entries from a fresh run's
+findings (marking the survivors of the subtraction ``baselined``), so a
+tree with only legacy violations lints clean while any *new* violation
+— or an old one moved to a new file — still fails. Fingerprints hash
+the rule, the file, and the flagged line's stripped source text (not its
+line number), so unrelated edits do not churn the baseline.
+
+The workflow:
+
+1. ``python -m repro.lint --update-baseline`` records today's violations;
+2. the file is committed and reviewed like code;
+3. fixing a violation makes its entry *stale* — ``apply`` reports stale
+   entries so the baseline can only shrink, never silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _Counter
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint multiset with load/save and subtraction."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: dict[str, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """The baseline at ``path``; empty if the file does not exist."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        counts = {str(entry["fingerprint"]): int(entry.get("count", 1))
+                  for entry in data.get("entries", [])}
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(dict(_Counter(f.fingerprint for f in findings)))
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"fingerprint": fingerprint, "count": count}
+            for fingerprint, count in sorted(self.counts.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    # -- subtraction ----------------------------------------------------
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[str]]:
+        """Mark baselined findings; return (annotated findings, stale).
+
+        Each baseline entry absorbs up to ``count`` matching findings.
+        ``stale`` lists fingerprints the baseline tracks but the tree no
+        longer produces — entries that should be deleted.
+        """
+        remaining = dict(self.counts)
+        annotated: list[Finding] = []
+        for finding in findings:
+            left = remaining.get(finding.fingerprint, 0)
+            if left > 0:
+                remaining[finding.fingerprint] = left - 1
+                finding = Finding(
+                    rule=finding.rule, severity=finding.severity,
+                    path=finding.path, line=finding.line, col=finding.col,
+                    message=finding.message, source=finding.source,
+                    suppressed=finding.suppressed,
+                    suppress_reason=finding.suppress_reason,
+                    baselined=True,
+                )
+            annotated.append(finding)
+        stale = sorted(
+            fingerprint for fingerprint, count in remaining.items() if count > 0
+        )
+        return annotated, stale

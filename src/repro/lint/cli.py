@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 = clean (only suppressed/baselined/advisory findings),
+1 = new violations or stale baseline entries, 2 = usage error.
+
+Examples::
+
+    python -m repro.lint src                 # lint the tree
+    python -m repro.lint --format json src   # machine-readable findings
+    python -m repro.lint --update-baseline   # record today's violations
+    python -m repro.lint --list-rules        # rule reference
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import load_config
+from repro.lint.engine import LintResult, run
+from repro.lint.findings import Severity
+from repro.lint.registry import all_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="SMiTe domain-aware static analysis "
+                    "(see docs/STATIC_ANALYSIS.md)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: [tool.smite-lint] paths)")
+    parser.add_argument("--root", default=".",
+                        help="repository root holding pyproject.toml "
+                             "and the baseline (default: cwd)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the checked-in baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current violations")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed/baselined findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule reference and exit")
+    return parser
+
+
+def _list_rules() -> int:
+    print(f"{'id':<8} {'severity':<8} {'family':<12} summary")
+    for rule in all_rules():
+        print(f"{rule.id:<8} {rule.severity.value:<8} {rule.family:<12} "
+              f"{rule.summary}")
+    return 0
+
+
+def _render_text(result: LintResult, *, show_suppressed: bool) -> None:
+    failing = result.failing
+    for finding in result.findings:
+        is_failing = (not finding.suppressed and not finding.baselined
+                      and finding.severity is not Severity.INFO)
+        if is_failing or show_suppressed:
+            tag = ""
+            if finding.suppressed:
+                reason = finding.suppress_reason or "no reason given"
+                tag = f"  (suppressed: {reason})"
+            elif finding.baselined:
+                tag = "  (baselined)"
+            print(finding.render() + tag)
+    for fingerprint in result.stale_baseline:
+        print(f"stale baseline entry (fixed? delete it): {fingerprint}")
+    suppressed = sum(1 for f in result.findings if f.suppressed)
+    baselined = sum(1 for f in result.findings if f.baselined)
+    advisory = sum(1 for f in result.findings
+                   if f.severity is Severity.INFO
+                   and not f.suppressed and not f.baselined)
+    status = "FAIL" if result.exit_code else "OK"
+    print(f"{status}: {len(failing)} new violation(s), "
+          f"{baselined} baselined, {suppressed} suppressed, "
+          f"{advisory} advisory, {len(result.stale_baseline)} stale "
+          f"baseline entr(ies) across {result.files_checked} file(s)")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"--root {args.root!r} is not a directory")
+    config = load_config(root)
+    paths = [Path(p) for p in args.paths] or None
+    if paths:
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            parser.error(f"no such path(s): "
+                         f"{', '.join(str(p) for p in missing)}")
+
+    result = run(config, paths,
+                 use_baseline=not (args.no_baseline or args.update_baseline))
+
+    if args.update_baseline:
+        baseline = Baseline.from_findings(result.failing)
+        config.baseline_file.parent.mkdir(parents=True, exist_ok=True)
+        baseline.save(config.baseline_file)
+        print(f"baseline written: {len(baseline)} entr(ies) -> "
+              f"{config.baseline_file}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_dict() for f in result.findings],
+            "stale_baseline": result.stale_baseline,
+            "files_checked": result.files_checked,
+            "exit_code": result.exit_code,
+        }, indent=2))
+    else:
+        _render_text(result, show_suppressed=args.show_suppressed)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""The lint engine: one AST walk per module, shared by every rule.
+
+The engine parses each file once, dispatches nodes to every active
+rule's ``visit_<NodeType>`` hooks during a single :func:`ast.walk`, runs
+``check_module`` hooks, then filters the collected findings through
+inline suppressions and (optionally) the checked-in baseline. Rules
+never do their own tree walks or file IO, which keeps a whole-tree run
+linear in the source size regardless of how many rules are enabled.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence, Type
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppress import Suppression, parse_suppressions
+
+__all__ = ["ModuleContext", "LintResult", "lint_source", "lint_file",
+           "lint_paths", "collect_files", "run", "SYNTAX_ERROR_RULE"]
+
+#: Pseudo-rule id for files the parser rejects; not suppressible.
+SYNTAX_ERROR_RULE = "SMT000"
+
+
+class ModuleContext:
+    """Everything a rule may inspect about the module being linted."""
+
+    def __init__(self, *, path: Path, relpath: str, source: str,
+                 tree: ast.Module, config: LintConfig) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.findings: list[Finding] = []
+        self._parent_map: dict[ast.AST, ast.AST] | None = None
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, rule: Rule, message: str, *,
+               node: ast.AST | None = None, line: int = 0,
+               col: int = 0) -> None:
+        """Record one violation, located at ``node`` or an explicit line."""
+        if node is not None:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0)
+        self.findings.append(Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=self.relpath,
+            line=line,
+            col=col,
+            message=message,
+            source=self.source_line(line),
+        ))
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # -- structure helpers ----------------------------------------------
+
+    @property
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent links, built lazily on first use."""
+        if self._parent_map is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            self._parent_map = parents
+        return self._parent_map
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        """The nearest FunctionDef/AsyncFunctionDef around ``node``."""
+        current = self.parent_map.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent_map.get(current)
+        return None
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, after suppression and baseline filtering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def failing(self) -> list[Finding]:
+        """Findings that should fail the run (new, unsuppressed, not INFO)."""
+        return [f for f in self.findings
+                if not f.suppressed and not f.baselined
+                and f.severity is not Severity.INFO]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.failing or self.stale_baseline) else 0
+
+
+def _active_rules(config: LintConfig, relpath: str,
+                  rule_classes: Sequence[Type[Rule]]) -> list[Rule]:
+    active = []
+    for rule_class in rule_classes:
+        if not config.rule_enabled(rule_class.id, rule_class.family):
+            continue
+        if not config.scope_for(rule_class.family).applies_to(relpath):
+            continue
+        active.append(rule_class())
+    return active
+
+
+def _apply_suppressions(findings: list[Finding],
+                        suppressions: dict[int, Suppression]) -> list[Finding]:
+    if not suppressions:
+        return findings
+    out: list[Finding] = []
+    for finding in findings:
+        # Whole-module findings (line 0) may be silenced from line 1.
+        mark = suppressions.get(finding.line or 1)
+        if (mark is not None and finding.rule != SYNTAX_ERROR_RULE
+                and mark.covers(finding.rule)):
+            finding = Finding(
+                rule=finding.rule, severity=finding.severity,
+                path=finding.path, line=finding.line, col=finding.col,
+                message=finding.message, source=finding.source,
+                suppressed=True, suppress_reason=mark.reason,
+            )
+        out.append(finding)
+    return out
+
+
+def lint_source(source: str, relpath: str, config: LintConfig,
+                *, path: Path | None = None,
+                rule_classes: Sequence[Type[Rule]] | None = None,
+                ) -> list[Finding]:
+    """Lint one module given as text; the unit every test fixture uses."""
+    if rule_classes is None:
+        rule_classes = all_rules()
+    relpath = relpath.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [Finding(
+            rule=SYNTAX_ERROR_RULE, severity=Severity.ERROR, path=relpath,
+            line=exc.lineno or 0, col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )]
+    ctx = ModuleContext(
+        path=path if path is not None else Path(relpath),
+        relpath=relpath, source=source, tree=tree, config=config,
+    )
+    rules = _active_rules(config, relpath, rule_classes)
+    if not rules:
+        return []
+
+    # One shared walk: dispatch each node to every rule hooked on its type.
+    hooks: dict[str, list] = {}
+    for rule in rules:
+        for node_type, method_name in type(rule).ast_hooks().items():
+            hooks.setdefault(node_type, []).append(getattr(rule, method_name))
+    if hooks:
+        for node in ast.walk(tree):
+            for hook in hooks.get(type(node).__name__, ()):
+                hook(node, ctx)
+    for rule in rules:
+        rule.check_module(ctx)
+
+    ctx.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return _apply_suppressions(ctx.findings, parse_suppressions(source))
+
+
+def lint_file(path: Path, config: LintConfig,
+              *, rule_classes: Sequence[Type[Rule]] | None = None,
+              ) -> list[Finding]:
+    """Lint one file on disk, reporting paths relative to the config root."""
+    try:
+        relpath = str(path.resolve().relative_to(config.root))
+    except ValueError:
+        relpath = str(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, relpath, config, path=path,
+                       rule_classes=rule_classes)
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    seen: set[Path] = set()
+    unique = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file)
+    return unique
+
+
+def lint_paths(paths: Sequence[Path], config: LintConfig,
+               *, rule_classes: Sequence[Type[Rule]] | None = None,
+               ) -> tuple[list[Finding], int]:
+    """Lint every ``.py`` file under ``paths``; (findings, files checked)."""
+    findings: list[Finding] = []
+    files = collect_files(paths)
+    for file in files:
+        findings.extend(lint_file(file, config, rule_classes=rule_classes))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)
+
+
+def run(config: LintConfig, paths: Sequence[Path] | None = None,
+        *, use_baseline: bool = True) -> LintResult:
+    """A full lint run: collect, suppress, subtract the baseline."""
+    if paths is None:
+        paths = [config.root / p for p in config.paths]
+    findings, files_checked = lint_paths(paths, config)
+    stale: list[str] = []
+    if use_baseline:
+        baseline = Baseline.load(config.baseline_file)
+        findings, stale = baseline.apply(findings)
+    return LintResult(findings=findings, stale_baseline=stale,
+                      files_checked=files_checked)

@@ -1,0 +1,92 @@
+"""Finding and severity model for the ``repro.lint`` framework.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+are plain values: the engine produces them, suppressions and baselines
+filter them, and the CLI renders them (human text or JSON). The
+``fingerprint`` intentionally excludes the line *number* — it hashes the
+rule, the file, and the stripped source text of the flagged line — so a
+baseline entry survives unrelated edits that shift code up or down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How bad a violation is; orders from advisory to blocking."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __repr__(self) -> str:
+        return f"Severity.{self.name}"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str            # rule id, e.g. "SMT101"
+    severity: Severity
+    path: str            # repo-relative, forward slashes
+    line: int            # 1-based; 0 for whole-file findings
+    col: int             # 0-based column offset
+    message: str
+    source: str = ""     # stripped text of the flagged line ('' if n/a)
+    suppressed: bool = field(default=False, compare=False)
+    suppress_reason: str = field(default="", compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.rule}::{self.path}::{self.source}"
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        """The one-line human form: location, severity, rule, message."""
+        return (f"{self.location}: {self.severity.value} "
+                f"[{self.rule}] {self.message}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict (the ``--format json`` record shape)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source": self.source,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+            "baselined": self.baselined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            severity=Severity(data.get("severity", "error")),
+            path=str(data["path"]),
+            line=int(data.get("line", 0)),
+            col=int(data.get("col", 0)),
+            message=str(data.get("message", "")),
+            source=str(data.get("source", "")),
+            suppressed=bool(data.get("suppressed", False)),
+            suppress_reason=str(data.get("suppress_reason", "")),
+            baselined=bool(data.get("baselined", False)),
+        )

@@ -1,0 +1,16 @@
+"""Built-in rule families; importing this package registers them all.
+
+======  ============  ========================================================
+family  rules         checks
+======  ============  ========================================================
+determinism  SMT101-103  unseeded RNG, wall-clock logic, set-iteration order
+metrics      SMT201-202  statically-resolvable, cataloged ``obs`` metric names
+numeric      SMT301-302  float equality, unguarded division (Eq. 1-9 paths)
+api          SMT401-403  exported-name docstrings and ``__all__`` drift
+ports        SMT501-502  Ruler port purity and loop-branch purity budget
+======  ============  ========================================================
+"""
+
+from repro.lint.rules import api, determinism, metrics, numeric, ports
+
+__all__ = ["api", "determinism", "metrics", "numeric", "ports"]

@@ -1,0 +1,251 @@
+"""Numerical-safety rules (SMT3xx), scoped to the Eq. 1-9 code paths.
+
+The model's equations chain fixed-point iterations, utilization ratios,
+and regression fits; a silent ZeroDivisionError or an exact float
+comparison in those paths corrupts predictions rather than crashing
+loudly. SMT301 flags exact ``==``/``!=`` against non-zero float values
+(comparison against the literal ``0.0`` is the blessed *guard* idiom —
+it is exactly how divisions are protected, so it is never flagged).
+SMT302 flags divisions whose denominator is neither a non-zero constant
+nor provably guarded in the enclosing scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["FloatEquality", "UnguardedDivision"]
+
+
+def _is_zero_constant(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+            and float(node.value) == 0.0)
+
+
+def _is_numeric_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Expressions that are float-valued on their face."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    """Exact equality between floats; use a tolerance instead."""
+
+    id = "SMT301"
+    family = "numeric"
+    severity = Severity.ERROR
+    summary = ("exact float ==/!= comparison (non-zero operand); use "
+               "math.isclose or an epsilon")
+
+    def visit_Compare(self, node: ast.Compare, ctx) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        if any(_is_zero_constant(operand) for operand in operands):
+            return  # zero-guards are the sanctioned division-guard idiom
+        if any(_is_floatish(operand) for operand in operands):
+            ctx.report(self, "exact float equality is brittle under "
+                             "round-off; compare with math.isclose or an "
+                             "explicit tolerance", node=node)
+
+
+class _GuardIndex:
+    """Expressions a scope tests against zero or for truthiness.
+
+    A denominator ``d`` counts as guarded when the enclosing function
+    (or the module, for top-level code) contains a comparison of ``d``
+    against 0/0.0, or tests ``d`` (or ``not d``) as a condition — the
+    early-return / ternary / ``and`` idioms all reduce to one of those.
+    With ``include_validation`` (used for the class-level pass over
+    dataclass ``__post_init__`` invariants), any expression compared
+    inside a raising ``if`` also counts: ``if self.mu <= self.lam:
+    raise`` is how frozen dataclasses reject degenerate parameters.
+    """
+
+    def __init__(self, scope: ast.AST, *,
+                 include_validation: bool = False) -> None:
+        self.guarded: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Compare):
+                # Comparing an expression against any numeric threshold
+                # (`if x < 2: raise`, `if apki == 0.0: return`) is the
+                # range-check idiom; the compared expression is guarded.
+                operands = [node.left, *node.comparators]
+                if any(_is_numeric_constant(operand)
+                       for operand in operands):
+                    for operand in operands:
+                        if not _is_numeric_constant(operand):
+                            self.guarded.add(ast.unparse(operand))
+            elif isinstance(node, (ast.If, ast.While, ast.IfExp, ast.Assert)):
+                self._add_truth(node.test)
+                if (include_validation and isinstance(node, ast.If)
+                        and any(isinstance(stmt, ast.Raise)
+                                for stmt in node.body)):
+                    for compare in ast.walk(node.test):
+                        if isinstance(compare, ast.Compare):
+                            for operand in [compare.left,
+                                            *compare.comparators]:
+                                if not isinstance(operand, ast.Constant):
+                                    self.guarded.add(ast.unparse(operand))
+            elif isinstance(node, ast.BoolOp):
+                for value in node.values:
+                    self._add_truth(value)
+            elif isinstance(node, ast.comprehension):
+                for condition in node.ifs:
+                    self._add_truth(condition)
+
+    def _add_truth(self, test: ast.AST) -> None:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            test = test.operand
+        if isinstance(test, (ast.Name, ast.Attribute, ast.Call,
+                             ast.Subscript)):
+            self.guarded.add(ast.unparse(test))
+
+    def covers(self, denominator: ast.AST) -> bool:
+        text = ast.unparse(denominator)
+        if text in self.guarded:
+            return True
+        # len(x) is positive iff x is truthy; accept a guard on either.
+        if (isinstance(denominator, ast.Call)
+                and isinstance(denominator.func, ast.Name)
+                and denominator.func.id == "len"
+                and len(denominator.args) == 1
+                and ast.unparse(denominator.args[0]) in self.guarded):
+            return True
+        # A product is non-zero when every factor is guarded non-zero.
+        if (isinstance(denominator, ast.BinOp)
+                and isinstance(denominator.op, ast.Mult)):
+            return all(
+                _statically_nonzero(side) or self.covers(side)
+                for side in (denominator.left, denominator.right)
+            )
+        return False
+
+
+def _statically_nonzero(node: ast.AST) -> bool:
+    """Denominators that cannot be zero on their face.
+
+    Non-zero constants (and their products), ``max(...)`` /
+    ``np.maximum(...)`` floors, and sums that add a positive constant are
+    accepted; everything else must be guarded in the enclosing scope.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and node.value != 0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _statically_nonzero(node.operand)
+    if isinstance(node, ast.Call):
+        if (isinstance(node.func, ast.Name) and node.func.id == "max"
+                and len(node.args) >= 2):
+            return True
+        # np.maximum(x, floor): the vectorized max-floor idiom.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "maximum" and len(node.args) >= 2):
+            return True
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Mult):
+            return (_statically_nonzero(node.left)
+                    and _statically_nonzero(node.right))
+        if isinstance(node.op, ast.Add):
+            for side in (node.left, node.right):
+                if (isinstance(side, ast.Constant)
+                        and isinstance(side.value, (int, float))
+                        and side.value > 0):
+                    return True
+        if isinstance(node.op, ast.Pow):
+            return _statically_nonzero(node.left)
+    return False
+
+
+def _is_path_join(node: ast.BinOp) -> bool:
+    """``/`` chains with a string operand are pathlib joins, not division."""
+    def string_operand(operand: ast.AST) -> bool:
+        return (isinstance(operand, ast.JoinedStr)
+                or (isinstance(operand, ast.Constant)
+                    and isinstance(operand.value, str)))
+
+    current: ast.AST = node
+    while isinstance(current, ast.BinOp) and isinstance(current.op, ast.Div):
+        if string_operand(current.right) or string_operand(current.left):
+            return True
+        current = current.left
+    return string_operand(current)
+
+
+@register
+class UnguardedDivision(Rule):
+    """Divisions whose denominator could be zero without a visible guard."""
+
+    id = "SMT302"
+    family = "numeric"
+    severity = Severity.ERROR
+    summary = ("division by an expression with no zero-guard in the "
+               "enclosing scope")
+
+    def __init__(self) -> None:
+        # One guard index per (scope, mode) per module (rules per-module).
+        self._indexes: dict[tuple[int, bool], _GuardIndex] = {}
+
+    def _index_for(self, scope: ast.AST, *,
+                   include_validation: bool = False) -> _GuardIndex:
+        key = (id(scope), include_validation)
+        index = self._indexes.get(key)
+        if index is None:
+            index = self._indexes[key] = _GuardIndex(
+                scope, include_validation=include_validation)
+        return index
+
+    def visit_BinOp(self, node: ast.BinOp, ctx) -> None:
+        if not isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            return
+        if isinstance(node.op, ast.Div) and _is_path_join(node):
+            return  # pathlib's `/` operator, not arithmetic
+        denominator = node.right
+        if _statically_nonzero(denominator):
+            return
+        if _is_zero_constant(denominator):
+            ctx.report(self, "division by the constant zero", node=node)
+            return
+        scope = ctx.enclosing_function(node) or ctx.tree
+        if self._index_for(scope).covers(denominator):
+            return
+        # Fields of `self` may be validated once, in the class's
+        # __post_init__/__init__ invariants, rather than per method.
+        if "self." in ast.unparse(denominator):
+            class_scope = self._enclosing_class(node, ctx)
+            if class_scope is not None and self._index_for(
+                    class_scope, include_validation=True
+                    ).covers(denominator):
+                return
+        ctx.report(self, f"denominator `{ast.unparse(denominator)}` has no "
+                         "zero-guard in the enclosing scope; add an early "
+                         "return/raise or a max(..., eps) floor", node=node)
+
+    @staticmethod
+    def _enclosing_class(node: ast.AST, ctx) -> ast.ClassDef | None:
+        current = ctx.parent_map.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = ctx.parent_map.get(current)
+        return None

@@ -1,0 +1,63 @@
+"""Inline suppressions: ``# smite: noqa[RULE]`` comments.
+
+A violation is silenced by annotating its *line* (or, for whole-module
+findings such as ``__all__`` drift reported at line 0, the module's first
+line) with::
+
+    x = random.random()  # smite: noqa[SMT101]: seeded upstream by caller
+
+The bracket takes one or more comma-separated rule ids, or ``*`` to
+silence every rule on the line. Everything after the closing bracket's
+optional ``:`` is the free-form *reason* — the convention (enforced in
+review, not by the parser) is that every suppression carries one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_NOQA = re.compile(
+    r"#\s*smite:\s*noqa\[(?P<rules>[A-Za-z0-9_*,\s]+)\]"
+    r"(?:\s*:\s*(?P<reason>.*))?",
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed noqa comment."""
+
+    line: int                  # 1-based line the comment sits on
+    rules: frozenset[str]      # rule ids, or {"*"} for all
+    reason: str
+
+    def covers(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """All noqa comments in ``source``, keyed by 1-based line number.
+
+    Parsing is lexical (a regex over each line), which deliberately also
+    matches a noqa inside a string literal — the same trade every
+    flake8-style tool makes; in exchange the parser cannot be confused
+    by code the ast module refuses to parse.
+    """
+    found: dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match["rules"].split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        found[lineno] = Suppression(
+            line=lineno,
+            rules=rules,
+            reason=(match["reason"] or "").strip(),
+        )
+    return found

@@ -119,6 +119,7 @@ CATALOG: tuple[MetricSpec, ...] = (
 
 
 def specs_of_kind(kind: str) -> tuple[MetricSpec, ...]:
+    """Every catalog entry of one instrument kind (counter/gauge/...)."""
     return tuple(spec for spec in CATALOG if spec.kind == kind)
 
 

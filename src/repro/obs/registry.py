@@ -244,28 +244,35 @@ _DEFAULT = MetricsRegistry()
 
 
 def get_registry() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
     return _DEFAULT
 
 
 def counter(name: str) -> Counter:
+    """A counter from the default registry."""
     return _DEFAULT.counter(name)
 
 
 def gauge(name: str) -> Gauge:
+    """A gauge from the default registry."""
     return _DEFAULT.gauge(name)
 
 
 def histogram(name: str) -> Histogram:
+    """A histogram from the default registry."""
     return _DEFAULT.histogram(name)
 
 
 def snapshot() -> dict[str, Any]:
+    """A JSON-ready snapshot of the default registry."""
     return _DEFAULT.snapshot()
 
 
 def merge(snap: Mapping[str, Any]) -> None:
+    """Merge a snapshot into the default registry."""
     _DEFAULT.merge(snap)
 
 
 def reset() -> None:
+    """Clear every instrument in the default registry."""
     _DEFAULT.reset()

@@ -66,6 +66,7 @@ def build_report(
 
 
 def write_report(path: str | Path, report: Mapping[str, Any]) -> Path:
+    """Serialize a run report to ``path`` as stable, indented JSON."""
     path = Path(path)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -38,6 +38,8 @@ class MmcQueue:
             raise QueueingError("an M/M/c queue needs at least one server")
         if self.arrival_rate <= 0:
             raise QueueingError("arrival rate must be positive")
+        if self.service_rate <= 0:
+            raise QueueingError("service rate must be positive")
         if self.arrival_rate >= self.servers * self.service_rate:
             raise QueueingError(
                 f"unstable queue: lambda {self.arrival_rate} >= "
@@ -65,16 +67,16 @@ class MmcQueue:
         term = 1.0
         partial = 1.0
         for k in range(1, c):
-            term *= a / k
+            term *= a / k  # smite: noqa[SMT302]: range(1, c) yields k >= 1
             partial += term
-        tail = term * (a / c) / (1.0 - rho)
-        return tail / (partial + tail)
+        tail = term * (a / c) / (1.0 - rho)  # smite: noqa[SMT302]: c >= 1 and rho < 1 are __post_init__ invariants
+        return tail / (partial + tail)  # smite: noqa[SMT302]: partial starts at 1.0 and only grows
 
     @property
     def mean_wait(self) -> float:
         """Mean time in queue (excluding service)."""
         c_prob = self.waiting_probability()
-        return c_prob / (self.servers * self.service_rate
+        return c_prob / (self.servers * self.service_rate  # smite: noqa[SMT302]: stability invariant lambda < c*mu keeps the drain rate positive
                          - self.arrival_rate)
 
     @property
@@ -101,7 +103,7 @@ class MmcQueue:
             tail = math.exp(-mu * t) * (1.0 + pw * mu * t)
         else:
             tail = (math.exp(-mu * t)
-                    + pw * mu / (mu - drain)
+                    + pw * mu / (mu - drain)  # smite: noqa[SMT302]: the |drain - mu| < eps case takes the degenerate branch above
                     * (math.exp(-drain * t) - math.exp(-mu * t)))
         return max(0.0, min(1.0, 1.0 - tail))
 

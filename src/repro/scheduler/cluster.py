@@ -157,8 +157,8 @@ class Cluster:
     def _prefetch_decision_space(self) -> None:
         """Batch-solve every placement an exhaustive policy could query."""
         jobs = []
-        for app, batch in {(s.latency_app, s.batch_candidate)
-                           for s in self.servers}:
+        for app, batch in dict.fromkeys(
+                (s.latency_app, s.batch_candidate) for s in self.servers):
             jobs.append([ContextPlacement(batch, core=0)])
             jobs.extend(
                 self.simulator.server_placements(app.profile, batch,
@@ -170,10 +170,10 @@ class Cluster:
     def _prefetch_outcomes(self, decisions: Sequence[int]) -> None:
         """Batch-solve the placements the measurement pass will read."""
         jobs = []
-        for app, batch, instances in {
+        for app, batch, instances in dict.fromkeys(
             (s.latency_app, s.batch_candidate, k)
             for s, k in zip(self.servers, decisions) if k > 0
-        }:
+        ):
             jobs.append([ContextPlacement(batch, core=0)])
             jobs.append(self.simulator.server_placements(
                 app.profile, batch, instances=0, mode="smt"))

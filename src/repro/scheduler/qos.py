@@ -23,6 +23,7 @@ UNSTABLE_VIOLATION = 10.0
 
 
 class QosMetric(enum.Enum):
+    """Which latency statistic a QoS target constrains."""
     AVERAGE_PERFORMANCE = "average_performance"
     TAIL_LATENCY = "tail_latency"
 

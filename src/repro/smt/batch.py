@@ -77,7 +77,7 @@ def _water_fill_rows(levels: np.ndarray, amount: np.ndarray) -> np.ndarray:
     sorted_levels = np.sort(levels, axis=1)
     csum = np.cumsum(sorted_levels, axis=1)
     counts = np.arange(1, k + 1, dtype=float)
-    candidates = (amount[:, None] + csum) / counts
+    candidates = (amount[:, None] + csum) / counts  # smite: noqa[SMT302]: counts = arange(1, k+1) >= 1
     valid = candidates >= sorted_levels
     t_star = valid.sum(axis=1) - 1  # index of the last valid count
     water = np.take_along_axis(candidates, t_star[:, None], axis=1)
@@ -187,28 +187,28 @@ def _slot_update(machine: MachineSpec, pk: _Packed, idx: np.ndarray,
     demand = pk.pinned[idx].copy()
     own_rate = pk.ipc[idx]
     for j, ports in enumerate(pk.flex_ports):
-        levels = demand[:, ports] + bg[:, ports] / own_rate[:, None]
+        levels = demand[:, ports] + bg[:, ports] / own_rate[:, None]  # smite: noqa[SMT302]: pk.ipc starts positive and damped updates keep it positive
         demand[:, ports] += _water_fill_rows(levels, pk.flex_rates[idx, j])
     new_demand = _DAMPING * pk.port_demand[idx] + (1.0 - _DAMPING) * demand
     pk.port_demand[idx] = new_demand
 
     port_bound = new_demand.max(axis=1)
     clipped = np.minimum(bg, rho_cap)
-    inflation = machine.port_contention_kappa * clipped / (1.0 - clipped)
+    inflation = machine.port_contention_kappa * clipped / (1.0 - clipped)  # smite: noqa[SMT302]: clipped <= contention_rho_cap, validated < 1 by MachineSpec
     port_delay = (new_demand * inflation).sum(axis=1)
 
-    fe_occ = pk.uops_eff[idx] / width
+    fe_occ = pk.uops_eff[idx] / width  # smite: noqa[SMT302]: MachineSpec validates issue_width positive
     core_fe = np.bincount(pk.core_gid, weights=pk.ipc * pk.uops_eff,
                           minlength=pk.n_cores)
-    rho_fe = (core_fe[pk.core_gid[idx]]
+    rho_fe = (core_fe[pk.core_gid[idx]]  # smite: noqa[SMT302]: MachineSpec validates issue_width positive
               - pk.ipc[idx] * pk.uops_eff[idx]) / width
     clip_fe = np.minimum(rho_fe, rho_cap)
-    fe_delay = fe_occ * (machine.frontend_contention_kappa
+    fe_delay = fe_occ * (machine.frontend_contention_kappa  # smite: noqa[SMT302]: clip_fe <= contention_rho_cap, validated < 1 by MachineSpec
                          * clip_fe / (1.0 - clip_fe))
 
     throughput = np.maximum(fe_occ, port_bound)
     compute = np.maximum(throughput, pk.dep_bound[idx])
-    visibility = np.minimum(1.0, throughput / compute)
+    visibility = np.minimum(1.0, throughput / compute)  # smite: noqa[SMT302]: compute = maximum(throughput, dep_bound) >= fe_occ > 0
     contention = (port_delay + fe_delay) * visibility
     has_sib = pk.n_sib[idx] > 0
     overhead = np.where(has_sib, compute * machine.smt_static_overhead, 0.0)
@@ -239,7 +239,7 @@ def _slot_update(machine: MachineSpec, pk: _Packed, idx: np.ndarray,
 
     cpi = (compute + contention + overhead + memory + pk.branch_cpi[idx]
            + pk.tlb_cpi[idx] + pk.icache_cpi[idx] + pk.throttle[idx])
-    new_ipc = 1.0 / cpi
+    new_ipc = 1.0 / cpi  # smite: noqa[SMT302]: cpi includes compute, floored at the 1-uop front-end occupancy
     delta = np.abs(new_ipc - pk.ipc[idx]) / np.maximum(pk.ipc[idx], 1e-12)
     pk.ipc[idx] = _DAMPING * pk.ipc[idx] + (1.0 - _DAMPING) * new_ipc
 
@@ -298,8 +298,8 @@ def solve_many(
         traffic = np.bincount(pk.prob,
                               weights=pk.ipc * pk.apki * pk.hm * line,
                               minlength=n_problems)
-        rho = np.minimum(traffic / peak, bw_cap)
-        new_factor = 1.0 + beta * rho / (1.0 - rho)
+        rho = np.minimum(traffic / peak, bw_cap)  # smite: noqa[SMT302]: MachineSpec validates dram_bytes_per_cycle positive
+        new_factor = 1.0 + beta * rho / (1.0 - rho)  # smite: noqa[SMT302]: rho <= bandwidth_rho_cap, validated < 1 by MachineSpec
         factor = np.where(active,
                           _DAMPING * factor + (1.0 - _DAMPING) * new_factor,
                           factor)

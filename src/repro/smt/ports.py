@@ -23,7 +23,8 @@ from typing import Mapping
 from repro.errors import ConfigurationError
 from repro.isa.opcodes import ALL_PORTS, PORT_BINDINGS, UopKind
 
-__all__ = ["balance_port_demand", "contention_inflation", "water_fill"]
+__all__ = ["balance_port_demand", "contention_inflation",
+           "split_port_demand", "water_fill"]
 
 
 def water_fill(levels: list[float], amount: float) -> list[float]:
@@ -132,4 +133,4 @@ def contention_inflation(rho: float, kappa: float, rho_cap: float) -> float:
     if kappa < 0:
         raise ConfigurationError(f"contention kappa cannot be negative ({kappa})")
     clipped = min(rho, rho_cap)
-    return 1.0 + kappa * clipped / (1.0 - clipped)
+    return 1.0 + kappa * clipped / (1.0 - clipped)  # smite: noqa[SMT302]: clipped <= rho_cap, validated < 1 by MachineSpec

@@ -38,7 +38,7 @@ from repro.smt.results import ContextResult, RunResult
 from repro.smt.solver import ContextPlacement, solve
 from repro.workloads.profile import WorkloadProfile
 
-__all__ = ["Simulator", "ContextPlacement", "PairMode"]
+__all__ = ["Simulator", "ContextPlacement", "PairMeasurement", "PairMode"]
 
 PairMode = Literal["smt", "cmp"]
 
@@ -356,8 +356,8 @@ class Simulator:
         return PairMeasurement(
             ipc_a=ipc_a,
             ipc_b=ipc_b,
-            degradation_a=(solo_a - ipc_a) / solo_a,
-            degradation_b=(solo_b - ipc_b) / solo_b,
+            degradation_a=(solo_a - ipc_a) / solo_a,  # smite: noqa[SMT302]: solver IPCs are 1/cpi of a positive CPI stack
+            degradation_b=(solo_b - ipc_b) / solo_b,  # smite: noqa[SMT302]: solver IPCs are 1/cpi of a positive CPI stack
         )
 
     def measure_server(
@@ -388,13 +388,13 @@ class Simulator:
                                  latency_threads=latency_threads)
         solo_threads = solo.all_named(latency_profile.name)
         loaded_threads = loaded.all_named(latency_profile.name)
-        solo_ipc = sum(t.ipc for t in solo_threads) / len(solo_threads)
-        loaded_ipc = sum(t.ipc for t in loaded_threads) / len(loaded_threads)
+        solo_ipc = sum(t.ipc for t in solo_threads) / len(solo_threads)  # smite: noqa[SMT302]: run_server always places at least one latency thread
+        loaded_ipc = sum(t.ipc for t in loaded_threads) / len(loaded_threads)  # smite: noqa[SMT302]: run_server always places at least one latency thread
         loaded_ipc *= self._jitter_factor(
             mode, latency_profile.name, batch_profile.name, f"server{instances}"
         )
         batch_threads = loaded.all_named(batch_profile.name)
-        batch_ipc = sum(t.ipc for t in batch_threads) / len(batch_threads)
+        batch_ipc = sum(t.ipc for t in batch_threads) / len(batch_threads)  # smite: noqa[SMT302]: instances > 0 is validated above, so batch threads exist
         batch_ipc *= self._jitter_factor(
             mode, latency_profile.name, batch_profile.name,
             f"server-batch{instances}"
@@ -403,8 +403,8 @@ class Simulator:
         return PairMeasurement(
             ipc_a=loaded_ipc,
             ipc_b=batch_ipc,
-            degradation_a=(solo_ipc - loaded_ipc) / solo_ipc,
-            degradation_b=(batch_solo - batch_ipc) / batch_solo,
+            degradation_a=(solo_ipc - loaded_ipc) / solo_ipc,  # smite: noqa[SMT302]: solver IPCs are 1/cpi of a positive CPI stack
+            degradation_b=(batch_solo - batch_ipc) / batch_solo,  # smite: noqa[SMT302]: solver IPCs are 1/cpi of a positive CPI stack
         )
 
     def measure_server_degradation(

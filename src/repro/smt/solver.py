@@ -274,9 +274,9 @@ def _compute_cpi(machine: MachineSpec, states: list[_ContextState],
     # Every instruction occupies at least one issue/retire slot, so the
     # occupancy floor is 1 uop/instruction even for sparse uop mixes.
     width = machine.issue_width
-    frontend = max(state.uops_total, 1.0) / width
+    frontend = max(state.uops_total, 1.0) / width  # smite: noqa[SMT302]: MachineSpec validates issue_width positive
     fe_delay = 0.0
-    rho_fe = sum(s.ipc * max(s.uops_total, 1.0) for s in siblings) / width
+    rho_fe = sum(s.ipc * max(s.uops_total, 1.0) for s in siblings) / width  # smite: noqa[SMT302]: MachineSpec validates issue_width positive
     if rho_fe > 0.0:
         fe_factor = contention_inflation(
             rho_fe, machine.frontend_contention_kappa,
@@ -336,7 +336,7 @@ def solve(
         traffic = aggregate_traffic(
             [s.ipc * s.apki * s.hits.memory * line for s in states]
         )
-        dram_rho = min(traffic / peak, machine.bandwidth_rho_cap)
+        dram_rho = min(traffic / peak, machine.bandwidth_rho_cap)  # smite: noqa[SMT302]: MachineSpec validates dram_bytes_per_cycle positive
         # The latency factor is damped across iterations: near saturation
         # it swings by multiples, and the IPC damping alone cannot keep
         # the saturated/unsaturated flip-flop from oscillating.
@@ -348,7 +348,7 @@ def solve(
         max_delta = 0.0
         for idx, state in enumerate(states):
             cpi, breakdown = _compute_cpi(machine, states, idx, dram_latency)
-            new_ipc = 1.0 / cpi
+            new_ipc = 1.0 / cpi  # smite: noqa[SMT302]: cpi includes compute, floored at the 1-uop front-end occupancy
             delta = abs(new_ipc - state.ipc) / max(state.ipc, 1e-12)
             max_delta = max(max_delta, delta)
             state.ipc = _DAMPING * state.ipc + (1.0 - _DAMPING) * new_ipc

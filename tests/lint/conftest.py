@@ -1,0 +1,32 @@
+"""Shared helpers for the lint-framework tests.
+
+``lint()`` runs :func:`repro.lint.lint_source` over a source snippet at
+a chosen (virtual) repo-relative path — the path matters because rule
+families are scoped to path prefixes. Tests select the rules they
+exercise so fixture snippets do not need to satisfy every family at
+once.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import Finding, LintConfig, lint_source
+
+#: A path inside both the determinism and numeric default scopes.
+MODEL_PATH = "src/repro/smt/fixture.py"
+
+
+@pytest.fixture
+def lint():
+    def _lint(source: str, *, relpath: str = MODEL_PATH,
+              rules=None, path=None) -> list[Finding]:
+        return lint_source(textwrap.dedent(source), relpath, LintConfig(),
+                          path=path, rule_classes=rules)
+    return _lint
+
+
+def rule_ids(findings) -> list[str]:
+    return [f.rule for f in findings]

@@ -1,0 +1,115 @@
+"""The ``python -m repro.lint`` CLI, plus the tree-wide smoke gate.
+
+``test_tree_lints_clean`` is the CI gate the framework exists for: the
+repository's own source must lint clean (exit 0) on every test run,
+exactly as ``scripts/lint.py`` and the bench-regression preflight
+enforce it.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _mini_repo(tmp_path: Path, body: str) -> Path:
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(textwrap.dedent(body),
+                                             encoding="utf-8")
+    (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+        [tool.smite-lint]
+        paths = ["src"]
+
+        [tool.smite-lint.scopes.numeric]
+        include = ["src"]
+    """), encoding="utf-8")
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    _mini_repo(tmp_path, "X = 1\n")
+    assert main(["--root", str(tmp_path)]) == 0
+    assert "OK: 0 new violation(s)" in capsys.readouterr().out
+
+
+def test_violation_fails_and_is_rendered(tmp_path, capsys):
+    _mini_repo(tmp_path, """\
+        def f(a, b):
+            return a / b
+    """)
+    assert main(["--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "SMT302" in out
+    assert "FAIL: 1 new violation(s)" in out
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    _mini_repo(tmp_path, """\
+        def f(a, b):
+            return a / b
+    """)
+    assert main(["--root", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "SMT302"
+    assert finding["path"] == "src/mod.py"
+
+
+def test_update_baseline_then_clean_then_stale(tmp_path, capsys):
+    _mini_repo(tmp_path, """\
+        def f(a, b):
+            return a / b
+    """)
+    # Record the legacy violation...
+    assert main(["--root", str(tmp_path), "--update-baseline"]) == 0
+    assert (tmp_path / ".smite-lint-baseline.json").is_file()
+    capsys.readouterr()
+
+    # ...so the tree lints clean...
+    assert main(["--root", str(tmp_path)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # ...until the violation is fixed, when the entry goes stale.
+    (tmp_path / "src" / "mod.py").write_text("X = 1\n", encoding="utf-8")
+    assert main(["--root", str(tmp_path)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_suppressed_findings_are_hidden_unless_asked(tmp_path, capsys):
+    _mini_repo(tmp_path, """\
+        def f(a, b):
+            return a / b  # smite: noqa[SMT302]: b is a validated knob
+    """)
+    assert main(["--root", str(tmp_path)]) == 0
+    assert "SMT302" not in capsys.readouterr().out
+    assert main(["--root", str(tmp_path), "--show-suppressed"]) == 0
+    out = capsys.readouterr().out
+    assert "(suppressed: b is a validated knob)" in out
+
+
+def test_list_rules_prints_the_reference(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SMT101", "SMT301", "SMT501"):
+        assert rule_id in out
+
+
+def test_missing_path_is_a_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--root", str(tmp_path), str(tmp_path / "nope.py")])
+    assert excinfo.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# The repository's own source
+
+def test_tree_lints_clean():
+    assert main(["--root", str(REPO), str(REPO / "src")]) == 0

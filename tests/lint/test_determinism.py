@@ -1,0 +1,140 @@
+"""SMT1xx: unseeded RNGs, wall-clock reads, set-iteration order."""
+
+from __future__ import annotations
+
+from repro.lint.rules.determinism import (
+    SetIterationOrder,
+    UnseededRandom,
+    WallClockLogic,
+)
+
+from .conftest import rule_ids
+
+
+# ----------------------------------------------------------------------
+# SMT101: unseeded random sources
+
+def test_global_stdlib_rng_is_flagged(lint):
+    findings = lint("""\
+        import random
+        x = random.random()
+    """, rules=[UnseededRandom])
+    assert rule_ids(findings) == ["SMT101"]
+
+
+def test_seeded_random_instance_passes(lint):
+    findings = lint("""\
+        import random
+        rng = random.Random(42)
+        x = rng.random()
+    """, rules=[UnseededRandom])
+    assert findings == []
+
+
+def test_unseeded_random_instance_is_flagged(lint):
+    findings = lint("""\
+        import random
+        rng = random.Random()
+    """, rules=[UnseededRandom])
+    assert rule_ids(findings) == ["SMT101"]
+
+
+def test_legacy_numpy_global_rng_is_flagged(lint):
+    findings = lint("""\
+        import numpy as np
+        x = np.random.rand(3)
+    """, rules=[UnseededRandom])
+    assert rule_ids(findings) == ["SMT101"]
+
+
+def test_unseeded_default_rng_is_flagged_but_seeded_passes(lint):
+    findings = lint("""\
+        import numpy as np
+        bad = np.random.default_rng()
+        good = np.random.default_rng(7)
+    """, rules=[UnseededRandom])
+    assert rule_ids(findings) == ["SMT101"]
+    assert findings[0].line == 2
+
+
+def test_determinism_rules_skip_out_of_scope_paths(lint):
+    findings = lint("""\
+        import random
+        x = random.random()
+    """, relpath="src/repro/obs/fixture.py", rules=[UnseededRandom])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SMT102: wall-clock logic
+
+def test_wall_clock_read_is_flagged(lint):
+    findings = lint("""\
+        import time
+        stamp = time.time()
+    """, rules=[WallClockLogic])
+    assert rule_ids(findings) == ["SMT102"]
+
+
+def test_datetime_now_is_flagged(lint):
+    findings = lint("""\
+        from datetime import datetime
+        today = datetime.now()
+    """, rules=[WallClockLogic])
+    assert rule_ids(findings) == ["SMT102"]
+
+
+def test_perf_counter_span_is_exempt(lint):
+    findings = lint("""\
+        import time
+        started = time.perf_counter()
+        elapsed = time.perf_counter() - started
+    """, rules=[WallClockLogic])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SMT103: set-iteration order
+
+def test_for_over_set_literal_is_flagged(lint):
+    findings = lint("""\
+        def f(names):
+            for n in set(names):
+                print(n)
+    """, rules=[SetIterationOrder])
+    assert rule_ids(findings) == ["SMT103"]
+
+
+def test_comprehension_over_set_is_flagged(lint):
+    findings = lint("""\
+        def f(names):
+            return [n.upper() for n in {x for x in names}]
+    """, rules=[SetIterationOrder])
+    assert rule_ids(findings) == ["SMT103"]
+
+
+def test_list_of_set_is_flagged(lint):
+    findings = lint("""\
+        def f(names):
+            return list(set(names))
+    """, rules=[SetIterationOrder])
+    assert rule_ids(findings) == ["SMT103"]
+
+
+def test_sorted_set_passes(lint):
+    findings = lint("""\
+        def f(names):
+            for n in sorted(set(names)):
+                print(n)
+            return sorted({x for x in names})
+    """, rules=[SetIterationOrder])
+    assert findings == []
+
+
+def test_dict_fromkeys_dedup_passes(lint):
+    findings = lint("""\
+        def f(pairs):
+            for a, b in dict.fromkeys(pairs):
+                print(a, b)
+    """, rules=[SetIterationOrder])
+    assert findings == []

@@ -1,0 +1,202 @@
+"""Engine behavior: suppressions, baseline round-trips, scopes, config."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    LintResult,
+    Scope,
+    all_rules,
+    collect_files,
+    lint_source,
+    load_config,
+    parse_suppressions,
+)
+from repro.lint.engine import SYNTAX_ERROR_RULE
+from repro.lint.rules.numeric import UnguardedDivision
+
+from .conftest import MODEL_PATH
+
+
+def _lint(source: str, **kwargs):
+    return lint_source(textwrap.dedent(source), MODEL_PATH, LintConfig(),
+                       rule_classes=[UnguardedDivision], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Registry sanity
+
+def test_all_twelve_rules_register_with_unique_ids():
+    ids = [rule.id for rule in all_rules()]
+    assert len(ids) == len(set(ids))
+    assert {"SMT101", "SMT102", "SMT103", "SMT201", "SMT202", "SMT301",
+            "SMT302", "SMT401", "SMT402", "SMT403", "SMT501",
+            "SMT502"} <= set(ids)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+
+def test_inline_suppression_with_reason_round_trips():
+    findings = _lint("""\
+        def f(a, b):
+            return a / b  # smite: noqa[SMT302]: b is a validated knob
+    """)
+    (finding,) = findings
+    assert finding.suppressed
+    assert finding.suppress_reason == "b is a validated knob"
+
+
+def test_suppression_for_another_rule_does_not_apply():
+    findings = _lint("""\
+        def f(a, b):
+            return a / b  # smite: noqa[SMT101]: wrong rule
+    """)
+    (finding,) = findings
+    assert not finding.suppressed
+
+
+def test_wildcard_suppression_covers_every_rule():
+    findings = _lint("""\
+        def f(a, b):
+            return a / b  # smite: noqa[*]: anything goes here
+    """)
+    assert findings[0].suppressed
+
+
+def test_multi_rule_suppression_list():
+    marks = parse_suppressions(
+        "x = 1  # smite: noqa[SMT301, SMT302]: both numeric rules\n")
+    (mark,) = marks.values()
+    assert mark.covers("SMT301") and mark.covers("SMT302")
+    assert not mark.covers("SMT101")
+
+
+def test_syntax_errors_are_not_suppressible():
+    findings = lint_source(
+        "def broken(  # smite: noqa[*]: nice try\n",
+        MODEL_PATH, LintConfig())
+    (finding,) = findings
+    assert finding.rule == SYNTAX_ERROR_RULE
+    assert not finding.suppressed
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+
+def test_baseline_round_trip_marks_legacy_and_reports_stale(tmp_path):
+    findings = _lint("""\
+        def f(a, b):
+            return a / b
+    """)
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert reloaded.counts == baseline.counts
+
+    annotated, stale = reloaded.apply(findings)
+    assert stale == []
+    assert all(f.baselined for f in annotated)
+
+    # After the violation is fixed the entry must surface as stale.
+    _, stale = reloaded.apply([])
+    assert stale == [findings[0].fingerprint]
+
+
+def test_baseline_fingerprint_survives_line_shifts():
+    before = _lint("""\
+        def f(a, b):
+            return a / b
+    """)
+    after = _lint("""\
+        import math
+
+
+        def f(a, b):
+            return a / b
+    """)
+    assert before[0].line != after[0].line
+    assert before[0].fingerprint == after[0].fingerprint
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+def test_exit_code_semantics():
+    failing = _lint("""\
+        def f(a, b):
+            return a / b
+    """)
+    assert LintResult(findings=failing).exit_code == 1
+    assert LintResult(findings=[]).exit_code == 0
+    assert LintResult(stale_baseline=["SMT302::x.py::y"]).exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# Scopes and config
+
+def test_scope_prefix_matching():
+    scope = Scope(include=("src/repro/smt",), exclude=("src/repro/smt/pmu",))
+    assert scope.applies_to("src/repro/smt/solver.py")
+    assert not scope.applies_to("src/repro/smtx/solver.py")
+    assert not scope.applies_to("src/repro/smt/pmu/defects.py")
+    assert not scope.applies_to("tests/test_solver.py")
+
+
+def test_config_disable_by_rule_id_and_family():
+    config = LintConfig(disable=("SMT302", "api"))
+    assert not config.rule_enabled("SMT302", "numeric")
+    assert config.rule_enabled("SMT301", "numeric")
+    assert not config.rule_enabled("SMT401", "api")
+
+
+def test_load_config_reads_smite_lint_block(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+        [tool.smite-lint]
+        paths = ["lib"]
+        baseline = "lint-baseline.json"
+        disable = ["SMT403"]
+
+        [tool.smite-lint.scopes.numeric]
+        include = ["lib/core"]
+    """), encoding="utf-8")
+    config = load_config(tmp_path)
+    assert config.paths == ("lib",)
+    assert config.baseline_file == tmp_path / "lint-baseline.json"
+    assert config.disable == ("SMT403",)
+    assert config.scope_for("numeric").include == ("lib/core",)
+    # Unmentioned families keep their defaults.
+    assert config.scope_for("determinism").include
+
+
+def test_load_config_without_block_uses_defaults(tmp_path):
+    config = load_config(tmp_path)
+    assert config.paths == ("src",)
+    assert config.root == tmp_path.resolve()
+
+
+# ----------------------------------------------------------------------
+# File collection
+
+def test_collect_files_expands_dedupes_and_sorts(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    a = tmp_path / "pkg" / "a.py"
+    b = tmp_path / "pkg" / "b.py"
+    a.write_text("A = 1\n", encoding="utf-8")
+    b.write_text("B = 1\n", encoding="utf-8")
+    (tmp_path / "pkg" / "notes.txt").write_text("skip\n", encoding="utf-8")
+    files = collect_files([tmp_path / "pkg", a])
+    assert files == [a, b]
+
+
+def test_syntax_error_reports_smt000(tmp_path):
+    findings = lint_source("def broken(:\n", MODEL_PATH, LintConfig())
+    (finding,) = findings
+    assert finding.rule == SYNTAX_ERROR_RULE
+    assert "does not parse" in finding.message

@@ -1,0 +1,71 @@
+"""SMT2xx: metric names must be static and declared in the catalog."""
+
+from __future__ import annotations
+
+from repro.lint.rules.metrics import CatalogedMetricName, StaticMetricName
+
+from .conftest import rule_ids
+
+
+def test_cataloged_literal_name_passes(lint):
+    findings = lint("""\
+        from repro.obs import counter
+        counter("smt.simulator.requests").inc()
+    """, rules=[StaticMetricName, CatalogedMetricName])
+    assert findings == []
+
+
+def test_uncataloged_name_is_flagged(lint):
+    findings = lint("""\
+        from repro.obs import counter
+        counter("no.such.metric").inc()
+    """, rules=[CatalogedMetricName])
+    assert rule_ids(findings) == ["SMT202"]
+    assert "no.such.metric" in findings[0].message
+
+
+def test_variable_name_is_not_statically_resolvable(lint):
+    findings = lint("""\
+        from repro.obs import counter
+        def bump(name):
+            counter(name).inc()
+    """, rules=[StaticMetricName, CatalogedMetricName])
+    assert rule_ids(findings) == ["SMT201"]
+
+
+def test_fstring_resolves_against_catalog_placeholders(lint):
+    findings = lint("""\
+        from repro.obs import span
+        def trace(experiment_id):
+            with span(f"experiment.{experiment_id}"):
+                pass
+    """, rules=[StaticMetricName, CatalogedMetricName])
+    assert findings == []
+
+
+def test_fstring_with_uncataloged_skeleton_is_flagged(lint):
+    findings = lint("""\
+        from repro.obs import span
+        def trace(experiment_id):
+            with span(f"bogus.{experiment_id}"):
+                pass
+    """, rules=[CatalogedMetricName])
+    assert rule_ids(findings) == ["SMT202"]
+
+
+def test_fully_dynamic_fstring_has_no_skeleton(lint):
+    findings = lint("""\
+        from repro.obs import counter
+        def bump(name):
+            counter(f"{name}").inc()
+    """, rules=[StaticMetricName])
+    assert rule_ids(findings) == ["SMT201"]
+
+
+def test_obs_internals_are_out_of_scope(lint):
+    findings = lint("""\
+        from repro.obs import counter
+        counter("no.such.metric").inc()
+    """, relpath="src/repro/obs/registry.py",
+        rules=[StaticMetricName, CatalogedMetricName])
+    assert findings == []

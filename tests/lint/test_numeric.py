@@ -1,0 +1,132 @@
+"""SMT3xx: exact float equality and unguarded division."""
+
+from __future__ import annotations
+
+from repro.lint.rules.numeric import FloatEquality, UnguardedDivision
+
+from .conftest import rule_ids
+
+
+# ----------------------------------------------------------------------
+# SMT301: float equality
+
+def test_exact_float_equality_is_flagged(lint):
+    findings = lint("""\
+        def f(x):
+            return x == 1.5
+    """, rules=[FloatEquality])
+    assert rule_ids(findings) == ["SMT301"]
+
+
+def test_zero_comparison_is_the_blessed_guard_idiom(lint):
+    findings = lint("""\
+        def f(x):
+            if x == 0.0:
+                return 0.0
+            return 1.0 / x
+    """, rules=[FloatEquality])
+    assert findings == []
+
+
+def test_integer_equality_is_not_flagged(lint):
+    findings = lint("""\
+        def f(n):
+            return n == 3
+    """, rules=[FloatEquality])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SMT302: unguarded division
+
+def test_unguarded_division_is_flagged(lint):
+    findings = lint("""\
+        def f(a, b):
+            return a / b
+    """, rules=[UnguardedDivision])
+    assert rule_ids(findings) == ["SMT302"]
+    assert "`b`" in findings[0].message
+
+
+def test_early_return_guard_is_recognized(lint):
+    findings = lint("""\
+        def f(a, b):
+            if b == 0.0:
+                return 0.0
+            return a / b
+    """, rules=[UnguardedDivision])
+    assert findings == []
+
+
+def test_truthiness_guard_is_recognized(lint):
+    findings = lint("""\
+        def f(a, b):
+            return a / b if b else 0.0
+    """, rules=[UnguardedDivision])
+    assert findings == []
+
+
+def test_max_floor_is_statically_nonzero(lint):
+    findings = lint("""\
+        def f(a, b):
+            return a / max(b, 1e-12)
+    """, rules=[UnguardedDivision])
+    assert findings == []
+
+
+def test_nonzero_constant_denominator_passes(lint):
+    findings = lint("""\
+        def f(a):
+            return a / 1000.0 + a / (1024 * 1024)
+    """, rules=[UnguardedDivision])
+    assert findings == []
+
+
+def test_division_by_constant_zero_is_flagged(lint):
+    findings = lint("""\
+        def f(a):
+            return a / 0
+    """, rules=[UnguardedDivision])
+    assert rule_ids(findings) == ["SMT302"]
+    assert "constant zero" in findings[0].message
+
+
+def test_len_guard_covers_len_denominator(lint):
+    findings = lint("""\
+        def f(xs):
+            if not xs:
+                return 0.0
+            return sum(xs) / len(xs)
+    """, rules=[UnguardedDivision])
+    assert findings == []
+
+
+def test_post_init_invariant_guards_self_fields(lint):
+    findings = lint("""\
+        class Queue:
+            def __post_init__(self):
+                if self.mu <= 0:
+                    raise ValueError("mu must be positive")
+
+            @property
+            def service_time(self):
+                return 1.0 / self.mu
+    """, rules=[UnguardedDivision])
+    assert findings == []
+
+
+def test_pathlib_join_is_not_division(lint):
+    findings = lint("""\
+        from pathlib import Path
+        def f(root, key):
+            return root / "solves" / f"{key}.json"
+    """, rules=[UnguardedDivision])
+    assert findings == []
+
+
+def test_numeric_rules_skip_out_of_scope_paths(lint):
+    findings = lint("""\
+        def f(a, b):
+            return a / b
+    """, relpath="src/repro/obs/fixture.py", rules=[UnguardedDivision])
+    assert findings == []
