@@ -1,0 +1,95 @@
+"""Throughput benchmark of the online serving replay loop.
+
+Measures what ``scripts/bench_regress.py``'s ``serve`` phase gates: how
+many discrete events per second the :class:`ServingEngine` replays when
+driving the full SMiTe stack (prediction LRU, micro-batched prefetch,
+windowed SLO accounting) through a seeded diurnal day. Predictor
+training is module-fixture work and deliberately *outside* the timed
+region — the gate watches the replay loop, not the fit.
+
+The session writes ``BENCH_serve.json`` (override the path with
+``SMITE_BENCH_SERVE_OUT``) recording events/sec and the replay wall
+time; ``scripts/bench_regress.py`` gates changes against the committed
+copy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.scheduler.qos import QosTarget
+from repro.serve.engine import ServingEngine
+from repro.serve.service import PredictionService
+from repro.serve.slo import WindowedSlo
+from repro.serve.traffic import diurnal_trace
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+pytestmark = pytest.mark.bench_regress
+
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    """Dump everything the module measured once its benchmarks finish."""
+    yield
+    if not _RESULTS:
+        return
+    report = {
+        "machine": SANDY_BRIDGE_EN.name,
+        "ops_per_sec": {
+            name: rate for name, rate in sorted(_RESULTS.items())
+            if not name.startswith("_")
+        },
+        "replay": {
+            "events": int(_RESULTS["_replay_events"]),
+            "arrivals": int(_RESULTS["_replay_arrivals"]),
+            "seconds": _RESULTS["_replay_seconds"],
+        },
+    }
+    out = os.environ.get("SMITE_BENCH_SERVE_OUT", "BENCH_serve.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    simulator = Simulator(SANDY_BRIDGE_EN)
+    smite = SMiTe(simulator).fit(spec_odd()[:6], mode="smt")
+    return smite.fit_server(spec_odd()[:6], instance_counts=(1, 3, 6))
+
+
+def test_perf_replay_diurnal_day(benchmark, predictor):
+    trace = diurnal_trace(spec_even()[:4], mean_rate_per_s=0.05, seed=42)
+    apps = cloudsuite_apps()[:2]
+    target = QosTarget.average(0.95)
+
+    def run_replay():
+        engine = ServingEngine(
+            predictor.simulator, apps,
+            PredictionService(predictor, target),
+            servers_per_app=4, epoch_s=300.0, window_s=3_600.0,
+            slo=WindowedSlo(3_600.0, target),
+        )
+        started = time.perf_counter()
+        outcome = engine.replay(trace)
+        _RESULTS["_replay_seconds"] = time.perf_counter() - started
+        return outcome
+
+    outcome = benchmark.pedantic(run_replay, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    events = len(outcome.events)
+    assert events > 0
+    assert outcome.arrivals == outcome.departures + outcome.still_placed
+    _RESULTS["_replay_events"] = float(events)
+    _RESULTS["_replay_arrivals"] = float(outcome.arrivals)
+    _RESULTS["replay_events"] = events / _RESULTS["_replay_seconds"]

@@ -1,25 +1,31 @@
 #!/usr/bin/env python
-"""Solver throughput regression gate, with per-phase attribution.
+"""Benchmark regression gates (solver + serve), with per-phase attribution.
 
-Runs the ``bench_regress``-marked micro-benchmarks in
-``benchmarks/bench_solver_perf.py``, then compares the fresh numbers
-against the committed ``BENCH_solver.json`` baseline. The gate fails when
-the batch pair-grid throughput (the pipeline's dominant operation) drops
-more than 20% below the baseline.
+Runs the ``bench_regress``-marked micro-benchmarks
+(``benchmarks/bench_solver_perf.py`` and ``benchmarks/bench_serve.py``)
+in one pytest session, then compares the fresh numbers against the
+committed baselines. Two phases are gated, each allowed to drop at most
+20% below its baseline:
+
+- **solver** (``BENCH_solver.json``): batch pair-grid throughput, the
+  pipeline's dominant offline operation;
+- **serve** (``BENCH_serve.json``): events/sec of the online serving
+  replay loop (a diurnal day through the full SMiTe stack).
 
 The benchmark session also emits a ``repro.obs`` run report
 (``SMITE_METRICS_OUT``), from which this gate derives *phase* numbers —
-mean scalar solve time, fixed-point iterations, batch time per problem —
-so a regression is attributed to the phase that slowed down rather than
-reported as one opaque ratio. ``--update`` stores the phases alongside
-the throughput baseline for future comparisons.
+mean scalar solve time, fixed-point iterations, batch time per problem,
+mean replay/epoch time, the prediction LRU's hit rate — so a regression
+is attributed to the phase that slowed down rather than reported as one
+opaque ratio. ``--update`` stores the phases alongside each throughput
+baseline for future comparisons.
 
 Usage::
 
-    python scripts/bench_regress.py            # gate against baseline
-    python scripts/bench_regress.py --update   # refresh the baseline
+    python scripts/bench_regress.py            # gate against baselines
+    python scripts/bench_regress.py --update   # refresh the baselines
 
-The baseline is machine-dependent; refresh it with ``--update`` when
+The baselines are machine-dependent; refresh them with ``--update`` when
 benchmarking hardware changes, and commit the result.
 """
 
@@ -35,13 +41,17 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "BENCH_solver.json"
+SERVE_BASELINE = REPO / "BENCH_serve.json"
 GATED_METRIC = "pair_grid_batch"
+SERVE_GATED_METRIC = "replay_events"
 ALLOWED_REGRESSION = 0.20
 
 
-def _run_benchmarks(out_path: Path, metrics_path: Path) -> tuple[dict, dict]:
+def _run_benchmarks(out_path: Path, serve_out_path: Path,
+                    metrics_path: Path) -> tuple[dict, dict, dict]:
     env = dict(os.environ)
     env["SMITE_BENCH_OUT"] = str(out_path)
+    env["SMITE_BENCH_SERVE_OUT"] = str(serve_out_path)
     env["SMITE_METRICS_OUT"] = str(metrics_path)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
@@ -49,16 +59,19 @@ def _run_benchmarks(out_path: Path, metrics_path: Path) -> tuple[dict, dict]:
     command = [
         sys.executable, "-m", "pytest",
         str(REPO / "benchmarks" / "bench_solver_perf.py"),
+        str(REPO / "benchmarks" / "bench_serve.py"),
         "-m", "bench_regress", "-q", "-p", "no:cacheprovider",
     ]
     subprocess.run(command, cwd=REPO, env=env, check=True)
     with out_path.open(encoding="utf-8") as fh:
         fresh = json.load(fh)
+    with serve_out_path.open(encoding="utf-8") as fh:
+        fresh_serve = json.load(fh)
     metrics: dict = {}
     if metrics_path.exists():
         with metrics_path.open(encoding="utf-8") as fh:
             metrics = json.load(fh).get("metrics", {})
-    return fresh, metrics
+    return fresh, fresh_serve, metrics
 
 
 def _phases(metrics: dict) -> dict[str, float]:
@@ -88,6 +101,26 @@ def _phases(metrics: dict) -> dict[str, float]:
         phases["batch_s_per_problem"] = batch_hist["sum"] / problems
     if calls:
         phases["batch_problems_per_call"] = problems / calls
+    return phases
+
+
+def _serve_phases(metrics: dict) -> dict[str, float]:
+    """Serving-loop phase costs derived from the observability report."""
+    phases: dict[str, float] = {}
+    for path, hist in metrics.get("spans", {}).items():
+        leaf = path.rsplit("/", 1)[-1]
+        if leaf in ("serve.replay", "serve.epoch") and hist.get("count"):
+            name = leaf.replace(".", "_") + "_mean_s"
+            phases[name] = hist["sum"] / hist["count"]
+    counters = metrics.get("counters", {})
+    hits = counters.get("serve.service.cache_hits", 0)
+    misses = counters.get("serve.service.cache_misses", 0)
+    if hits + misses:
+        phases["lru_hit_rate"] = hits / (hits + misses)
+    epochs = counters.get("serve.engine.epochs", 0)
+    events = counters.get("serve.engine.events", 0)
+    if epochs:
+        phases["events_per_epoch"] = events / epochs
     return phases
 
 
@@ -135,8 +168,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     with tempfile.TemporaryDirectory() as tmp:
-        fresh, metrics = _run_benchmarks(
+        fresh, fresh_serve, metrics = _run_benchmarks(
             Path(tmp) / "BENCH_solver.json",
+            Path(tmp) / "BENCH_serve.json",
             Path(tmp) / "BENCH_metrics.json",
         )
 
@@ -144,28 +178,42 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nbatch pair-grid: {fresh['ops_per_sec'][GATED_METRIC]:.0f} "
           f"pairs/s over {grid.get('pairs', '?')} pairs "
           f"({grid.get('batch_speedup', 0.0):.1f}x vs scalar)")
+    replay = fresh_serve.get("replay", {})
+    print(f"serve replay: {fresh_serve['ops_per_sec'][SERVE_GATED_METRIC]:.0f} "
+          f"events/s over {replay.get('events', '?')} events "
+          f"({replay.get('seconds', 0.0):.2f} s wall)")
 
     fresh["phases"] = _phases(metrics)
+    fresh_serve["phases"] = _serve_phases(metrics)
 
-    if args.update or not BASELINE.exists():
-        BASELINE.write_text(json.dumps(fresh, indent=2) + "\n",
-                            encoding="utf-8")
-        print(f"baseline written to {BASELINE}")
-        return 0
-
-    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
-    reference = baseline["ops_per_sec"][GATED_METRIC]
-    measured = fresh["ops_per_sec"][GATED_METRIC]
-    floor = (1.0 - ALLOWED_REGRESSION) * reference
-    print(f"baseline {reference:.0f} pairs/s -> floor {floor:.0f} pairs/s")
-    _print_attribution(fresh["phases"], baseline.get("phases", {}))
-    if measured < floor:
-        print(f"FAIL: {GATED_METRIC} regressed "
-              f"{1.0 - measured / reference:.0%} (> "
-              f"{ALLOWED_REGRESSION:.0%} allowed)", file=sys.stderr)
-        return 1
-    print(f"OK: {GATED_METRIC} within {ALLOWED_REGRESSION:.0%} of baseline")
-    return 0
+    failed = False
+    for name, fresh_report, baseline_path, metric, unit in (
+        ("solver", fresh, BASELINE, GATED_METRIC, "pairs/s"),
+        ("serve", fresh_serve, SERVE_BASELINE, SERVE_GATED_METRIC,
+         "events/s"),
+    ):
+        if args.update or not baseline_path.exists():
+            baseline_path.write_text(
+                json.dumps(fresh_report, indent=2) + "\n", encoding="utf-8")
+            print(f"{name} baseline written to {baseline_path}")
+            continue
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        reference = baseline["ops_per_sec"][metric]
+        measured = fresh_report["ops_per_sec"][metric]
+        floor = (1.0 - ALLOWED_REGRESSION) * reference
+        print(f"\n{name}: baseline {reference:.0f} {unit} -> "
+              f"floor {floor:.0f} {unit}")
+        _print_attribution(fresh_report["phases"],
+                           baseline.get("phases", {}))
+        if measured < floor:
+            print(f"FAIL: {metric} regressed "
+                  f"{1.0 - measured / reference:.0%} (> "
+                  f"{ALLOWED_REGRESSION:.0%} allowed)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: {metric} within {ALLOWED_REGRESSION:.0%} "
+                  f"of baseline")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -5,6 +5,7 @@ A thin operational wrapper over the library for quick questions:
     python -m repro.cli characterize 444.namd
     python -m repro.cli predict 444.namd 470.lbm --mode smt
     python -m repro.cli safe-batch web-search --qos 0.9
+    python -m repro.cli serve --trace diurnal --policy smite --fast
     python -m repro.cli workloads
 
 The predictor is trained on the machine-appropriate SPEC half on first
@@ -20,11 +21,23 @@ import sys
 from repro.analysis.tables import format_table
 from repro.core.predictor import SMiTe
 from repro.errors import ReproError
-from repro.obs.report import maybe_write_env_report
+from repro.obs import snapshot
+from repro.obs.report import build_report, maybe_write_env_report, write_report
 from repro.scheduler.qos import QosTarget
+from repro.scheduler.scaleout import fit_tail_model
+from repro.serve import (
+    BaselineDecider,
+    PredictionService,
+    RandomDecider,
+    ServingEngine,
+    WindowedSlo,
+    diurnal_trace,
+    poisson_trace,
+)
+from repro.smt.diskcache import default_cache
 from repro.smt.params import IVY_BRIDGE, MACHINES, SANDY_BRIDGE_EN
 from repro.smt.simulator import Simulator
-from repro.workloads.cloudsuite import CLOUDSUITE
+from repro.workloads.cloudsuite import CLOUDSUITE, cloudsuite_apps
 from repro.workloads.insights import classify
 from repro.workloads.registry import all_profiles, get_profile
 from repro.workloads.spec import spec_even, spec_odd
@@ -122,6 +135,98 @@ def _cmd_safe_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_qos(spec: str) -> QosTarget:
+    """Parse ``--qos``: a bare level (average) or ``metric:level``."""
+    metric, _, level_text = spec.rpartition(":")
+    metric = metric or "average"
+    try:
+        level = float(level_text)
+    except ValueError:
+        raise ReproError(f"bad QoS level in {spec!r}") from None
+    if metric == "average":
+        return QosTarget.average(level)
+    if metric == "tail":
+        return QosTarget.tail(level)
+    raise ReproError(
+        f"unknown QoS metric {metric!r}; use average:L or tail:L"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    simulator = Simulator(SANDY_BRIDGE_EN, disk_cache=default_cache())
+    training = spec_odd()[:8] if args.fast else spec_odd()
+    counts = (1, 3, 6) if args.fast else (1, 2, 4, 6)
+    predictor = SMiTe(simulator).fit(training, mode="smt")
+    predictor.fit_server(training, instance_counts=counts)
+
+    target = _parse_qos(args.qos)
+    apps = cloudsuite_apps()[:2] if args.fast else cloudsuite_apps()
+    pool = spec_even()[:6] if args.fast else spec_even()
+    tail_models = None
+    if target.metric.value == "tail_latency":
+        tail_models = {
+            app.name: fit_tail_model(simulator, predictor, app,
+                                     des_jobs=10_000 if args.fast
+                                     else 60_000)
+            for app in apps
+        }
+
+    generate = diurnal_trace if args.trace == "diurnal" else poisson_trace
+    rate_kw = ("mean_rate_per_s" if args.trace == "diurnal"
+               else "rate_per_s")
+    trace = generate(pool, horizon_s=args.duration, seed=args.seed,
+                     **{rate_kw: args.rate})
+
+    if args.policy == "smite":
+        decider = PredictionService(predictor, target,
+                                    tail_models=tail_models)
+    elif args.policy == "random":
+        decider = RandomDecider(seed=args.seed + 1)
+    else:
+        decider = BaselineDecider()
+
+    slo = WindowedSlo(args.window, target, tail_models=tail_models)
+    engine = ServingEngine(
+        simulator, apps, decider,
+        servers_per_app=args.servers, epoch_s=args.epoch,
+        window_s=args.window, slo=slo,
+    )
+    outcome = engine.replay(trace)
+
+    print(f"{args.trace} trace, {outcome.arrivals} arrivals over "
+          f"{trace.horizon_s / 3600:.1f} h, policy {outcome.policy}, "
+          f"QoS {args.qos}")
+    print(f"  placed: {outcome.colocated_placed} co-located, "
+          f"{outcome.baseline_placed} baseline ({outcome.shed} shed), "
+          f"{outcome.still_placed} still running at the horizon")
+    metrics = snapshot()
+    hits = metrics["counters"].get("serve.service.cache_hits", 0)
+    misses = metrics["counters"].get("serve.service.cache_misses", 0)
+    if hits + misses:
+        print(f"  prediction LRU: {hits}/{hits + misses} hits "
+              f"({hits / (hits + misses):.1%})")
+    rows = [
+        (w.index, w.samples, f"{w.mean_utilization_gain:.3f}",
+         w.violations.colocated_servers, w.violations.violated_servers,
+         f"{w.violations.rate:.3f}")
+        for w in outcome.windows
+    ]
+    print(format_table(
+        ("window", "samples", "util gain", "colocated", "violated",
+         "violation rate"),
+        rows,
+        title=f"windowed SLO series ({args.window:.0f}s windows)",
+    ))
+    print(f"  mean utilization gain {outcome.mean_utilization_gain:.3f}, "
+          f"mean violation rate {outcome.mean_violation_rate:.3f}")
+    if args.metrics_out:
+        path = write_report(args.metrics_out, build_report(
+            command=["repro.cli", "serve"], metrics=metrics,
+        ))
+        print(f"  metrics report written to {path}")
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -157,6 +262,37 @@ def _parser() -> argparse.ArgumentParser:
     safe.add_argument("latency_app")
     safe.add_argument("--qos", type=float, default=0.90,
                       help="QoS level on average performance (default 0.90)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a job trace through the online serving runtime")
+    serve.add_argument("--trace", default="diurnal",
+                       choices=("poisson", "diurnal"),
+                       help="arrival process (default diurnal)")
+    serve.add_argument("--policy", default="smite",
+                       choices=("smite", "random", "baseline"),
+                       help="placement policy (default smite)")
+    serve.add_argument("--qos", default="average:0.95",
+                       help="QoS target: LEVEL, average:LEVEL, or "
+                            "tail:LEVEL (default average:0.95)")
+    serve.add_argument("--duration", type=float, default=86_400.0,
+                       help="trace horizon in simulated seconds "
+                            "(default one day)")
+    serve.add_argument("--rate", type=float, default=0.05,
+                       help="mean arrival rate, jobs/s (default 0.05)")
+    serve.add_argument("--seed", type=int, default=42,
+                       help="trace seed (default 42)")
+    serve.add_argument("--servers", type=int, default=8,
+                       help="servers per latency app (default 8)")
+    serve.add_argument("--epoch", type=float, default=300.0,
+                       help="event-epoch width in seconds (default 300)")
+    serve.add_argument("--window", type=float, default=3_600.0,
+                       help="SLO window width in seconds (default 3600)")
+    serve.add_argument("--fast", action="store_true",
+                       help="CI-sized run: smaller training set and pools")
+    serve.add_argument("--metrics-out", default=None,
+                       help="write the JSON run report here "
+                            "(SMITE_METRICS_OUT is honored too)")
     return parser
 
 
@@ -168,6 +304,7 @@ def main(argv: list[str] | None = None) -> int:
         "characterize": _cmd_characterize,
         "predict": _cmd_predict,
         "safe-batch": _cmd_safe_batch,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

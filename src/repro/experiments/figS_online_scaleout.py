@@ -1,0 +1,102 @@
+"""Supplementary figure: the scale-out comparison, replayed online.
+
+Figures 14-17 score each policy on a one-shot cluster snapshot. This
+experiment replays the same comparison as a *timeline*: one diurnal day
+of batch-job traffic through the :mod:`repro.serve` runtime, once per
+policy (SMiTe behind the :class:`PredictionService`, gain-oblivious
+Random, and the no-co-location baseline), with windowed SLO accounting
+over the simulated clock. The paper's ordering should survive the move
+online: SMiTe extracts most of the utilization the fleet has to give
+while violating QoS far less often than Random; the baseline never
+violates and never gains.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.context import snb_simulator
+from repro.core.predictor import SMiTe
+from repro.scheduler.qos import QosTarget
+from repro.serve import (
+    BaselineDecider,
+    PredictionService,
+    RandomDecider,
+    ReplayOutcome,
+    ServingEngine,
+    WindowedSlo,
+    diurnal_trace,
+)
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+__all__ = ["run"]
+
+_QOS_LEVEL = 0.95
+
+
+@lru_cache(maxsize=None)
+def _predictor(fast: bool) -> SMiTe:
+    """A server-calibrated predictor sized to the run (shared per process)."""
+    training = spec_odd()[:8] if fast else spec_odd()
+    counts = (1, 3, 6) if fast else (1, 2, 4, 6)
+    predictor = SMiTe(snb_simulator()).fit(training, mode="smt")
+    predictor.fit_server(training, instance_counts=counts)
+    return predictor
+
+
+@lru_cache(maxsize=None)
+def _replays(fast: bool, seed: int) -> tuple[tuple[str, ReplayOutcome], ...]:
+    simulator = snb_simulator()
+    predictor = _predictor(fast)
+    target = QosTarget.average(_QOS_LEVEL)
+    apps = cloudsuite_apps()[:2] if fast else cloudsuite_apps()
+    pool = spec_even()[:6] if fast else spec_even()
+    trace = diurnal_trace(pool, mean_rate_per_s=0.05, seed=seed)
+    outcomes = []
+    for decider in (
+        PredictionService(predictor, target),
+        RandomDecider(seed=seed + 1),
+        BaselineDecider(),
+    ):
+        engine = ServingEngine(
+            simulator, apps, decider,
+            servers_per_app=4 if fast else 8,
+            epoch_s=300.0, window_s=3_600.0,
+            slo=WindowedSlo(3_600.0, target),
+        )
+        outcomes.append((decider.name, engine.replay(trace)))
+    return tuple(outcomes)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Supplementary: SMiTe vs Random vs baseline over a diurnal day."""
+    results = _replays(config.fast, config.seed)
+    rows = []
+    metrics: dict[str, float] = {}
+    for name, outcome in results:
+        rows.append((
+            name,
+            outcome.arrivals,
+            outcome.colocated_placed,
+            outcome.baseline_placed,
+            outcome.mean_utilization_gain,
+            outcome.mean_violation_rate,
+        ))
+        metrics[f"{name}_gain"] = outcome.mean_utilization_gain
+        metrics[f"{name}_violation_rate"] = outcome.mean_violation_rate
+        metrics[f"{name}_colocated"] = float(outcome.colocated_placed)
+    return ExperimentResult(
+        experiment_id="figs_online",
+        title="Online scale-out: one diurnal day through the serving "
+              f"runtime ({_QOS_LEVEL:.0%} average-performance QoS)",
+        paper_claim="prediction-steered co-location keeps its offline "
+                    "ordering online: SMiTe gains utilization with far "
+                    "fewer QoS violations than gain-oblivious Random, "
+                    "while the baseline never co-locates",
+        headers=("policy", "arrivals", "colocated", "baseline",
+                 "mean utilization gain", "mean violation rate"),
+        rows=tuple(rows),
+        metrics=metrics,
+    )

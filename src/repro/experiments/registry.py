@@ -18,6 +18,7 @@ from repro.experiments import (
     fig12_cloudsuite,
     fig13_tail_latency,
     fig18_tco,
+    figS_online_scaleout,
     table1,
 )
 from repro.experiments.base import ExperimentConfig, ExperimentResult
@@ -51,6 +52,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "fig16": run_fig16,
     "fig17": run_fig17,
     "fig18": fig18_tco.run,
+    "figs_online": figS_online_scaleout.run,
 }
 
 
@@ -64,6 +66,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
 EXPERIMENT_FAMILIES: tuple[tuple[str, ...], ...] = (
     ("fig14", "fig15", "fig18"),   # average-performance scale-out study
     ("fig16", "fig17"),            # tail-latency scale-out study
+    ("figs_online",),              # online serving replay (own predictor)
     ("fig12", "fig13"),            # CloudSuite predictor + tail models
     ("fig10", "fig11"),            # SPEC accuracy predictors
     ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9"),

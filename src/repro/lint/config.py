@@ -61,6 +61,7 @@ DEFAULT_SCOPES: Mapping[str, Scope] = {
     "determinism": Scope(include=(
         "src/repro/core", "src/repro/smt",
         "src/repro/queueing", "src/repro/scheduler",
+        "src/repro/serve",
     )),
     "metrics": Scope(exclude=("src/repro/obs",)),
     "numeric": Scope(include=(

@@ -99,6 +99,45 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("counter", "scheduler.cluster.qos_violations", "servers",
                "admitted co-locations whose measured outcome broke the "
                "QoS target (mispredicted-safe placements)"),
+    # -- tail-model fitting (scheduler/scaleout.py) ----------------------
+    MetricSpec("counter", "scheduler.tail.unstable_skips", "points",
+               "Ruler sweep points skipped during tail-model fitting "
+               "because the degraded queue would be unstable"),
+    # -- online serving runtime (serve/) ---------------------------------
+    MetricSpec("counter", "serve.traffic.jobs", "jobs",
+               "batch jobs emitted by the trace generators"),
+    MetricSpec("counter", "serve.engine.arrivals", "jobs",
+               "trace arrivals processed by the serving engine"),
+    MetricSpec("counter", "serve.engine.departures", "jobs",
+               "job departures processed (contexts freed)"),
+    MetricSpec("counter", "serve.engine.colocated", "jobs",
+               "arrivals placed on a latency server's SMT contexts"),
+    MetricSpec("counter", "serve.engine.baseline_placed", "jobs",
+               "arrivals sent to the no-co-location baseline pool "
+               "(shed, predicted-unsafe, or no free contexts)"),
+    MetricSpec("counter", "serve.engine.epochs", "epochs",
+               "event epochs replayed (one micro-batched decider pass each)"),
+    MetricSpec("counter", "serve.engine.events", "events",
+               "discrete events processed (arrivals + departures)"),
+    MetricSpec("gauge", "serve.engine.running", "jobs",
+               "jobs resident in the fleet at the last epoch boundary"),
+    MetricSpec("counter", "serve.service.requests", "decisions",
+               "placement questions put to the decider; equals "
+               "sheds + decisions by construction"),
+    MetricSpec("counter", "serve.service.decisions", "decisions",
+               "arrivals the admission controller let through to a "
+               "placement decision"),
+    MetricSpec("counter", "serve.service.sheds", "decisions",
+               "arrivals shed to the baseline when the per-epoch "
+               "decision-latency budget ran out"),
+    MetricSpec("counter", "serve.service.cache_hits", "decisions",
+               "decisions served from the in-memory prediction LRU"),
+    MetricSpec("counter", "serve.service.cache_misses", "decisions",
+               "decisions that had to consult the SMiTe predictor"),
+    MetricSpec("counter", "serve.slo.windows", "windows",
+               "SLO accounting windows closed over the event clock"),
+    MetricSpec("gauge", "serve.slo.violation_rate", "fraction",
+               "QoS-violation rate of the most recently closed window"),
     # -- experiment runner (experiments/runner.py) -----------------------
     MetricSpec("gauge", "runner.jobs", "processes",
                "worker processes the runner used"),
@@ -115,6 +154,10 @@ CATALOG: tuple[MetricSpec, ...] = (
                "server-topology dataset build"),
     MetricSpec("span", "cluster.apply_policy", "seconds",
                "one policy pass over the whole cluster"),
+    MetricSpec("span", "serve.replay", "seconds",
+               "one trace replayed end to end through the serving engine"),
+    MetricSpec("span", "serve.epoch", "seconds",
+               "one event epoch: micro-batched prefetch plus event loop"),
 )
 
 

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.predictor import SMiTe
 from repro.core.tail import TailLatencyModel
 from repro.errors import SchedulingError
+from repro.obs import counter
 from repro.queueing.des import simulate_fcfs_mm1
 from repro.rulers.suite import intensity_sweep
 from repro.scheduler.cluster import Cluster
@@ -70,7 +71,10 @@ def fit_tail_model(
             degradation = min(max(degradation, 0.0), 0.95)
             degraded_mu = (1.0 - degradation) * workload.service_rate_hz
             if degraded_mu <= workload.arrival_rate_hz:
-                continue  # ruler pressure drove this queue unstable
+                # Ruler pressure drove this queue unstable: the point has
+                # no steady-state latency to fit against.
+                counter("scheduler.tail.unstable_skips").inc()
+                continue
             run = simulate_fcfs_mm1(
                 workload.arrival_rate_hz, degraded_mu,
                 jobs=des_jobs,
@@ -80,6 +84,15 @@ def fit_tail_model(
             )
             degradations.append(degradation)
             latencies.append(run.percentile(percentile))
+    # The solo point is free; Eq. 6 needs at least 3 stable *co-run*
+    # points on top of it or the reciprocal-linear fit is unconstrained.
+    stable_points = len(degradations) - 1
+    if stable_points < 3:
+        raise SchedulingError(
+            f"only {stable_points} stable Ruler points for {workload.name}; "
+            "need >= 3 to fit the tail model (loosen the sweep or raise "
+            "the service rate)"
+        )
     return TailLatencyModel(percentile=percentile).fit(degradations, latencies)
 
 
@@ -164,12 +177,16 @@ class ScaleOutStudy:
                     violations=violation_stats(cluster, target,
                                                tail_models=tail_models),
                 ))
-            # Random, driven to SMiTe's exact utilization gain.
+            # Random, driven to SMiTe's exact utilization gain. The seed
+            # is derived from the target so every grid cell draws an
+            # independent layout (a shared seed would correlate the
+            # violation counts across targets).
+            target_tag = f"{target.metric.value}|{target.level:.6f}"
             random_policy = RandomPolicy(random_counts_for_gain(
                 per_policy_instances["smite"],
                 len(cluster.servers),
                 cluster.threads_per_server,
-                seed=self.seed + 1,
+                seed=self.seed + 1 + zlib.crc32(target_tag.encode()) % 100_000,
             ))
             cluster.reset()
             cluster.apply_policy(random_policy, target, tail_models=tail_models)

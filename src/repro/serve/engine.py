@@ -1,0 +1,379 @@
+"""Discrete-event cluster runtime: replay a trace against live servers.
+
+The engine holds ``Cluster``-style server state — one half-loaded
+latency-sensitive service per server, idle SMT sibling contexts for
+batch work — and replays a :class:`~repro.serve.traffic.Trace` against
+it. Every arrival is routed to a service pool (deterministic round-robin
+on job id), put to the :class:`~repro.serve.service.Decider` exactly
+once, and either *co-located* on a server the decision calls safe or
+*shunted to the baseline pool* (dedicated no-co-location capacity, where
+shed and unsafe jobs run alone). Every departure frees its context.
+
+Time is the simulated event clock — the engine never reads a wall
+clock. Events are processed in epochs: at each epoch boundary the
+decider's :meth:`begin_epoch` micro-batching hook fires (routing all
+needed degradation solves through ``Simulator.prefetch`` in one batched
+fixed point) and the SLO tracker samples the fleet. Given the same trace
+and seed, two replays produce byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.obs import counter, gauge, span
+from repro.serve.service import Candidate, Decider
+from repro.serve.slo import SloWindow, WindowedSlo
+from repro.serve.traffic import Trace, TraceJob
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import LatencySensitiveWorkload
+from repro.workloads.profile import WorkloadProfile
+
+__all__ = [
+    "EventRecord",
+    "OnlineServer",
+    "ReplayOutcome",
+    "ServingEngine",
+]
+
+#: Event-kind sort ranks: at equal timestamps departures free contexts
+#: before arrivals claim them.
+_DEPART, _ARRIVE = 0, 1
+
+
+@dataclass
+class OnlineServer:
+    """Live state of one server: its latency service plus batch guests.
+
+    Field names mirror ``scheduler.cluster.ServerState`` so the
+    violation accounting in :mod:`repro.serve.slo` can score either.
+    """
+
+    index: int
+    latency_app: LatencySensitiveWorkload
+    batch_profile: WorkloadProfile | None = None
+    resident_jobs: dict[int, None] = field(default_factory=dict)
+    actual_degradation: float = 0.0
+
+    @property
+    def instances(self) -> int:
+        """Number of batch instances currently on this server."""
+        return len(self.resident_jobs)
+
+    @property
+    def is_colocated(self) -> bool:
+        """Whether any sibling SMT context is running batch work."""
+        return self.instances > 0
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One processed event, formatted identically on every replay."""
+
+    time_s: float
+    kind: str  # "arrive" | "depart"
+    job_id: int
+    profile: str
+    app: str
+    server: int  # -1 for the baseline pool
+    placement: str  # "colocated" | "baseline" | "shed"
+    instances_after: int
+
+    def as_line(self) -> str:
+        """Render as one stable, byte-comparable log line."""
+        return (
+            f"{self.time_s:.6f} {self.kind} job={self.job_id} "
+            f"profile={self.profile} app={self.app} server={self.server} "
+            f"placement={self.placement} instances={self.instances_after}"
+        )
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Everything one trace replay produced, reconciled.
+
+    ``arrivals == departures + still_placed`` and
+    ``colocated_placed + baseline_placed == arrivals`` are checked at
+    construction time (:meth:`reconcile` raises on mismatch).
+    """
+
+    policy: str
+    trace_kind: str
+    seed: int
+    horizon_s: float
+    arrivals: int
+    departures: int
+    still_placed: int
+    colocated_placed: int
+    baseline_placed: int
+    shed: int
+    events: tuple[EventRecord, ...]
+    windows: tuple[SloWindow, ...]
+
+    def __post_init__(self) -> None:
+        self.reconcile()
+
+    def reconcile(self) -> None:
+        """Check the arrival/departure/placement books balance."""
+        if self.arrivals != self.departures + self.still_placed:
+            raise SchedulingError(
+                f"unbalanced books: {self.arrivals} arrivals != "
+                f"{self.departures} departures + {self.still_placed} placed"
+            )
+        if self.colocated_placed + self.baseline_placed != self.arrivals:
+            raise SchedulingError(
+                f"unbalanced placements: {self.colocated_placed} colocated "
+                f"+ {self.baseline_placed} baseline != {self.arrivals}"
+            )
+
+    def event_log(self) -> str:
+        """The full event log as one newline-joined deterministic string."""
+        return "\n".join(record.as_line() for record in self.events)
+
+    def slo_series(self) -> str:
+        """The windowed SLO series as one deterministic string."""
+        return "\n".join(window.as_line() for window in self.windows)
+
+    @property
+    def mean_violation_rate(self) -> float:
+        """Sample-weighted mean QoS-violation rate across windows."""
+        colocated = sum(w.violations.colocated_servers for w in self.windows)
+        violated = sum(w.violations.violated_servers for w in self.windows)
+        return (violated / colocated) if colocated else 0.0
+
+    @property
+    def mean_utilization_gain(self) -> float:
+        """Mean per-window utilization gain from co-located batch work."""
+        if not self.windows:
+            return 0.0
+        gains = [w.mean_utilization_gain for w in self.windows]
+        return sum(gains) / len(gains)
+
+
+class ServingEngine:
+    """Replays traces: routes, decides, places, frees, and keeps score."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        apps: Sequence[LatencySensitiveWorkload],
+        decider: Decider,
+        *,
+        servers_per_app: int = 8,
+        epoch_s: float = 300.0,
+        window_s: float = 3_600.0,
+        slo: WindowedSlo | None = None,
+    ) -> None:
+        apps = tuple(apps)
+        if not apps:
+            raise ConfigurationError("serving needs at least one latency app")
+        if servers_per_app < 1:
+            raise ConfigurationError(
+                f"servers_per_app must be >= 1, got {servers_per_app}"
+            )
+        if epoch_s <= 0.0 or window_s < epoch_s:
+            raise ConfigurationError(
+                "need 0 < epoch_s <= window_s, got "
+                f"epoch_s={epoch_s}, window_s={window_s}"
+            )
+        self.simulator = simulator
+        self.apps = apps
+        self.decider = decider
+        self.servers_per_app = servers_per_app
+        self.epoch_s = epoch_s
+        self.window_s = window_s
+        self.slo = slo
+        #: idle SMT contexts per server = one sibling per core
+        self.threads_per_server = simulator.machine.cores
+        self.servers: list[OnlineServer] = [
+            OnlineServer(index=i, latency_app=apps[i // servers_per_app])
+            for i in range(servers_per_app * len(apps))
+        ]
+        self._groups: dict[str, list[OnlineServer]] = {
+            app.name: [
+                s for s in self.servers if s.latency_app.name == app.name
+            ]
+            for app in apps
+        }
+
+    # ------------------------------------------------------------------
+
+    def _route(self, job: TraceJob) -> LatencySensitiveWorkload:
+        """Deterministic round-robin routing of jobs to service pools."""
+        return self.apps[job.job_id % len(self.apps)]
+
+    def _pick_server(
+        self, app: LatencySensitiveWorkload, profile: WorkloadProfile,
+        safe_instances: int,
+    ) -> OnlineServer | None:
+        """Best server in the pool, or None for the baseline pool.
+
+        Bin-packs: same-profile servers first (fullest, then lowest
+        index), then an idle server — never above the decision's safe
+        count or the context supply.
+        """
+        if safe_instances < 1:
+            return None
+        cap = min(safe_instances, self.threads_per_server)
+        best: OnlineServer | None = None
+        idle: OnlineServer | None = None
+        for server in self._groups[app.name]:
+            if server.batch_profile is None:
+                if idle is None:
+                    idle = server
+                continue
+            if server.batch_profile.name != profile.name:
+                continue
+            if server.instances + 1 > cap:
+                continue
+            if best is None or server.instances > best.instances:
+                best = server
+        return best if best is not None else idle
+
+    def _sample_fleet(self, time_s: float) -> None:
+        """Refresh degradations (batched) and hand a sample to the SLO."""
+        colocated = [s for s in self.servers if s.is_colocated]
+        distinct: dict[tuple[str, str, int], list[OnlineServer]] = {}
+        for server in colocated:
+            assert server.batch_profile is not None
+            key = (server.latency_app.name, server.batch_profile.name,
+                   server.instances)
+            distinct.setdefault(key, []).append(server)
+        placements = [
+            self.simulator.server_placements(
+                group[0].latency_app.profile, group[0].batch_profile,
+                instances=group[0].instances,
+            )
+            for group in distinct.values()
+        ]
+        if placements:
+            self.simulator.prefetch(placements)
+        for group in distinct.values():
+            degradation = self.simulator.measure_server_degradation(
+                group[0].latency_app.profile, group[0].batch_profile,
+                instances=group[0].instances,
+            )
+            for server in group:
+                server.actual_degradation = degradation
+        for server in self.servers:
+            if not server.is_colocated:
+                server.actual_degradation = 0.0
+        if self.slo is not None:
+            self.slo.observe(time_s, self.servers,
+                             threads_per_server=self.threads_per_server)
+
+    # ------------------------------------------------------------------
+
+    def replay(self, trace: Trace) -> ReplayOutcome:
+        """Run one trace to its horizon; returns the reconciled outcome."""
+        with span("serve.replay"):
+            return self._replay(trace)
+
+    def _replay(self, trace: Trace) -> ReplayOutcome:
+        n_epochs = max(1, math.ceil(trace.horizon_s / self.epoch_s))
+        arrivals_by_epoch: dict[int, list[TraceJob]] = {}
+        heap: list[tuple[float, int, int, TraceJob]] = []
+        for job in trace.jobs:
+            epoch = min(int(job.arrival_s // self.epoch_s), n_epochs - 1)
+            arrivals_by_epoch.setdefault(epoch, []).append(job)
+            heapq.heappush(heap, (job.arrival_s, _ARRIVE, job.job_id, job))
+
+        events: list[EventRecord] = []
+        placed_on: dict[int, OnlineServer | None] = {}
+        arrivals = departures = colocated_placed = baseline_placed = shed = 0
+
+        for epoch in range(n_epochs):
+            epoch_end = min((epoch + 1) * self.epoch_s, trace.horizon_s)
+            candidates: list[Candidate] = [
+                (self._route(job), job.profile, self.threads_per_server)
+                for job in arrivals_by_epoch.get(epoch, [])
+            ]
+            with span("serve.epoch"):
+                counter("serve.engine.epochs").inc()
+                self.decider.begin_epoch(candidates)
+                while heap and heap[0][0] < epoch_end:
+                    time_s, kind, job_id, job = heapq.heappop(heap)
+                    counter("serve.engine.events").inc()
+                    if kind == _ARRIVE:
+                        arrivals += 1
+                        counter("serve.engine.arrivals").inc()
+                        app = self._route(job)
+                        decision = self.decider.decide(
+                            app, job.profile,
+                            max_instances=self.threads_per_server,
+                        )
+                        server = None
+                        if not decision.shed:
+                            server = self._pick_server(
+                                app, job.profile,
+                                decision.max_safe_instances,
+                            )
+                        placed_on[job.job_id] = server
+                        if server is not None:
+                            server.batch_profile = job.profile
+                            server.resident_jobs[job.job_id] = None
+                            colocated_placed += 1
+                            counter("serve.engine.colocated").inc()
+                            placement = "colocated"
+                        else:
+                            baseline_placed += 1
+                            counter("serve.engine.baseline_placed").inc()
+                            placement = "shed" if decision.shed else "baseline"
+                            if decision.shed:
+                                shed += 1
+                        heapq.heappush(
+                            heap,
+                            (job.departure_s, _DEPART, job.job_id, job),
+                        )
+                        events.append(EventRecord(
+                            time_s=time_s, kind="arrive", job_id=job_id,
+                            profile=job.profile.name, app=app.name,
+                            server=server.index if server else -1,
+                            placement=placement,
+                            instances_after=(
+                                server.instances if server else 0
+                            ),
+                        ))
+                    else:
+                        departures += 1
+                        counter("serve.engine.departures").inc()
+                        server = placed_on.pop(job.job_id)
+                        if server is not None:
+                            del server.resident_jobs[job.job_id]
+                            if not server.resident_jobs:
+                                server.batch_profile = None
+                        events.append(EventRecord(
+                            time_s=time_s, kind="depart", job_id=job_id,
+                            profile=job.profile.name,
+                            app=self._route(job).name,
+                            server=server.index if server else -1,
+                            placement=(
+                                "colocated" if server else "baseline"
+                            ),
+                            instances_after=(
+                                server.instances if server else 0
+                            ),
+                        ))
+                gauge("serve.engine.running").set(float(len(placed_on)))
+                self._sample_fleet(epoch_end)
+
+        still_placed = len(placed_on)
+        windows = self.slo.finish() if self.slo is not None else ()
+        return ReplayOutcome(
+            policy=self.decider.name,
+            trace_kind=trace.kind,
+            seed=trace.seed,
+            horizon_s=trace.horizon_s,
+            arrivals=arrivals,
+            departures=departures,
+            still_placed=still_placed,
+            colocated_placed=colocated_placed,
+            baseline_placed=baseline_placed,
+            shed=shed,
+            events=tuple(events),
+            windows=tuple(windows),
+        )

@@ -1,0 +1,347 @@
+"""The online prediction service: LRU-fronted SMiTe with admission control.
+
+:class:`PredictionService` is the serving-side face of the
+:class:`~repro.core.predictor.SMiTe` predictor. Three layers keep a
+replayed day of traffic cheap:
+
+1. an in-memory **LRU** keyed on ``(latency app, batch profile,
+   max instances)`` sits in front of the predictor (and therefore in
+   front of the persistent ``smt.diskcache``) — a warm day of traffic
+   re-asks the same few hundred questions;
+2. **request micro-batching** — at each event epoch the engine announces
+   the epoch's decision candidates up front, and every simulator solve a
+   cache miss will need (batch Ruler co-runs, per-count server
+   characterizations) is pushed through :meth:`Simulator.prefetch` as one
+   batched fixed point;
+3. **admission control** — each epoch has a simulated decision-latency
+   budget; once the epoch's accumulated decision cost would exceed it,
+   further arrivals are *shed* to the no-co-location baseline
+   (graceful degradation, the :class:`NoColocationPolicy` answer).
+
+Decision latency is charged from a deterministic cost model over the
+simulated clock (a cache hit costs ``hit_cost_ms``, a miss
+``miss_cost_ms``) — never from a wall clock, so replays stay
+byte-identical.
+
+:class:`RandomDecider` and :class:`BaselineDecider` implement the same
+:class:`Decider` interface, giving the engine interchangeable policies
+for the online SMiTe / Random / NoColocation comparison.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.predictor import SMiTe
+from repro.core.tail import TailLatencyModel
+from repro.errors import ConfigurationError, SchedulingError
+from repro.obs import counter
+from repro.scheduler.qos import QosMetric, QosTarget
+from repro.smt.simulator import ContextPlacement
+from repro.workloads.cloudsuite import LatencySensitiveWorkload
+from repro.workloads.profile import WorkloadProfile
+
+__all__ = [
+    "AdmissionControl",
+    "BaselineDecider",
+    "Decider",
+    "Decision",
+    "PredictionService",
+    "RandomDecider",
+]
+
+#: One placement question: which latency service pool the job was routed
+#: to, what it wants to run, and how many sibling contexts exist.
+Candidate = tuple[LatencySensitiveWorkload, WorkloadProfile, int]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The service's answer for one arrival.
+
+    ``max_safe_instances`` is the largest batch-instance count the policy
+    calls safe for this (latency app, batch profile) pairing; ``shed``
+    marks arrivals the admission controller refused to decide (they fall
+    back to the no-co-location baseline); ``cached`` records whether the
+    answer came from the in-memory LRU.
+    """
+
+    max_safe_instances: int
+    shed: bool = False
+    cached: bool = False
+
+
+class Decider(ABC):
+    """Online placement policy: one :class:`Decision` per arrival.
+
+    The engine calls :meth:`begin_epoch` once per event epoch with the
+    epoch's candidates (in arrival order), then :meth:`decide` exactly
+    once per arrival, in the same order. Accounting is shared: every
+    ``decide`` increments ``serve.service.requests`` and exactly one of
+    ``serve.service.decisions`` / ``serve.service.sheds``, so
+    ``sheds + decisions == arrivals`` holds for any decider.
+    """
+
+    name: str = "decider"
+
+    def begin_epoch(self, candidates: Sequence[Candidate]) -> None:
+        """Announce the epoch's decision candidates (micro-batch hook)."""
+
+    def decide(
+        self,
+        latency_app: LatencySensitiveWorkload,
+        batch_profile: WorkloadProfile,
+        *,
+        max_instances: int,
+    ) -> Decision:
+        """Decide one arrival, with shared request/shed/decision counts."""
+        counter("serve.service.requests").inc()
+        decision = self._decide(latency_app, batch_profile,
+                                max_instances=max_instances)
+        if decision.shed:
+            counter("serve.service.sheds").inc()
+        else:
+            counter("serve.service.decisions").inc()
+        return decision
+
+    @abstractmethod
+    def _decide(
+        self,
+        latency_app: LatencySensitiveWorkload,
+        batch_profile: WorkloadProfile,
+        *,
+        max_instances: int,
+    ) -> Decision:
+        """Policy-specific decision (no accounting)."""
+
+
+class BaselineDecider(Decider):
+    """The no-co-location baseline: every sibling context stays idle."""
+
+    name = "baseline"
+
+    def _decide(self, latency_app, batch_profile, *, max_instances):
+        return Decision(max_safe_instances=0, cached=True)
+
+
+class RandomDecider(Decider):
+    """Interference-oblivious: a seeded uniform draw over 0..max."""
+
+    name = "random"
+
+    def __init__(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def _decide(self, latency_app, batch_profile, *, max_instances):
+        count = int(self._rng.integers(0, max_instances + 1))
+        return Decision(max_safe_instances=count, cached=True)
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """Deterministic per-epoch decision-latency budget.
+
+    Costs are *simulated* milliseconds of decision latency, charged
+    against ``budget_ms_per_epoch`` in arrival order; they model the
+    serving-path cost asymmetry (an LRU hit is ~instant, a miss pays
+    characterization solves) without ever reading a wall clock.
+    """
+
+    budget_ms_per_epoch: float = 50.0
+    hit_cost_ms: float = 0.05
+    miss_cost_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.budget_ms_per_epoch <= 0.0:
+            raise ConfigurationError("admission budget must be positive")
+        if not 0.0 <= self.hit_cost_ms <= self.miss_cost_ms:
+            raise ConfigurationError(
+                "admission costs need 0 <= hit_cost_ms <= miss_cost_ms"
+            )
+
+
+class PredictionService(Decider):
+    """SMiTe behind an LRU, micro-batched prefetch, and admission control."""
+
+    name = "smite"
+
+    def __init__(
+        self,
+        predictor: SMiTe,
+        target: QosTarget,
+        *,
+        tail_models: dict[str, TailLatencyModel] | None = None,
+        admission: AdmissionControl | None = None,
+        lru_capacity: int = 512,
+    ) -> None:
+        if not predictor.model.is_fitted:
+            raise SchedulingError("PredictionService needs a fitted predictor")
+        if lru_capacity < 1:
+            raise ConfigurationError(
+                f"LRU capacity must be >= 1, got {lru_capacity}"
+            )
+        if (target.metric is QosMetric.TAIL_LATENCY and not tail_models):
+            raise SchedulingError(
+                "tail-latency QoS targets need per-app tail models"
+            )
+        self.predictor = predictor
+        self.target = target
+        self.admission = admission if admission is not None else AdmissionControl()
+        self._tail_models = dict(tail_models) if tail_models else {}
+        self._lru: OrderedDict[tuple[str, str, int], int] = OrderedDict()
+        self._lru_capacity = lru_capacity
+        self._epoch_remaining_ms = self.admission.budget_ms_per_epoch
+        # Profiles whose simulator solves have already been prefetched
+        # (dicts used as ordered sets; lint-safe iteration).
+        self._warmed_batch: dict[str, None] = {}
+        self._warmed_server: dict[tuple[str, int], None] = {}
+        self._warmed_rulers = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_len(self) -> int:
+        """Number of decisions currently held in the LRU."""
+        return len(self._lru)
+
+    def _key(
+        self,
+        latency_app: LatencySensitiveWorkload,
+        batch_profile: WorkloadProfile,
+        max_instances: int,
+    ) -> tuple[str, str, int]:
+        return (latency_app.name, batch_profile.name, max_instances)
+
+    def _tail_model(
+        self, latency_app: LatencySensitiveWorkload
+    ) -> TailLatencyModel | None:
+        if self.target.metric is not QosMetric.TAIL_LATENCY:
+            return None
+        model = self._tail_models.get(latency_app.name)
+        if model is None:
+            raise SchedulingError(f"no tail model for {latency_app.name}")
+        return model
+
+    # ------------------------------------------------------------------
+
+    def begin_epoch(self, candidates: Sequence[Candidate]) -> None:
+        """Reset the epoch budget and prefetch the affordable misses.
+
+        Walks the candidates in arrival order, charging the same
+        deterministic cost model :meth:`decide` will charge; every miss
+        that fits the budget has its simulator solves (batch Ruler
+        co-runs, per-count server characterizations) pushed through one
+        batched :meth:`Simulator.prefetch` before any decision runs.
+        """
+        self._epoch_remaining_ms = self.admission.budget_ms_per_epoch
+        planned = self._epoch_remaining_ms
+        affordable_misses: list[Candidate] = []
+        seen_this_epoch: dict[tuple[str, str, int], None] = {}
+        for latency_app, batch_profile, max_instances in candidates:
+            key = self._key(latency_app, batch_profile, max_instances)
+            is_hit = key in self._lru or key in seen_this_epoch
+            cost = (self.admission.hit_cost_ms if is_hit
+                    else self.admission.miss_cost_ms)
+            if planned < cost:
+                break
+            planned -= cost
+            if not is_hit:
+                seen_this_epoch[key] = None
+                affordable_misses.append(
+                    (latency_app, batch_profile, max_instances)
+                )
+        if affordable_misses:
+            self._prefetch(affordable_misses)
+
+    def _prefetch(self, misses: Iterable[Candidate]) -> None:
+        """Batch every solve the epoch's affordable misses will need."""
+        simulator = self.predictor.simulator
+        suite = self.predictor.suite
+        rulers = [suite[dimension].profile for dimension in suite]
+        jobs: list[list[ContextPlacement]] = []
+        if not self._warmed_rulers:
+            # One-time: Ruler solos and Ruler x Ruler pairs behind the
+            # predictor's server-calibration anchor.
+            jobs.extend([ContextPlacement(r, core=0)] for r in rulers)
+            jobs.extend(
+                [ContextPlacement(a, core=0), ContextPlacement(b, core=0)]
+                for a in rulers
+                for b in rulers
+            )
+            self._warmed_rulers = True
+        for latency_app, batch_profile, max_instances in misses:
+            if batch_profile.name not in self._warmed_batch:
+                self._warmed_batch[batch_profile.name] = None
+                jobs.append([ContextPlacement(batch_profile, core=0)])
+                jobs.extend(
+                    [ContextPlacement(batch_profile, core=0),
+                     ContextPlacement(ruler, core=0)]
+                    for ruler in rulers
+                )
+            if (latency_app.name, 0) not in self._warmed_server:
+                # The app's own pair characterization (count 0 stands for
+                # the pairwise fallback used when no server models exist).
+                self._warmed_server[(latency_app.name, 0)] = None
+                jobs.append([ContextPlacement(latency_app.profile, core=0)])
+                jobs.extend(
+                    [ContextPlacement(latency_app.profile, core=0),
+                     ContextPlacement(ruler, core=0)]
+                    for ruler in rulers
+                )
+            for count in range(1, max_instances + 1):
+                server_key = (latency_app.name, count)
+                if server_key in self._warmed_server:
+                    continue
+                self._warmed_server[server_key] = None
+                jobs.extend(
+                    simulator.server_placements(
+                        latency_app.profile, ruler, instances=count,
+                    )
+                    for ruler in rulers
+                )
+        if jobs:
+            simulator.prefetch(jobs)
+
+    # ------------------------------------------------------------------
+
+    def _decide(self, latency_app, batch_profile, *, max_instances):
+        key = self._key(latency_app, batch_profile, max_instances)
+        cached_count = self._lru.get(key)
+        cost = (self.admission.hit_cost_ms if cached_count is not None
+                else self.admission.miss_cost_ms)
+        if self._epoch_remaining_ms < cost:
+            return Decision(max_safe_instances=0, shed=True,
+                            cached=cached_count is not None)
+        self._epoch_remaining_ms -= cost
+        if cached_count is not None:
+            counter("serve.service.cache_hits").inc()
+            self._lru.move_to_end(key)
+            return Decision(max_safe_instances=cached_count, cached=True)
+        counter("serve.service.cache_misses").inc()
+        count = self._predict_safe_count(latency_app, batch_profile,
+                                         max_instances)
+        self._lru[key] = count
+        if len(self._lru) > self._lru_capacity:
+            self._lru.popitem(last=False)
+        return Decision(max_safe_instances=count, cached=False)
+
+    def _predict_safe_count(
+        self,
+        latency_app: LatencySensitiveWorkload,
+        batch_profile: WorkloadProfile,
+        max_instances: int,
+    ) -> int:
+        """Largest instance count predicted inside the degradation budget."""
+        budget = self.target.degradation_budget(self._tail_model(latency_app))
+        for instances in range(max_instances, 0, -1):
+            predicted = self.predictor.predict_server(
+                latency_app.profile, batch_profile, instances=instances,
+            )
+            if predicted <= budget:
+                return instances
+        return 0

@@ -1,0 +1,199 @@
+"""Time-windowed utilization and QoS-violation accounting.
+
+The engine samples the fleet at every epoch boundary; this module rolls
+those samples into fixed-width windows over the simulated event clock.
+Each closed :class:`SloWindow` aggregates the window's samples into one
+:class:`~repro.scheduler.metrics.ViolationStats` (the same dataclass the
+offline scale-out study reports), a mean utilization gain, and a per-app
+violation timeline. The rendered series (:meth:`SloWindow.as_line`) is
+deterministic, so two replays of the same trace can be compared byte for
+byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.tail import TailLatencyModel
+from repro.errors import ConfigurationError, SchedulingError
+from repro.obs import counter, gauge
+from repro.scheduler.metrics import ViolationStats
+from repro.scheduler.qos import QosTarget
+
+__all__ = [
+    "SloWindow",
+    "WindowedSlo",
+    "window_violation_stats",
+]
+
+
+def window_violation_stats(
+    servers: Sequence,
+    target: QosTarget,
+    *,
+    tail_models: dict[str, TailLatencyModel] | None = None,
+) -> ViolationStats:
+    """Score one fleet sample against the QoS target.
+
+    Accepts any sequence of server-shaped objects (``is_colocated``,
+    ``latency_app``, ``actual_degradation``) — both the offline
+    ``ServerState`` and the online ``OnlineServer`` qualify — and
+    returns the same :class:`ViolationStats` the scale-out study uses.
+    """
+    colocated = [s for s in servers if s.is_colocated]
+    violated = 0
+    worst = 0.0
+    total_magnitude = 0.0
+    for server in colocated:
+        tail_model = None
+        if tail_models is not None:
+            tail_model = tail_models.get(server.latency_app.name)
+            if tail_model is None:
+                raise SchedulingError(
+                    f"no tail model for {server.latency_app.name}"
+                )
+        if not target.is_met(server.actual_degradation, tail_model):
+            violated += 1
+            magnitude = target.violation_magnitude(
+                server.actual_degradation, tail_model
+            )
+            worst = max(worst, magnitude)
+            total_magnitude += magnitude
+    return ViolationStats(
+        colocated_servers=len(colocated),
+        violated_servers=violated,
+        worst_magnitude=worst,
+        mean_magnitude=(total_magnitude / violated) if violated else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class SloWindow:
+    """One closed accounting window over the simulated clock."""
+
+    index: int
+    start_s: float
+    end_s: float
+    samples: int
+    mean_utilization_gain: float
+    violations: ViolationStats
+    #: (app name, violated samples in this window), in app order
+    per_app_violations: tuple[tuple[str, int], ...]
+
+    def as_line(self) -> str:
+        """Render as one stable, byte-comparable series line."""
+        apps = " ".join(
+            f"{name}={count}" for name, count in self.per_app_violations
+        )
+        return (
+            f"window={self.index} [{self.start_s:.1f},{self.end_s:.1f}) "
+            f"samples={self.samples} gain={self.mean_utilization_gain:.6f} "
+            f"colocated={self.violations.colocated_servers} "
+            f"violated={self.violations.violated_servers} "
+            f"worst={self.violations.worst_magnitude:.6f} {apps}".rstrip()
+        )
+
+
+class WindowedSlo:
+    """Rolls epoch-boundary fleet samples into fixed-width windows."""
+
+    def __init__(
+        self,
+        window_s: float,
+        target: QosTarget,
+        *,
+        tail_models: dict[str, TailLatencyModel] | None = None,
+    ) -> None:
+        if window_s <= 0.0:
+            raise ConfigurationError(
+                f"window width must be positive, got {window_s}"
+            )
+        self.window_s = window_s
+        self.target = target
+        self.tail_models = dict(tail_models) if tail_models else None
+        self._windows: list[SloWindow] = []
+        self._current: int | None = None
+        self._samples: list[tuple[float, ViolationStats]] = []
+        self._app_violations: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, time_s: float, servers: Sequence,
+        *, threads_per_server: int,
+    ) -> None:
+        """Record one fleet sample taken at ``time_s``.
+
+        Samples must arrive in nondecreasing time order; a sample landing
+        past the current window closes it (and any empty windows between).
+        """
+        # A sample at time t accounts to the window covering (t-w, t]:
+        # epoch boundaries land on their window's closing edge.
+        window_index = max(0, math.ceil(time_s / self.window_s) - 1)
+        if self._current is None:
+            self._current = window_index
+        while window_index > self._current:
+            self._close_window()
+        stats = window_violation_stats(
+            servers, self.target, tail_models=self.tail_models
+        )
+        baseline_busy = len(servers) * threads_per_server
+        instances = sum(s.instances for s in servers)
+        gain = (instances / baseline_busy) if baseline_busy else 0.0
+        self._samples.append((gain, stats))
+        for server in servers:
+            if not server.is_colocated:
+                continue
+            name = server.latency_app.name
+            if not self.target.is_met(
+                server.actual_degradation,
+                None if self.tail_models is None
+                else self.tail_models.get(name),
+            ):
+                self._app_violations[name] = (
+                    self._app_violations.get(name, 0) + 1
+                )
+
+    def _close_window(self) -> None:
+        assert self._current is not None
+        gains = [gain for gain, _stats in self._samples]
+        stats_list = [stats for _gain, stats in self._samples]
+        violated = sum(s.violated_servers for s in stats_list)
+        magnitudes = sum(
+            s.mean_magnitude * s.violated_servers for s in stats_list
+        )
+        window = SloWindow(
+            index=self._current,
+            start_s=self._current * self.window_s,
+            end_s=(self._current + 1) * self.window_s,
+            samples=len(self._samples),
+            mean_utilization_gain=(
+                sum(gains) / len(gains) if gains else 0.0
+            ),
+            violations=ViolationStats(
+                colocated_servers=sum(
+                    s.colocated_servers for s in stats_list
+                ),
+                violated_servers=violated,
+                worst_magnitude=max(
+                    (s.worst_magnitude for s in stats_list), default=0.0
+                ),
+                mean_magnitude=(magnitudes / violated) if violated else 0.0,
+            ),
+            per_app_violations=tuple(sorted(self._app_violations.items())),
+        )
+        self._windows.append(window)
+        counter("serve.slo.windows").inc()
+        gauge("serve.slo.violation_rate").set(window.violations.rate)
+        self._current += 1
+        self._samples = []
+        self._app_violations = {}
+
+    def finish(self) -> tuple[SloWindow, ...]:
+        """Close the open window and return the full series."""
+        if self._current is not None and self._samples:
+            self._close_window()
+        self._current = None
+        return tuple(self._windows)

@@ -1,0 +1,203 @@
+"""Seeded workload-trace generators for the online serving runtime.
+
+A *trace* is a timestamped stream of batch jobs: each job names the
+workload profile it runs, when it arrives, and how long it occupies an
+SMT context. Two arrival processes are provided — a homogeneous Poisson
+process and a diurnal curve (nonhomogeneous Poisson via thinning, one
+sinusoidal day) — both drawing the per-job application mix from an
+existing SPEC/CloudSuite profile pool. Every draw goes through one
+``numpy`` generator seeded from the caller's seed, so a trace is a pure
+function of its arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs import counter
+from repro.workloads.profile import WorkloadProfile
+
+__all__ = [
+    "Trace",
+    "TraceJob",
+    "diurnal_trace",
+    "poisson_trace",
+]
+
+#: Seconds in one diurnal period (a day of simulated time).
+DAY_S = 86_400.0
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One batch job in a trace: what runs, when it arrives, for how long."""
+
+    job_id: int
+    arrival_s: float
+    duration_s: float
+    profile: WorkloadProfile
+
+    @property
+    def departure_s(self) -> float:
+        """Simulated time at which the job frees its SMT context."""
+        return self.arrival_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered, timestamped batch-job stream over a finite horizon."""
+
+    kind: str
+    seed: int
+    horizon_s: float
+    jobs: tuple[TraceJob, ...]
+
+    def __post_init__(self) -> None:
+        arrivals = [job.arrival_s for job in self.jobs]
+        if arrivals != sorted(arrivals):
+            raise ConfigurationError("trace jobs must be sorted by arrival time")
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        """Realized mean arrival rate over the horizon."""
+        if self.horizon_s <= 0.0:
+            return 0.0
+        return len(self.jobs) / self.horizon_s
+
+
+def _validated(
+    pool: Sequence[WorkloadProfile],
+    rate_per_s: float,
+    horizon_s: float,
+    min_duration_s: float,
+    max_duration_s: float,
+) -> tuple[WorkloadProfile, ...]:
+    pool = tuple(pool)
+    if not pool:
+        raise ConfigurationError("trace generation needs a non-empty profile pool")
+    if rate_per_s <= 0.0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate_per_s}")
+    if horizon_s <= 0.0:
+        raise ConfigurationError(f"trace horizon must be positive, got {horizon_s}")
+    if not 0.0 < min_duration_s <= max_duration_s:
+        raise ConfigurationError(
+            "job durations need 0 < min <= max, got "
+            f"[{min_duration_s}, {max_duration_s}]"
+        )
+    return pool
+
+
+def _materialize(
+    kind: str,
+    seed: int,
+    horizon_s: float,
+    arrivals: np.ndarray,
+    pool: tuple[WorkloadProfile, ...],
+    min_duration_s: float,
+    max_duration_s: float,
+    rng: np.random.Generator,
+) -> Trace:
+    """Attach per-job profiles and bounded durations to arrival times."""
+    n = int(arrivals.size)
+    picks = rng.integers(0, len(pool), size=n)
+    durations = rng.uniform(min_duration_s, max_duration_s, size=n)
+    jobs = tuple(
+        TraceJob(
+            job_id=i,
+            arrival_s=float(arrivals[i]),
+            duration_s=float(durations[i]),
+            profile=pool[int(picks[i])],
+        )
+        for i in range(n)
+    )
+    counter("serve.traffic.jobs").inc(n)
+    return Trace(kind=kind, seed=seed, horizon_s=horizon_s, jobs=jobs)
+
+
+def poisson_trace(
+    pool: Sequence[WorkloadProfile],
+    *,
+    rate_per_s: float,
+    horizon_s: float,
+    seed: int,
+    min_duration_s: float = 300.0,
+    max_duration_s: float = 3_600.0,
+) -> Trace:
+    """Homogeneous Poisson arrivals at ``rate_per_s`` over ``horizon_s``.
+
+    Inter-arrival gaps are exponential; each job draws its profile
+    uniformly from ``pool`` and a uniform bounded duration.
+    """
+    pool = _validated(pool, rate_per_s, horizon_s, min_duration_s, max_duration_s)
+    rng = np.random.default_rng(seed)
+    # Draw in one vectorized pass: E[N] + 6 sigma gaps almost surely
+    # cover the horizon; top up in the rare tail case.
+    expected = rate_per_s * horizon_s
+    batch = max(16, int(expected + 6.0 * math.sqrt(expected) + 16))
+    gaps = rng.exponential(1.0 / rate_per_s, size=batch)
+    times = np.cumsum(gaps)
+    while times.size and float(times[-1]) < horizon_s:
+        more = rng.exponential(1.0 / rate_per_s, size=batch)
+        times = np.concatenate([times, float(times[-1]) + np.cumsum(more)])
+    arrivals = times[times < horizon_s]
+    return _materialize(
+        "poisson", seed, horizon_s, arrivals, pool, min_duration_s, max_duration_s, rng
+    )
+
+
+def diurnal_trace(
+    pool: Sequence[WorkloadProfile],
+    *,
+    mean_rate_per_s: float,
+    horizon_s: float = DAY_S,
+    seed: int = 0,
+    peak_to_trough: float = 3.0,
+    peak_at_s: float = DAY_S / 2.0,
+    min_duration_s: float = 300.0,
+    max_duration_s: float = 3_600.0,
+) -> Trace:
+    """Diurnal-curve arrivals: a sinusoidal day around ``mean_rate_per_s``.
+
+    The instantaneous rate is
+    ``mean * (1 + a * cos(2*pi*(t - peak_at_s)/DAY_S))`` with the
+    amplitude ``a`` chosen so peak/trough equals ``peak_to_trough``.
+    Generated as a nonhomogeneous Poisson process by thinning a
+    homogeneous one at the peak rate.
+    """
+    pool = _validated(pool, mean_rate_per_s, horizon_s, min_duration_s, max_duration_s)
+    if peak_to_trough < 1.0:
+        raise ConfigurationError(
+            f"peak_to_trough must be >= 1, got {peak_to_trough}"
+        )
+    amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    peak_rate = mean_rate_per_s * (1.0 + amplitude)
+
+    rng = np.random.default_rng(seed)
+    expected = peak_rate * horizon_s
+    batch = max(16, int(expected + 6.0 * math.sqrt(expected) + 16))
+    gaps = rng.exponential(1.0 / peak_rate, size=batch)
+    times = np.cumsum(gaps)
+    while times.size and float(times[-1]) < horizon_s:
+        more = rng.exponential(1.0 / peak_rate, size=batch)
+        times = np.concatenate([times, float(times[-1]) + np.cumsum(more)])
+    times = times[times < horizon_s]
+
+    phase = 2.0 * math.pi * (times - peak_at_s) / DAY_S
+    rate_at = mean_rate_per_s * (1.0 + amplitude * np.cos(phase))
+    keep = rng.uniform(0.0, 1.0, size=times.size) * peak_rate < rate_at
+    arrivals = times[keep]
+    return _materialize(
+        "diurnal",
+        seed,
+        horizon_s,
+        arrivals,
+        pool,
+        min_duration_s,
+        max_duration_s,
+        rng,
+    )

@@ -1,0 +1,146 @@
+"""End-to-end checks on the online serving runtime.
+
+Covers the acceptance criteria for ``repro.serve``: full-stack replays
+(SMiTe behind the :class:`PredictionService`) are byte-identical for a
+fixed trace + seed, the prediction LRU runs >= 90% hits over a warm day
+of traffic, the books reconcile in the metrics report, and a ``--jobs 2``
+runner invocation of the online experiment matches the serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.obs import snapshot
+from repro.scheduler.qos import QosTarget
+from repro.serve.engine import ServingEngine
+from repro.serve.service import PredictionService
+from repro.serve.slo import WindowedSlo
+from repro.serve.traffic import diurnal_trace
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def predictor(snb_sim):
+    smite = SMiTe(snb_sim).fit(spec_odd()[:6], mode="smt")
+    return smite.fit_server(spec_odd()[:6], instance_counts=(1, 3, 6))
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return cloudsuite_apps()[:2]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return diurnal_trace(spec_even()[:4], mean_rate_per_s=0.02, seed=42)
+
+
+def _replay(snb_sim, predictor, apps, trace):
+    service = PredictionService(predictor, QosTarget.average(0.95))
+    engine = ServingEngine(
+        snb_sim, apps, service,
+        servers_per_app=4, epoch_s=300.0, window_s=3_600.0,
+        slo=WindowedSlo(3_600.0, QosTarget.average(0.95)),
+    )
+    return engine.replay(trace), service
+
+
+class TestFullStackDeterminism:
+    def test_two_replays_are_byte_identical(self, snb_sim, predictor,
+                                            apps, trace):
+        # Each run gets its own (cold) service LRU; the decisions are
+        # pure functions of the fitted model, so both the event log and
+        # the windowed SLO series must match byte for byte.
+        a, _ = _replay(snb_sim, predictor, apps, trace)
+        b, _ = _replay(snb_sim, predictor, apps, trace)
+        assert a.event_log() == b.event_log()
+        assert a.slo_series() == b.slo_series()
+        assert a.event_log()  # non-vacuous: the day produced events
+
+
+class TestWarmDayAccounting:
+    @pytest.fixture(scope="class")
+    def books(self, snb_sim, predictor, apps, trace):
+        before = snapshot()["counters"]
+        outcome, service = _replay(snb_sim, predictor, apps, trace)
+        after = snapshot()["counters"]
+        delta = {
+            name: after.get(name, 0) - before.get(name, 0)
+            for name in after
+        }
+        return outcome, service, delta
+
+    def test_cache_hit_rate_is_high(self, books):
+        # A day of traffic re-asks the same few (app, profile, count)
+        # questions; after the cold first epochs the LRU must carry
+        # >= 90% of decisions (the ISSUE acceptance bar).
+        _, _, delta = books
+        hits = delta["serve.service.cache_hits"]
+        misses = delta["serve.service.cache_misses"]
+        assert hits + misses > 100
+        assert hits / (hits + misses) >= 0.90
+
+    def test_counters_reconcile(self, books):
+        outcome, _, delta = books
+        assert delta["serve.engine.arrivals"] == outcome.arrivals
+        assert outcome.arrivals == outcome.departures + outcome.still_placed
+        assert (outcome.colocated_placed + outcome.baseline_placed
+                == outcome.arrivals)
+        # One decision per arrival: requests == sheds + decisions.
+        assert delta["serve.service.requests"] == outcome.arrivals
+        assert (delta.get("serve.service.sheds", 0)
+                + delta["serve.service.decisions"]) == outcome.arrivals
+        assert delta.get("serve.service.sheds", 0) == outcome.shed
+
+    def test_slo_windows_cover_the_day(self, books):
+        outcome, _, delta = books
+        assert len(outcome.windows) == 24  # hourly windows over a day
+        assert delta["serve.slo.windows"] == 24
+        assert sum(w.samples for w in outcome.windows) > 0
+
+
+class TestRunnerParity:
+    """A ``--jobs 2`` runner run of the online experiment matches serial."""
+
+    @pytest.fixture(scope="class")
+    def dumps(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("serve_runner")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+        )
+        env.pop("SMITE_METRICS_OUT", None)
+        results = {}
+        for jobs in (1, 2):
+            out = tmp / f"jobs{jobs}.json"
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.experiments.runner",
+                 "figs_online", "fig2", "--fast", "--jobs", str(jobs),
+                 "--cache-dir", str(tmp / "cache"),
+                 "--json", str(out)],
+                cwd=REPO, env=env, capture_output=True, text=True,
+                timeout=600,
+            )
+            assert completed.returncode == 0, completed.stderr
+            results[jobs] = json.loads(out.read_text(encoding="utf-8"))
+        return results
+
+    def test_parallel_matches_serial(self, dumps):
+        serial, parallel = dumps[1]["figs_online"], dumps[2]["figs_online"]
+        assert serial["rows"] == parallel["rows"]
+        assert serial["metrics"] == parallel["metrics"]
+
+    def test_online_experiment_reports_all_policies(self, dumps):
+        policies = [row[0] for row in dumps[1]["figs_online"]["rows"]]
+        assert policies == ["smite", "random", "baseline"]

@@ -66,7 +66,9 @@ def _guide_rows() -> dict[str, str]:
     )
     assert match, "EXPERIMENTS.md lost its per-figure reproduction guide"
     rows = {}
-    row_pattern = re.compile(r"^\| `(?P<id>[a-z0-9]+)` \| `(?P<cmd>[^`]+)` \|")
+    row_pattern = re.compile(
+        r"^\| `(?P<id>[a-z0-9_]+)` \| `(?P<cmd>[^`]+)` \|"
+    )
     for line in match["body"].splitlines():
         row = row_pattern.match(line.strip())
         if row:

@@ -1,8 +1,13 @@
 """Integration-grade tests for the scale-out study driver (small cluster)."""
 
+import dataclasses
+
 import pytest
 
+import repro.scheduler.scaleout as scaleout_module
 from repro.core.predictor import SMiTe
+from repro.errors import SchedulingError
+from repro.obs import snapshot
 from repro.scheduler.qos import QosTarget
 from repro.scheduler.scaleout import ScaleOutStudy, fit_tail_model
 from repro.smt.params import SANDY_BRIDGE_EN
@@ -68,6 +73,22 @@ class TestStudyShape:
             assert (by_policy["random"].violations.rate
                     >= by_policy["smite"].violations.rate)
 
+    def test_random_layout_seed_independent_per_target(self, study,
+                                                       monkeypatch):
+        # Every QoS target must draw its own gain-matched Random layout;
+        # a shared seed would correlate violation counts across the grid.
+        seeds: list[int] = []
+        original = scaleout_module.random_counts_for_gain
+
+        def spy(total, n_servers, max_per_server, *, seed):
+            seeds.append(seed)
+            return original(total, n_servers, max_per_server, seed=seed)
+
+        monkeypatch.setattr(scaleout_module, "random_counts_for_gain", spy)
+        study.run([QosTarget.average(0.90), QosTarget.average(0.80)])
+        assert len(seeds) == 2
+        assert seeds[0] != seeds[1]
+
 
 class TestTailModelFitting:
     def test_fit_tail_model(self, study):
@@ -86,3 +107,21 @@ class TestTailModelFitting:
         second = study.tail_models()
         assert first is second
         assert set(first) == {"web-search", "data-caching"}
+
+    def test_unstable_sweep_raises_and_counts_skips(self, study):
+        # An app running near saturation leaves almost no stable Ruler
+        # points: the fit must refuse (instead of silently fitting Eq. 6
+        # on one or two points) and account each skipped point.
+        app = cloudsuite_apps()[0]
+        saturated = dataclasses.replace(
+            app, service_rate_hz=100.0, arrival_rate_hz=99.0,
+        )
+        before = snapshot()["counters"].get(
+            "scheduler.tail.unstable_skips", 0)
+        with pytest.raises(SchedulingError, match="stable Ruler points"):
+            fit_tail_model(study.simulator, study.predictor, saturated,
+                           des_jobs=5_000, sweep_points=3)
+        after = snapshot()["counters"].get(
+            "scheduler.tail.unstable_skips", 0)
+        # 7 dimensions x 3 sweep points, minus at most 2 stable ones.
+        assert after - before >= 19

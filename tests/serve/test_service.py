@@ -1,0 +1,163 @@
+"""Unit tests for the prediction service, its LRU, and admission control."""
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.errors import ConfigurationError, SchedulingError
+from repro.obs import snapshot
+from repro.scheduler.qos import QosTarget
+from repro.serve.service import (
+    AdmissionControl,
+    BaselineDecider,
+    PredictionService,
+    RandomDecider,
+)
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+
+@pytest.fixture(scope="module")
+def predictor(snb_sim):
+    return SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return cloudsuite_apps()[0]
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return spec_even()[:3]
+
+
+def _counters():
+    return snapshot()["counters"]
+
+
+class TestSimpleDeciders:
+    def test_baseline_never_colocates(self, app, batch):
+        decision = BaselineDecider().decide(app, batch[0], max_instances=6)
+        assert decision.max_safe_instances == 0
+        assert not decision.shed
+
+    def test_random_is_seeded_and_bounded(self, app, batch):
+        a = RandomDecider(seed=3)
+        b = RandomDecider(seed=3)
+        counts_a = [a.decide(app, p, max_instances=6).max_safe_instances
+                    for p in batch * 4]
+        counts_b = [b.decide(app, p, max_instances=6).max_safe_instances
+                    for p in batch * 4]
+        assert counts_a == counts_b
+        assert all(0 <= c <= 6 for c in counts_a)
+
+    def test_accounting_invariant(self, app, batch):
+        before = _counters()
+        decider = BaselineDecider()
+        for _ in range(5):
+            decider.decide(app, batch[0], max_instances=6)
+        after = _counters()
+        delta = lambda name: (after.get(name, 0) - before.get(name, 0))
+        assert delta("serve.service.requests") == 5
+        assert (delta("serve.service.decisions")
+                + delta("serve.service.sheds")) == 5
+
+
+class TestPredictionService:
+    def test_needs_fitted_predictor(self, snb_sim):
+        with pytest.raises(SchedulingError):
+            PredictionService(SMiTe(snb_sim), QosTarget.average(0.95))
+
+    def test_tail_target_needs_tail_models(self, predictor):
+        with pytest.raises(SchedulingError):
+            PredictionService(predictor, QosTarget.tail(0.95))
+
+    def test_bad_lru_capacity_rejected(self, predictor):
+        with pytest.raises(ConfigurationError):
+            PredictionService(predictor, QosTarget.average(0.95),
+                              lru_capacity=0)
+
+    def test_second_ask_hits_the_lru(self, predictor, app, batch):
+        service = PredictionService(predictor, QosTarget.average(0.90))
+        first = service.decide(app, batch[0], max_instances=6)
+        second = service.decide(app, batch[0], max_instances=6)
+        assert not first.cached
+        assert second.cached
+        assert second.max_safe_instances == first.max_safe_instances
+        assert service.cache_len == 1
+
+    def test_lru_evicts_oldest(self, predictor, app, batch):
+        service = PredictionService(predictor, QosTarget.average(0.90),
+                                    lru_capacity=1)
+        service.decide(app, batch[0], max_instances=6)
+        service.decide(app, batch[1], max_instances=6)
+        assert service.cache_len == 1
+        # batch[0] was evicted: asking again misses.
+        again = service.decide(app, batch[0], max_instances=6)
+        assert not again.cached
+
+    def test_matches_policy_semantics(self, predictor, app, batch):
+        # The cached answer must equal the offline SMiTePolicy loop.
+        target = QosTarget.average(0.90)
+        service = PredictionService(predictor, target)
+        budget = target.degradation_budget()
+        expected = 0
+        for instances in range(6, 0, -1):
+            predicted = predictor.predict_server(
+                app.profile, batch[0], instances=instances)
+            if predicted <= budget:
+                expected = instances
+                break
+        decision = service.decide(app, batch[0], max_instances=6)
+        assert decision.max_safe_instances == expected
+
+    def test_budget_exhaustion_sheds(self, predictor, app, batch):
+        admission = AdmissionControl(budget_ms_per_epoch=15.0,
+                                     hit_cost_ms=0.1, miss_cost_ms=10.0)
+        service = PredictionService(predictor, QosTarget.average(0.90),
+                                    admission=admission)
+        first = service.decide(app, batch[0], max_instances=6)   # 10ms
+        second = service.decide(app, batch[1], max_instances=6)  # over
+        third = service.decide(app, batch[0], max_instances=6)   # hit fits
+        assert not first.shed
+        assert second.shed
+        assert second.max_safe_instances == 0
+        assert not third.shed and third.cached
+
+    def test_begin_epoch_resets_budget(self, predictor, app, batch):
+        admission = AdmissionControl(budget_ms_per_epoch=15.0,
+                                     hit_cost_ms=0.1, miss_cost_ms=10.0)
+        service = PredictionService(predictor, QosTarget.average(0.90),
+                                    admission=admission)
+        service.decide(app, batch[0], max_instances=6)
+        assert service.decide(app, batch[1], max_instances=6).shed
+        service.begin_epoch([(app, batch[1], 6)])
+        assert not service.decide(app, batch[1], max_instances=6).shed
+
+    def test_begin_epoch_prefetch_matches_decide(self, app):
+        # After the epoch hook, every affordable miss's solves are in the
+        # simulator memo: deciding adds no new fixed-point solves. A
+        # private simulator keeps the memo cold up to this point.
+        from repro.smt.params import SANDY_BRIDGE_EN
+        from repro.smt.simulator import Simulator
+
+        predictor = SMiTe(Simulator(SANDY_BRIDGE_EN)).fit(
+            spec_odd()[:4], mode="smt")
+        service = PredictionService(predictor, QosTarget.average(0.90))
+        candidates = [(app, p, 6) for p in spec_even()[3:5]]
+        service.begin_epoch(candidates)
+        before = _counters().get("smt.solver.solves", 0)
+        before_batch = _counters().get("smt.batch.problems", 0)
+        for latency_app, profile, max_instances in candidates:
+            service.decide(latency_app, profile,
+                           max_instances=max_instances)
+        after = _counters().get("smt.solver.solves", 0)
+        after_batch = _counters().get("smt.batch.problems", 0)
+        assert after == before
+        assert after_batch == before_batch
+
+    def test_bad_admission_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionControl(budget_ms_per_epoch=0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionControl(hit_cost_ms=5.0, miss_cost_ms=1.0)

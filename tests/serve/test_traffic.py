@@ -1,0 +1,105 @@
+"""Unit tests for the seeded trace generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.traffic import Trace, TraceJob, diurnal_trace, poisson_trace
+from repro.workloads.spec import spec_even
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return spec_even()[:5]
+
+
+class TestPoisson:
+    def test_deterministic_for_a_seed(self, pool):
+        a = poisson_trace(pool, rate_per_s=0.1, horizon_s=10_000.0, seed=3)
+        b = poisson_trace(pool, rate_per_s=0.1, horizon_s=10_000.0, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, pool):
+        a = poisson_trace(pool, rate_per_s=0.1, horizon_s=10_000.0, seed=3)
+        b = poisson_trace(pool, rate_per_s=0.1, horizon_s=10_000.0, seed=4)
+        assert a != b
+
+    def test_arrivals_sorted_and_in_horizon(self, pool):
+        trace = poisson_trace(pool, rate_per_s=0.2, horizon_s=5_000.0, seed=0)
+        arrivals = [j.arrival_s for j in trace.jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < 5_000.0 for t in arrivals)
+
+    def test_durations_bounded_profiles_from_pool(self, pool):
+        trace = poisson_trace(pool, rate_per_s=0.2, horizon_s=5_000.0,
+                              seed=0, min_duration_s=10.0,
+                              max_duration_s=20.0)
+        names = {p.name for p in pool}
+        for job in trace.jobs:
+            assert 10.0 <= job.duration_s <= 20.0
+            assert job.profile.name in names
+            assert job.departure_s == job.arrival_s + job.duration_s
+
+    def test_rate_is_realized(self, pool):
+        trace = poisson_trace(pool, rate_per_s=0.5, horizon_s=50_000.0,
+                              seed=1)
+        assert trace.mean_rate_per_s == pytest.approx(0.5, rel=0.1)
+
+    def test_job_ids_sequential(self, pool):
+        trace = poisson_trace(pool, rate_per_s=0.1, horizon_s=2_000.0,
+                              seed=2)
+        assert [j.job_id for j in trace.jobs] == list(range(len(trace.jobs)))
+
+
+class TestDiurnal:
+    def test_deterministic_for_a_seed(self, pool):
+        a = diurnal_trace(pool, mean_rate_per_s=0.05, seed=5)
+        b = diurnal_trace(pool, mean_rate_per_s=0.05, seed=5)
+        assert a == b
+
+    def test_peak_busier_than_trough(self, pool):
+        trace = diurnal_trace(pool, mean_rate_per_s=0.05, seed=7,
+                              peak_to_trough=3.0, peak_at_s=43_200.0)
+        peak = sum(1 for j in trace.jobs
+                   if 39_600.0 <= j.arrival_s < 46_800.0)
+        trough = sum(1 for j in trace.jobs
+                     if j.arrival_s < 3_600.0 or j.arrival_s >= 82_800.0)
+        assert peak > 1.5 * trough
+
+    def test_mean_rate_close_to_requested(self, pool):
+        trace = diurnal_trace(pool, mean_rate_per_s=0.05, seed=9)
+        assert trace.mean_rate_per_s == pytest.approx(0.05, rel=0.15)
+
+    def test_flat_curve_is_poisson_like(self, pool):
+        trace = diurnal_trace(pool, mean_rate_per_s=0.05, seed=11,
+                              peak_to_trough=1.0)
+        assert trace.mean_rate_per_s == pytest.approx(0.05, rel=0.15)
+
+
+class TestValidation:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_trace([], rate_per_s=0.1, horizon_s=100.0, seed=0)
+
+    def test_bad_rate_rejected(self, pool):
+        with pytest.raises(ConfigurationError):
+            poisson_trace(pool, rate_per_s=0.0, horizon_s=100.0, seed=0)
+
+    def test_bad_durations_rejected(self, pool):
+        with pytest.raises(ConfigurationError):
+            poisson_trace(pool, rate_per_s=0.1, horizon_s=100.0, seed=0,
+                          min_duration_s=50.0, max_duration_s=10.0)
+
+    def test_bad_peak_to_trough_rejected(self, pool):
+        with pytest.raises(ConfigurationError):
+            diurnal_trace(pool, mean_rate_per_s=0.05, seed=0,
+                          peak_to_trough=0.5)
+
+    def test_unsorted_trace_rejected(self, pool):
+        jobs = (
+            TraceJob(job_id=0, arrival_s=10.0, duration_s=1.0,
+                     profile=pool[0]),
+            TraceJob(job_id=1, arrival_s=5.0, duration_s=1.0,
+                     profile=pool[0]),
+        )
+        with pytest.raises(ConfigurationError):
+            Trace(kind="poisson", seed=0, horizon_s=20.0, jobs=jobs)

@@ -48,6 +48,21 @@ class TestPredict:
         assert "CMP" in capsys.readouterr().out
 
 
+class TestServe:
+    @pytest.mark.slow
+    def test_smoke_diurnal_fast(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("SMITE_CACHE_DIR", str(tmp_path / "cache"))
+        out_path = tmp_path / "serve_metrics.json"
+        assert main(["serve", "--fast", "--duration", "14400",
+                     "--rate", "0.02", "--seed", "3", "--servers", "2",
+                     "--metrics-out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "diurnal trace" in out
+        assert "windowed SLO series" in out
+        assert "mean utilization gain" in out
+        assert out_path.exists()
+
+
 class TestSafeBatch:
     @pytest.mark.slow
     def test_reports_counts(self, capsys):
