@@ -82,11 +82,17 @@ def test_perf_replay_diurnal_day(benchmark, predictor):
         )
         started = time.perf_counter()
         outcome = engine.replay(trace)
-        _RESULTS["_replay_seconds"] = time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        # Best-of-rounds: the trace-overhead gate in bench_regress
+        # compares this number across two processes, so a single cold
+        # round would make a 5% tolerance pure noise.
+        _RESULTS["_replay_seconds"] = min(
+            elapsed, _RESULTS.get("_replay_seconds", elapsed),
+        )
         return outcome
 
-    outcome = benchmark.pedantic(run_replay, rounds=1, iterations=1,
-                                 warmup_rounds=0)
+    outcome = benchmark.pedantic(run_replay, rounds=3, iterations=1,
+                                 warmup_rounds=1)
     events = len(outcome.events)
     assert events > 0
     assert outcome.arrivals == outcome.departures + outcome.still_placed

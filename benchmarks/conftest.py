@@ -14,6 +14,12 @@ import pytest
 from repro.experiments.base import ExperimentConfig
 from repro.experiments.registry import run_experiment
 from repro.obs.report import maybe_write_env_report
+from repro.obs.trace import maybe_install_env_tracer, maybe_write_env_trace
+
+
+def pytest_sessionstart(session):
+    """Arm the tracer when ``SMITE_TRACE_OUT`` asks for a timeline."""
+    maybe_install_env_tracer()
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -21,9 +27,11 @@ def pytest_sessionfinish(session, exitstatus):
 
     ``scripts/bench_regress.py`` points the variable at a temp file so a
     throughput regression can be attributed to a phase (solver vs cache
-    vs batch) instead of showing up as one opaque number.
+    vs batch) instead of showing up as one opaque number. The Chrome
+    trace (``SMITE_TRACE_OUT``) lands next to it the same way.
     """
     maybe_write_env_report(command=["pytest-benchmarks"])
+    maybe_write_env_trace()
 
 
 @pytest.fixture(scope="session")

@@ -20,6 +20,11 @@ is attributed to the phase that slowed down rather than reported as one
 opaque ratio. ``--update`` stores the phases alongside each throughput
 baseline for future comparisons.
 
+A third gate re-runs the serve benchmark with ``SMITE_TRACE_OUT`` armed
+and requires the traced replay to stay within 5% of the untraced one —
+tracing is only useful if it is cheap enough to leave on (skip with
+``--skip-trace-gate``).
+
 Usage::
 
     python scripts/bench_regress.py            # gate against baselines
@@ -40,11 +45,19 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.diffs import format_phase_deltas  # noqa: E402
+
 BASELINE = REPO / "BENCH_solver.json"
 SERVE_BASELINE = REPO / "BENCH_serve.json"
 GATED_METRIC = "pair_grid_batch"
 SERVE_GATED_METRIC = "replay_events"
 ALLOWED_REGRESSION = 0.20
+#: Tracing must stay cheap enough to leave on during an investigation:
+#: the trace-enabled serve replay may run at most this much below the
+#: untraced replay measured in the same session.
+TRACE_OVERHEAD_ALLOWED = 0.05
 
 
 def _run_benchmarks(out_path: Path, serve_out_path: Path,
@@ -126,16 +139,53 @@ def _serve_phases(metrics: dict) -> dict[str, float]:
 
 def _print_attribution(fresh_phases: dict[str, float],
                        baseline_phases: dict[str, float]) -> None:
-    if not fresh_phases:
+    lines = format_phase_deltas(fresh_phases, baseline_phases)
+    if not lines:
         return
     print("\nphase attribution (from the obs run report):")
-    width = max(len(name) for name in fresh_phases)
-    for name, value in sorted(fresh_phases.items()):
-        line = f"  {name:<{width}}  {value:.6g}"
-        reference = baseline_phases.get(name)
-        if reference:
-            line += f"  (baseline {reference:.6g}, x{value / reference:.2f})"
+    for line in lines:
         print(line)
+
+
+def _run_traced_serve(serve_out_path: Path, trace_path: Path) -> dict:
+    """Re-run the serve benchmark with the env tracer armed."""
+    env = dict(os.environ)
+    env["SMITE_BENCH_SERVE_OUT"] = str(serve_out_path)
+    env["SMITE_TRACE_OUT"] = str(trace_path)
+    env.pop("SMITE_METRICS_OUT", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        str(REPO / "benchmarks" / "bench_serve.py"),
+        "-m", "bench_regress", "-q", "-p", "no:cacheprovider",
+    ]
+    subprocess.run(command, cwd=REPO, env=env, check=True)
+    with serve_out_path.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _trace_overhead_gate(untraced: dict, traced: dict,
+                         trace_path: Path) -> bool:
+    """Gate the cost of tracing itself; True when it fails."""
+    if not trace_path.exists():
+        print("FAIL: traced benchmark run wrote no trace file "
+              "(SMITE_TRACE_OUT plumbing is broken)", file=sys.stderr)
+        return True
+    reference = untraced["ops_per_sec"][SERVE_GATED_METRIC]
+    measured = traced["ops_per_sec"][SERVE_GATED_METRIC]
+    floor = (1.0 - TRACE_OVERHEAD_ALLOWED) * reference
+    print(f"\ntrace overhead: {reference:.0f} events/s untraced -> "
+          f"{measured:.0f} events/s traced "
+          f"(floor {floor:.0f} events/s)")
+    if measured < floor:
+        print(f"FAIL: tracing costs {1.0 - measured / reference:.1%} "
+              f"of serve throughput (> {TRACE_OVERHEAD_ALLOWED:.0%} "
+              f"allowed)", file=sys.stderr)
+        return True
+    print(f"OK: trace overhead within {TRACE_OVERHEAD_ALLOWED:.0%}")
+    return False
 
 
 def _lint_preflight() -> int:
@@ -159,6 +209,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="rewrite the committed baseline and exit")
     parser.add_argument("--skip-lint", action="store_true",
                         help="skip the static-analysis preflight")
+    parser.add_argument("--skip-trace-gate", action="store_true",
+                        help="skip the tracing-overhead re-run of the "
+                             "serve benchmark")
     args = parser.parse_args(argv)
 
     if not args.skip_lint and _lint_preflight() != 0:
@@ -167,12 +220,21 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
 
+    trace_failed = False
     with tempfile.TemporaryDirectory() as tmp:
         fresh, fresh_serve, metrics = _run_benchmarks(
             Path(tmp) / "BENCH_solver.json",
             Path(tmp) / "BENCH_serve.json",
             Path(tmp) / "BENCH_metrics.json",
         )
+        if not args.skip_trace_gate and not args.update:
+            trace_path = Path(tmp) / "BENCH_serve.trace.json"
+            traced_serve = _run_traced_serve(
+                Path(tmp) / "BENCH_serve_traced.json", trace_path,
+            )
+            trace_failed = _trace_overhead_gate(
+                fresh_serve, traced_serve, trace_path,
+            )
 
     grid = fresh.get("pair_grid", {})
     print(f"\nbatch pair-grid: {fresh['ops_per_sec'][GATED_METRIC]:.0f} "
@@ -186,7 +248,7 @@ def main(argv: list[str] | None = None) -> int:
     fresh["phases"] = _phases(metrics)
     fresh_serve["phases"] = _serve_phases(metrics)
 
-    failed = False
+    failed = trace_failed
     for name, fresh_report, baseline_path, metric, unit in (
         ("solver", fresh, BASELINE, GATED_METRIC, "pairs/s"),
         ("serve", fresh_serve, SERVE_BASELINE, SERVE_GATED_METRIC,

@@ -119,6 +119,7 @@ def run_snippet(snippet: Snippet, workdir: Path) -> str | None:
         p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
     )
     env.pop("SMITE_METRICS_OUT", None)
+    env.pop("SMITE_TRACE_OUT", None)
     if snippet.lang == "python":
         command = [sys.executable, "-c", snippet.code]
     else:

@@ -7,6 +7,9 @@ A thin operational wrapper over the library for quick questions:
     python -m repro.cli safe-batch web-search --qos 0.9
     python -m repro.cli serve --trace diurnal --policy smite --fast
     python -m repro.cli workloads
+    python -m repro.cli obs view run.json
+    python -m repro.cli obs diff before.json after.json
+    python -m repro.cli obs trace t.trace.json --top 15
 
 The predictor is trained on the machine-appropriate SPEC half on first
 use (even-numbered for Ivy Bridge pair predictions, odd-numbered for
@@ -16,13 +19,24 @@ Sandy Bridge-EN server questions, matching the paper's splits).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.tables import format_table
 from repro.core.predictor import SMiTe
 from repro.errors import ReproError
-from repro.obs import snapshot
-from repro.obs.report import build_report, maybe_write_env_report, write_report
+from repro.obs import PredictionAudit, snapshot
+from repro.obs import trace as obs_trace
+from repro.obs.diffs import render_diff
+from repro.obs.report import (
+    build_report,
+    load_report,
+    maybe_write_env_report,
+    render_audit,
+    render_report,
+    write_report,
+)
 from repro.scheduler.qos import QosTarget
 from repro.scheduler.scaleout import fit_tail_model
 from repro.serve import (
@@ -185,13 +199,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         decider = BaselineDecider()
 
-    slo = WindowedSlo(args.window, target, tail_models=tail_models)
+    audit = PredictionAudit()
+    slo = WindowedSlo(args.window, target, tail_models=tail_models,
+                      audit=audit)
     engine = ServingEngine(
         simulator, apps, decider,
         servers_per_app=args.servers, epoch_s=args.epoch,
-        window_s=args.window, slo=slo,
+        window_s=args.window, slo=slo, audit=audit,
     )
+    tracer = obs_trace.install() if args.trace_out else None
     outcome = engine.replay(trace)
+    if tracer is not None:
+        obs_trace.uninstall()
+        trace_path = obs_trace.write_chrome_trace(args.trace_out, tracer)
+        print(f"trace written to {trace_path} "
+              f"(load in Perfetto or chrome://tracing)")
 
     print(f"{args.trace} trace, {outcome.arrivals} arrivals over "
           f"{trace.horizon_s / 3600:.1f} h, policy {outcome.policy}, "
@@ -219,11 +241,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ))
     print(f"  mean utilization gain {outcome.mean_utilization_gain:.3f}, "
           f"mean violation rate {outcome.mean_violation_rate:.3f}")
+    if audit.samples:
+        print()
+        print(render_audit(audit.snapshot()))
     if args.metrics_out:
         path = write_report(args.metrics_out, build_report(
             command=["repro.cli", "serve"], metrics=metrics,
+            audit=audit.snapshot() if audit.samples else None,
         ))
         print(f"  metrics report written to {path}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        if args.obs_command == "view":
+            print(render_report(load_report(args.report),
+                                limit=args.limit))
+        elif args.obs_command == "diff":
+            print(render_diff(
+                load_report(args.report_a), load_report(args.report_b),
+                a_label=Path(args.report_a).stem,
+                b_label=Path(args.report_b).stem,
+                limit=args.limit,
+            ))
+        else:  # trace
+            doc = json.loads(
+                Path(args.trace_file).read_text(encoding="utf-8")
+            )
+            print(obs_trace.render_trace_summary(doc, limit=args.top))
+    except BrokenPipeError:
+        raise  # piping into `head` is not an error; main() handles it
+    except (OSError, ValueError) as exc:
+        # Covers missing files, non-JSON input, and unsupported report
+        # schemas (json.JSONDecodeError is a ValueError).
+        raise ReproError(str(exc)) from exc
     return 0
 
 
@@ -293,6 +345,29 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None,
                        help="write the JSON run report here "
                             "(SMITE_METRICS_OUT is honored too)")
+    serve.add_argument("--trace-out", default=None,
+                       help="write a Chrome trace-event JSON timeline "
+                            "here (SMITE_TRACE_OUT is honored too)")
+
+    obs = sub.add_parser(
+        "obs", help="inspect run reports and trace files")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    view = obs_sub.add_parser(
+        "view", help="human-readable summary of one run report")
+    view.add_argument("report")
+    view.add_argument("--limit", type=int, default=8,
+                      help="rows per table (default 8)")
+    diff = obs_sub.add_parser(
+        "diff", help="phase-attributed deltas between two run reports")
+    diff.add_argument("report_a")
+    diff.add_argument("report_b")
+    diff.add_argument("--limit", type=int, default=12,
+                      help="rows per delta table (default 12)")
+    trace = obs_sub.add_parser(
+        "trace", help="top-N longest events of a Chrome trace file")
+    trace.add_argument("trace_file")
+    trace.add_argument("--top", type=int, default=10,
+                       help="events to show (default 10)")
     return parser
 
 
@@ -305,7 +380,9 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "safe-batch": _cmd_safe_batch,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
     }
+    obs_trace.maybe_install_env_tracer()
     try:
         return handlers[args.command](args)
     except ReproError as exc:
@@ -315,8 +392,10 @@ def main(argv: list[str] | None = None) -> int:
         # Output was piped into something like `head`; not an error.
         return 0
     finally:
-        # One-off commands honor SMITE_METRICS_OUT like the runner does.
+        # One-off commands honor SMITE_METRICS_OUT and SMITE_TRACE_OUT
+        # like the runner does.
         maybe_write_env_report()
+        obs_trace.maybe_write_env_trace()
 
 
 if __name__ == "__main__":

@@ -19,6 +19,11 @@ span durations, solve-cache hit rates, and per-worker metric snapshots
 merged back into one registry (see ``docs/OBSERVABILITY.md``). Write it
 with ``--metrics-out PATH`` or by setting ``SMITE_METRICS_OUT``; print
 the human summary (top spans, cache ratios) with ``--metrics``.
+
+``--trace-out PATH`` (or ``SMITE_TRACE_OUT``) additionally records a
+Chrome trace-event timeline of the run's spans — wall-clock only, and
+only for work done in the runner process (``--jobs 1``); worker
+processes do not forward trace events.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.obs import report as obs_report
+from repro.obs import trace as obs_trace
 
 __all__ = ["main"]
 
@@ -92,6 +98,10 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         default=obs_report.env_metrics_path(),
                         help="write the machine-readable run report as JSON "
                              "(default: $SMITE_METRICS_OUT)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        default=obs_trace.env_trace_path(),
+                        help="write a Chrome trace-event JSON timeline "
+                             "(default: $SMITE_TRACE_OUT)")
     return parser.parse_args(argv)
 
 
@@ -141,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     _apply_cache_env(args)
 
     config = ExperimentConfig(fast=args.fast, seed=args.seed)
+    tracer = obs_trace.install() if args.trace_out else None
     jobs = max(1, args.jobs)
     groups = group_by_family(ids)
     obs.get_registry().gauge("runner.jobs").set(jobs)
@@ -195,6 +206,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         obs_report.write_report(args.metrics_out, report)
         print(f"wrote {args.metrics_out}")
+    if tracer is not None:
+        obs_trace.uninstall()
+        trace_path = obs_trace.write_chrome_trace(args.trace_out, tracer)
+        print(f"wrote {trace_path}")
     return 0
 
 

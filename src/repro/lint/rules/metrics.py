@@ -29,6 +29,10 @@ _RECORDERS: dict[str, str] = {
     "histogram": "histogram",
     "span": "span",
     "time_histogram": "histogram",
+    # Trace emission sites: markers and counter samples use names
+    # cataloged under the dedicated "trace" kind.
+    "instant": "trace",
+    "counter_value": "trace",
 }
 
 #: Placeholder substituted for f-string interpolations when matching the

@@ -14,7 +14,14 @@ pipeline reports through. It provides
   experiment runner's ``--metrics-out`` flag or the ``SMITE_METRICS_OUT``
   environment variable, plus an opt-in human summary table;
 - a :mod:`~repro.obs.catalog` naming every metric the codebase emits, so
-  ``docs/OBSERVABILITY.md`` can be verified against the live registry.
+  ``docs/OBSERVABILITY.md`` can be verified against the live registry;
+- opt-in structured tracing (:mod:`repro.obs.trace`): a bounded event
+  ring buffer exported as Chrome trace-event JSON (``--trace-out`` /
+  ``SMITE_TRACE_OUT``), fed by spans and the serving engine;
+- a prediction-accuracy audit (:mod:`repro.obs.audit`): per-decision
+  predicted-vs-realized degradation residuals with per-pool/per-pair
+  attribution, exported in the run report's ``audit`` section;
+- report tooling on the CLI: ``repro.cli obs view|diff|trace``.
 
 Instrumentation must be cheap enough to leave on: everything here is
 incremented per *operation* (a solve, a cache probe, an experiment), never
@@ -34,6 +41,8 @@ Typical use::
 
 from __future__ import annotations
 
+from repro.obs import trace
+from repro.obs.audit import PredictionAudit, ResidualStats
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -54,6 +63,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PredictionAudit",
+    "ResidualStats",
     "counter",
     "current_span_path",
     "gauge",
@@ -64,4 +75,5 @@ __all__ = [
     "snapshot",
     "span",
     "time_histogram",
+    "trace",
 ]

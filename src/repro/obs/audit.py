@@ -1,0 +1,152 @@
+"""Per-decision prediction-accuracy audit: predicted vs realized QoS.
+
+SMiTe's claim is *precise* degradation prediction; this module keeps the
+books on how precise a live run actually was. The serving engine feeds
+one comparison per colocated server per fleet refresh — the degradation
+the :class:`~repro.serve.service.PredictionService` predicted for that
+(latency app, batch profile, instance count) against the
+``OnlineServer.actual_degradation`` the simulator just measured — and
+:class:`PredictionAudit` rolls the residuals up three ways:
+
+- **registry metrics** (``serve.audit.samples``,
+  ``serve.audit.abs_residual``) so residual distributions merge across
+  workers like any other metric;
+- **attribution tables**: signed/absolute residual statistics per
+  service pool and per (pool, batch profile) pair, exported in the run
+  report's ``audit`` section;
+- a **windowed drift signal**: :meth:`PredictionAudit.close_window`
+  drains the residuals accrued since the last SLO-window close, which
+  :class:`~repro.serve.slo.WindowedSlo` folds into its accounting and
+  publishes as the ``serve.audit.drift`` gauge.
+
+Residuals are signed as ``predicted - actual``: a positive bias means
+the predictor is conservative (over-predicts degradation), a negative
+bias means it admits placements it should not.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs.registry import counter, histogram
+
+__all__ = ["PredictionAudit", "ResidualStats"]
+
+#: Separator joining (pool, batch profile) into one JSON-able pair key.
+PAIR_SEP = "|"
+
+
+@dataclass
+class ResidualStats:
+    """A mergeable accumulator of signed prediction residuals."""
+
+    count: int = 0
+    sum_signed: float = 0.0
+    sum_abs: float = 0.0
+    max_abs: float = 0.0
+
+    def add(self, residual: float) -> None:
+        self.count += 1
+        self.sum_signed += residual
+        self.sum_abs += abs(residual)
+        self.max_abs = max(self.max_abs, abs(residual))
+
+    @property
+    def mean_abs(self) -> float:
+        """Mean absolute residual (0 when empty)."""
+        return self.sum_abs / self.count if self.count else 0.0
+
+    @property
+    def mean_signed(self) -> float:
+        """Mean signed residual — the calibration bias (0 when empty)."""
+        return self.sum_signed / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict, JSON-able copy."""
+        return {
+            "count": self.count,
+            "sum_signed": self.sum_signed,
+            "sum_abs": self.sum_abs,
+            "max_abs": self.max_abs,
+            "mean_abs": self.mean_abs,
+            "mean_signed": self.mean_signed,
+        }
+
+    def merge_snapshot(self, snap: Mapping[str, Any]) -> None:
+        """Fold another accumulator's snapshot into this one."""
+        self.count += int(snap["count"])
+        self.sum_signed += float(snap["sum_signed"])
+        self.sum_abs += float(snap["sum_abs"])
+        self.max_abs = max(self.max_abs, float(snap["max_abs"]))
+
+
+class PredictionAudit:
+    """Rolls per-decision residuals into pool/pair attribution tables."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.overall = ResidualStats()
+        self.pools: dict[str, ResidualStats] = {}
+        self.pairs: dict[str, ResidualStats] = {}
+        self._window = ResidualStats()
+
+    @property
+    def samples(self) -> int:
+        """Comparisons recorded so far."""
+        return self.overall.count
+
+    def record(
+        self,
+        pool: str,
+        batch_profile: str,
+        *,
+        predicted: float,
+        actual: float,
+    ) -> None:
+        """Record one predicted-vs-realized comparison."""
+        residual = float(predicted) - float(actual)
+        counter("serve.audit.samples").inc()
+        histogram("serve.audit.abs_residual").record(abs(residual))
+        pair = f"{pool}{PAIR_SEP}{batch_profile}"
+        with self._lock:
+            self.overall.add(residual)
+            self.pools.setdefault(pool, ResidualStats()).add(residual)
+            self.pairs.setdefault(pair, ResidualStats()).add(residual)
+            self._window.add(residual)
+
+    def close_window(self) -> float:
+        """Drain the window accumulator; returns its mean absolute residual.
+
+        Called by :class:`~repro.serve.slo.WindowedSlo` at each window
+        close; the returned value is that window's calibration drift.
+        """
+        with self._lock:
+            drift = self._window.mean_abs
+            self._window = ResidualStats()
+            return drift
+
+    # -- aggregation ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The audit section of a run report: JSON-able and mergeable."""
+        with self._lock:
+            return {
+                "samples": self.overall.count,
+                "overall": self.overall.snapshot(),
+                "pools": {name: stats.snapshot()
+                          for name, stats in sorted(self.pools.items())},
+                "pairs": {name: stats.snapshot()
+                          for name, stats in sorted(self.pairs.items())},
+            }
+
+    def merge(self, snap: Mapping[str, Any]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this audit."""
+        with self._lock:
+            self.overall.merge_snapshot(snap["overall"])
+            for table, own in (("pools", self.pools), ("pairs", self.pairs)):
+                for name, stats_snap in snap.get(table, {}).items():
+                    own.setdefault(name, ResidualStats()).merge_snapshot(
+                        stats_snap
+                    )

@@ -11,7 +11,13 @@ Dynamic name parts are written as ``{placeholder}`` patterns
 (``experiment.{id}`` matches ``experiment.fig10``). Span entries name
 span *leaves*: recorded span paths are slash-joined nesting stacks
 (``experiment.fig14/cluster.apply_policy``), and each segment of a path
-must match a span leaf in the catalog.
+must match a span leaf in the catalog. The ``{span_path}`` placeholder
+is special: it additionally matches ``/``, so names derived from full
+span paths (the ``<path>.errors`` failure counters) stay cataloged.
+
+Besides the four metric kinds there is a fifth, ``trace``: names of
+structured trace markers and counter samples (:mod:`repro.obs.trace`)
+that are not themselves registry metrics.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ __all__ = ["CATALOG", "MetricSpec", "find_spec", "match_span_path",
 class MetricSpec:
     """One documented metric: its kind, name pattern, unit, and meaning."""
 
-    kind: str  # "counter" | "gauge" | "histogram" | "span"
+    kind: str  # "counter" | "gauge" | "histogram" | "span" | "trace"
     name: str  # exact name, or a pattern with {placeholder} segments
     unit: str
     description: str
@@ -40,8 +46,21 @@ class MetricSpec:
 
 @lru_cache(maxsize=None)
 def _compile(name: str) -> "re.Pattern[str]":
-    parts = re.split(r"\{[a-z_]+\}", name)
-    return re.compile("^" + "[A-Za-z0-9_.-]+".join(map(re.escape, parts)) + "$")
+    def _wildcard(match: "re.Match[str]") -> str:
+        # {span_path} spans nesting separators; other placeholders are
+        # single path segments.
+        if match.group(0) == "{span_path}":
+            return "[A-Za-z0-9_./-]+"
+        return "[A-Za-z0-9_.-]+"
+
+    out: list[str] = []
+    last = 0
+    for match in re.finditer(r"\{[a-z_]+\}", name):
+        out.append(re.escape(name[last:match.start()]))
+        out.append(_wildcard(match))
+        last = match.end()
+    out.append(re.escape(name[last:]))
+    return re.compile("^" + "".join(out) + "$")
 
 
 CATALOG: tuple[MetricSpec, ...] = (
@@ -138,6 +157,16 @@ CATALOG: tuple[MetricSpec, ...] = (
                "SLO accounting windows closed over the event clock"),
     MetricSpec("gauge", "serve.slo.violation_rate", "fraction",
                "QoS-violation rate of the most recently closed window"),
+    # -- prediction-accuracy audit (obs/audit.py, fed by serve/engine.py)
+    MetricSpec("counter", "serve.audit.samples", "comparisons",
+               "predicted-vs-realized degradation comparisons recorded "
+               "at fleet refreshes"),
+    MetricSpec("histogram", "serve.audit.abs_residual", "fraction",
+               "absolute prediction residual |predicted - actual| per "
+               "audited comparison"),
+    MetricSpec("gauge", "serve.audit.drift", "fraction",
+               "mean absolute prediction residual of the most recently "
+               "closed SLO window (calibration drift)"),
     # -- experiment runner (experiments/runner.py) -----------------------
     MetricSpec("gauge", "runner.jobs", "processes",
                "worker processes the runner used"),
@@ -158,6 +187,20 @@ CATALOG: tuple[MetricSpec, ...] = (
                "one trace replayed end to end through the serving engine"),
     MetricSpec("span", "serve.epoch", "seconds",
                "one event epoch: micro-batched prefetch plus event loop"),
+    # -- span failure marking (obs/spans.py) -----------------------------
+    MetricSpec("counter", "{span_path}.errors", "errors",
+               "span blocks that exited via exception, keyed by the "
+               "recorded span path"),
+    # -- structured trace events (obs/trace.py; simulated-clock track) ---
+    MetricSpec("trace", "serve.decision", "markers",
+               "one placement-decision marker per arrival: app, profile, "
+               "placement, predicted degradation"),
+    MetricSpec("trace", "serve.engine.running", "jobs",
+               "resident-job counter samples at epoch boundaries"),
+    MetricSpec("trace", "serve.slo.violation_rate", "fraction",
+               "violation-rate counter samples at window closes"),
+    MetricSpec("trace", "serve.audit.drift", "fraction",
+               "calibration-drift counter samples at window closes"),
 )
 
 

@@ -16,6 +16,7 @@ say *where* the time went, not just that it grew.
 from __future__ import annotations
 
 import json
+import platform
 import sys
 import os
 from pathlib import Path
@@ -27,17 +28,45 @@ from repro.obs.registry import snapshot
 __all__ = [
     "ENV_METRICS_OUT",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "build_report",
     "cache_ratios",
     "env_metrics_path",
+    "load_report",
     "maybe_write_env_report",
+    "provenance",
+    "render_audit",
+    "render_report",
     "render_summary",
+    "span_errors",
     "top_spans",
     "write_report",
 ]
 
-SCHEMA_VERSION = 1
+#: Schema 2 added the ``provenance`` block and the optional ``audit``
+#: section; :func:`load_report` upgrades schema-1 documents in place.
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMAS = (1, 2)
 ENV_METRICS_OUT = "SMITE_METRICS_OUT"
+
+
+def provenance() -> dict[str, Any]:
+    """The environment a report was produced in.
+
+    Recorded so ``repro.cli obs diff`` can flag a regression that is
+    really an environment change (different interpreter, different
+    ``SMITE_*`` knobs) rather than a code change.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "env": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("SMITE_")
+        },
+    }
 
 
 def build_report(
@@ -47,22 +76,51 @@ def build_report(
     experiments: Mapping[str, float] | None = None,
     workers: Sequence[Mapping[str, Any]] | None = None,
     metrics: Mapping[str, Any] | None = None,
+    audit: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a run report around the (already merged) metrics snapshot.
 
     ``workers`` carries the per-worker sub-snapshots (each a dict with at
     least ``experiments`` and ``metrics`` keys); the top-level
-    ``metrics`` must already contain their merged totals.
+    ``metrics`` must already contain their merged totals. ``audit`` is a
+    :meth:`~repro.obs.audit.PredictionAudit.snapshot` when the run kept
+    prediction-accuracy books (``repro.cli serve`` does).
     """
     return {
         "schema": SCHEMA_VERSION,
         "generator": "repro.obs",
         "command": list(command) if command is not None else sys.argv,
         "wall_seconds": wall_seconds,
+        "provenance": provenance(),
         "experiments": dict(experiments or {}),
         "workers": [dict(w) for w in (workers or [])],
         "metrics": dict(metrics) if metrics is not None else snapshot(),
+        "audit": dict(audit) if audit is not None else None,
     }
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read a run report, upgrading older supported schemas in place.
+
+    Schema-1 documents (no ``provenance``, no ``audit``) load with those
+    fields defaulted, so every consumer can assume the current shape.
+    Unknown (future) schemas raise ``ValueError`` instead of being
+    silently misread.
+    """
+    path = Path(path)
+    report = json.loads(path.read_text(encoding="utf-8"))
+    schema = report.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"{path}: unsupported run-report schema {schema!r}; "
+            f"this build reads schemas {SUPPORTED_SCHEMAS}"
+        )
+    report.setdefault("provenance", {})
+    report.setdefault("audit", None)
+    report.setdefault("experiments", {})
+    report.setdefault("workers", [])
+    report.setdefault("metrics", {})
+    return report
 
 
 def write_report(path: str | Path, report: Mapping[str, Any]) -> Path:
@@ -119,6 +177,80 @@ def cache_ratios(metrics: Mapping[str, Any]) -> dict[str, float]:
     return ratios
 
 
+def render_audit(audit: Mapping[str, Any]) -> str:
+    """The audit section as per-pool and per-pair residual tables."""
+    if not audit or not audit.get("samples"):
+        return "no audit samples recorded"
+    overall = audit.get("overall", {})
+    parts = [
+        f"prediction audit: {audit['samples']} comparisons, "
+        f"mean |residual| {overall.get('mean_abs', 0.0):.4f}, "
+        f"bias {overall.get('mean_signed', 0.0):+.4f} "
+        f"(residual = predicted - actual degradation)"
+    ]
+    for table, title in (("pools", "per-pool residuals"),
+                         ("pairs", "per-pair residuals")):
+        rows = [
+            (name, stats["count"], f"{stats['mean_abs']:.4f}",
+             f"{stats['mean_signed']:+.4f}", f"{stats['max_abs']:.4f}")
+            for name, stats in audit.get(table, {}).items()
+        ]
+        if rows:
+            parts.append(format_table(
+                ("pool" if table == "pools" else "pool|batch", "n",
+                 "mean |resid|", "bias", "max |resid|"),
+                rows, title=title,
+            ))
+    return "\n\n".join(parts)
+
+
+def render_report(report: Mapping[str, Any], *, limit: int = 8) -> str:
+    """The ``repro.cli obs view`` rendering of one full run report."""
+    parts: list[str] = []
+    command = report.get("command")
+    if command:
+        parts.append("command: " + " ".join(str(c) for c in command))
+    wall = report.get("wall_seconds")
+    if wall is not None:
+        parts.append(f"wall time: {wall:.1f}s")
+    prov = report.get("provenance") or {}
+    if prov:
+        env = prov.get("env", {})
+        knobs = (" with " + ", ".join(f"{k}={v}" for k, v in env.items())
+                 if env else "")
+        parts.append(f"environment: python {prov.get('python', '?')} on "
+                     f"{prov.get('platform', '?')}{knobs}")
+    experiments = report.get("experiments") or {}
+    if experiments:
+        parts.append(format_table(
+            ("experiment", "seconds"),
+            [(name, f"{seconds:.2f}")
+             for name, seconds in sorted(experiments.items(),
+                                         key=lambda kv: -kv[1])],
+            title="experiments",
+        ))
+    summary = render_summary(report, limit=limit)
+    if summary:
+        parts.append(summary)
+    audit = report.get("audit")
+    if audit:
+        parts.append(render_audit(audit))
+    workers = report.get("workers") or []
+    if len(workers) > 1:
+        parts.append(f"({len(workers)} worker snapshots merged)")
+    return "\n\n".join(parts)
+
+
+def span_errors(metrics: Mapping[str, Any]) -> dict[str, int]:
+    """Span paths that exited via exception -> error counts."""
+    return {
+        name[: -len(".errors")]: int(value)
+        for name, value in metrics.get("counters", {}).items()
+        if name.endswith(".errors")
+        and name[: -len(".errors")] in metrics.get("spans", {})
+    }
+
+
 def render_summary(report_or_metrics: Mapping[str, Any],
                    *, limit: int = 8) -> str:
     """The opt-in human summary: top spans, cache ratios, key counters."""
@@ -127,9 +259,10 @@ def render_summary(report_or_metrics: Mapping[str, Any],
 
     spans = top_spans(metrics, limit)
     if spans:
+        errors = span_errors(metrics)
         parts.append(format_table(
-            ("span", "count", "total s", "max s"),
-            [(path, count, total, worst)
+            ("span", "count", "total s", "max s", "errors"),
+            [(path, count, total, worst, errors.get(path, 0))
              for path, count, total, worst in spans],
             title="top spans",
         ))

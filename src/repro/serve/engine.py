@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ConfigurationError, SchedulingError
-from repro.obs import counter, gauge, span
+from repro.obs import PredictionAudit, counter, gauge, span
+from repro.obs import trace as obs_trace
 from repro.serve.service import Candidate, Decider
 from repro.serve.slo import SloWindow, WindowedSlo
 from repro.serve.traffic import Trace, TraceJob
@@ -167,6 +168,7 @@ class ServingEngine:
         epoch_s: float = 300.0,
         window_s: float = 3_600.0,
         slo: WindowedSlo | None = None,
+        audit: PredictionAudit | None = None,
     ) -> None:
         apps = tuple(apps)
         if not apps:
@@ -187,6 +189,10 @@ class ServingEngine:
         self.epoch_s = epoch_s
         self.window_s = window_s
         self.slo = slo
+        #: Prediction-accuracy audit fed at every fleet refresh; pass
+        #: the same instance to the SLO tracker so window closes drain
+        #: its drift accumulator.
+        self.audit = audit
         #: idle SMT contexts per server = one sibling per core
         self.threads_per_server = simulator.machine.cores
         self.servers: list[OnlineServer] = [
@@ -259,6 +265,19 @@ class ServingEngine:
             )
             for server in group:
                 server.actual_degradation = degradation
+            if self.audit is not None:
+                predicted = self.decider.predicted_degradation(
+                    group[0].latency_app, group[0].batch_profile,
+                    group[0].instances,
+                )
+                if predicted is not None:
+                    for server in group:
+                        self.audit.record(
+                            server.latency_app.name,
+                            server.batch_profile.name,
+                            predicted=predicted,
+                            actual=degradation,
+                        )
         for server in self.servers:
             if not server.is_colocated:
                 server.actual_degradation = 0.0
@@ -329,6 +348,23 @@ class ServingEngine:
                             heap,
                             (job.departure_s, _DEPART, job.job_id, job),
                         )
+                        if obs_trace.is_active():
+                            obs_trace.instant(
+                                "serve.decision",
+                                {
+                                    "job": job.job_id,
+                                    "app": app.name,
+                                    "profile": job.profile.name,
+                                    "placement": placement,
+                                    "max_safe": decision.max_safe_instances,
+                                    "predicted":
+                                        self.decider.predicted_degradation(
+                                            app, job.profile,
+                                            decision.max_safe_instances,
+                                        ),
+                                },
+                                sim_time_s=time_s,
+                            )
                         events.append(EventRecord(
                             time_s=time_s, kind="arrive", job_id=job_id,
                             profile=job.profile.name, app=app.name,
@@ -359,6 +395,9 @@ class ServingEngine:
                             ),
                         ))
                 gauge("serve.engine.running").set(float(len(placed_on)))
+                obs_trace.counter_value("serve.engine.running",
+                                    float(len(placed_on)),
+                                    sim_time_s=epoch_end)
                 self._sample_fleet(epoch_end)
 
         still_placed = len(placed_on)

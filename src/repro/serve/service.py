@@ -92,6 +92,20 @@ class Decider(ABC):
     def begin_epoch(self, candidates: Sequence[Candidate]) -> None:
         """Announce the epoch's decision candidates (micro-batch hook)."""
 
+    def predicted_degradation(
+        self,
+        latency_app: LatencySensitiveWorkload,
+        batch_profile: WorkloadProfile,
+        instances: int,
+    ) -> float | None:
+        """The degradation this policy predicted for a placement, if any.
+
+        Interference-oblivious policies return None; the engine's
+        prediction audit then has nothing to compare, so Random and
+        NoColocation replays carry no audit section.
+        """
+        return None
+
     def decide(
         self,
         latency_app: LatencySensitiveWorkload,
@@ -195,6 +209,12 @@ class PredictionService(Decider):
         self._tail_models = dict(tail_models) if tail_models else {}
         self._lru: OrderedDict[tuple[str, str, int], int] = OrderedDict()
         self._lru_capacity = lru_capacity
+        # Unbounded memo of predict_server results, keyed (app, batch,
+        # instances). The key space is the LRU key space's closure over
+        # instance counts — a few hundred entries on a warm day — and the
+        # prediction audit reads it long after an LRU entry may have
+        # been evicted.
+        self._predicted: dict[tuple[str, str, int], float] = {}
         self._epoch_remaining_ms = self.admission.budget_ms_per_epoch
         # Profiles whose simulator solves have already been prefetched
         # (dicts used as ordered sets; lint-safe iteration).
@@ -339,9 +359,40 @@ class PredictionService(Decider):
         """Largest instance count predicted inside the degradation budget."""
         budget = self.target.degradation_budget(self._tail_model(latency_app))
         for instances in range(max_instances, 0, -1):
-            predicted = self.predictor.predict_server(
-                latency_app.profile, batch_profile, instances=instances,
-            )
+            predicted = self._predict_degradation(latency_app, batch_profile,
+                                                  instances)
             if predicted <= budget:
                 return instances
         return 0
+
+    def _predict_degradation(
+        self,
+        latency_app: LatencySensitiveWorkload,
+        batch_profile: WorkloadProfile,
+        instances: int,
+    ) -> float:
+        key = (latency_app.name, batch_profile.name, instances)
+        predicted = self._predicted.get(key)
+        if predicted is None:
+            predicted = self.predictor.predict_server(
+                latency_app.profile, batch_profile, instances=instances,
+            )
+            self._predicted[key] = predicted
+        return predicted
+
+    def predicted_degradation(
+        self,
+        latency_app: LatencySensitiveWorkload,
+        batch_profile: WorkloadProfile,
+        instances: int,
+    ) -> float | None:
+        """SMiTe's predicted degradation for one concrete placement.
+
+        Served from the prediction memo when the safe-count search
+        already evaluated this count; otherwise one model evaluation
+        (the underlying solves were prefetched with the epoch's misses).
+        """
+        if instances < 1:
+            return None
+        return self._predict_degradation(latency_app, batch_profile,
+                                         instances)

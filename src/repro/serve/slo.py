@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro.core.tail import TailLatencyModel
 from repro.errors import ConfigurationError, SchedulingError
-from repro.obs import counter, gauge
+from repro.obs import PredictionAudit, counter, gauge, trace
 from repro.scheduler.metrics import ViolationStats
 from repro.scheduler.qos import QosTarget
 
@@ -81,18 +81,24 @@ class SloWindow:
     violations: ViolationStats
     #: (app name, violated samples in this window), in app order
     per_app_violations: tuple[tuple[str, int], ...]
+    #: Mean absolute prediction residual of the window's audited
+    #: comparisons (None when the run kept no prediction audit).
+    calibration_drift: float | None = None
 
     def as_line(self) -> str:
         """Render as one stable, byte-comparable series line."""
         apps = " ".join(
             f"{name}={count}" for name, count in self.per_app_violations
         )
+        drift = ("" if self.calibration_drift is None
+                 else f"drift={self.calibration_drift:.6f} ")
         return (
             f"window={self.index} [{self.start_s:.1f},{self.end_s:.1f}) "
             f"samples={self.samples} gain={self.mean_utilization_gain:.6f} "
             f"colocated={self.violations.colocated_servers} "
             f"violated={self.violations.violated_servers} "
-            f"worst={self.violations.worst_magnitude:.6f} {apps}".rstrip()
+            f"worst={self.violations.worst_magnitude:.6f} {drift}{apps}"
+            .rstrip()
         )
 
 
@@ -105,6 +111,7 @@ class WindowedSlo:
         target: QosTarget,
         *,
         tail_models: dict[str, TailLatencyModel] | None = None,
+        audit: PredictionAudit | None = None,
     ) -> None:
         if window_s <= 0.0:
             raise ConfigurationError(
@@ -113,6 +120,10 @@ class WindowedSlo:
         self.window_s = window_s
         self.target = target
         self.tail_models = dict(tail_models) if tail_models else None
+        #: When set (to the engine's audit instance), each window close
+        #: drains the audit's window accumulator into the window's
+        #: ``calibration_drift`` and the ``serve.audit.drift`` gauge.
+        self.audit = audit
         self._windows: list[SloWindow] = []
         self._current: int | None = None
         self._samples: list[tuple[float, ViolationStats]] = []
@@ -158,6 +169,8 @@ class WindowedSlo:
 
     def _close_window(self) -> None:
         assert self._current is not None
+        drift = (self.audit.close_window()
+                 if self.audit is not None else None)
         gains = [gain for gain, _stats in self._samples]
         stats_list = [stats for _gain, stats in self._samples]
         violated = sum(s.violated_servers for s in stats_list)
@@ -183,10 +196,18 @@ class WindowedSlo:
                 mean_magnitude=(magnitudes / violated) if violated else 0.0,
             ),
             per_app_violations=tuple(sorted(self._app_violations.items())),
+            calibration_drift=drift,
         )
         self._windows.append(window)
         counter("serve.slo.windows").inc()
         gauge("serve.slo.violation_rate").set(window.violations.rate)
+        trace.counter_value("serve.slo.violation_rate",
+                            window.violations.rate,
+                            sim_time_s=window.end_s)
+        if drift is not None:
+            gauge("serve.audit.drift").set(drift)
+            trace.counter_value("serve.audit.drift", drift,
+                                sim_time_s=window.end_s)
         self._current += 1
         self._samples = []
         self._app_violations = {}

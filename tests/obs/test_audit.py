@@ -1,0 +1,93 @@
+"""The prediction audit: residual accounting, attribution, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.audit import PredictionAudit, ResidualStats
+
+
+class TestResidualStats:
+    def test_accumulates_signed_and_absolute(self):
+        stats = ResidualStats()
+        stats.add(0.02)
+        stats.add(-0.04)
+        assert stats.count == 2
+        assert stats.mean_signed == pytest.approx(-0.01)
+        assert stats.mean_abs == pytest.approx(0.03)
+        assert stats.max_abs == pytest.approx(0.04)
+
+    def test_empty_means_are_zero(self):
+        stats = ResidualStats()
+        assert stats.mean_abs == 0.0
+        assert stats.mean_signed == 0.0
+
+    def test_snapshot_merge_matches_direct_accumulation(self):
+        left, right, combined = (ResidualStats(), ResidualStats(),
+                                 ResidualStats())
+        for residual in (0.01, -0.02):
+            left.add(residual)
+            combined.add(residual)
+        for residual in (0.05, 0.0):
+            right.add(residual)
+            combined.add(residual)
+        left.merge_snapshot(right.snapshot())
+        assert left.snapshot() == combined.snapshot()
+
+
+class TestPredictionAudit:
+    def test_record_attributes_to_pool_and_pair(self):
+        audit = PredictionAudit()
+        audit.record("web-search", "470.lbm", predicted=0.10, actual=0.08)
+        audit.record("web-search", "429.mcf", predicted=0.05, actual=0.09)
+        audit.record("data-caching", "470.lbm", predicted=0.03, actual=0.03)
+        assert audit.samples == 3
+        snap = audit.snapshot()
+        assert snap["samples"] == 3
+        assert set(snap["pools"]) == {"data-caching", "web-search"}
+        assert set(snap["pairs"]) == {
+            "data-caching|470.lbm", "web-search|429.mcf",
+            "web-search|470.lbm",
+        }
+        # residual = predicted - actual: +0.02 then -0.04 for web-search.
+        pool = snap["pools"]["web-search"]
+        assert pool["mean_signed"] == pytest.approx(-0.01)
+        assert pool["mean_abs"] == pytest.approx(0.03)
+        json.dumps(snap)  # the audit section must serialize as-is
+
+    def test_record_feeds_the_registry_metrics(self):
+        obs.reset()
+        audit = PredictionAudit()
+        audit.record("web-search", "470.lbm", predicted=0.10, actual=0.06)
+        metrics = obs.snapshot()
+        assert metrics["counters"]["serve.audit.samples"] == 1
+        hist = metrics["histograms"]["serve.audit.abs_residual"]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.04)
+
+    def test_close_window_drains_only_the_window(self):
+        audit = PredictionAudit()
+        audit.record("web-search", "470.lbm", predicted=0.10, actual=0.08)
+        assert audit.close_window() == pytest.approx(0.02)
+        # The window drained; the cumulative tables did not.
+        assert audit.close_window() == 0.0
+        assert audit.samples == 1
+        audit.record("web-search", "470.lbm", predicted=0.10, actual=0.05)
+        assert audit.close_window() == pytest.approx(0.05)
+
+    def test_merge_folds_worker_snapshots(self):
+        worker_a, worker_b = PredictionAudit(), PredictionAudit()
+        worker_a.record("web-search", "470.lbm", predicted=0.1, actual=0.2)
+        worker_b.record("web-search", "470.lbm", predicted=0.3, actual=0.1)
+        worker_b.record("data-caching", "429.mcf", predicted=0.0,
+                        actual=0.1)
+        merged = PredictionAudit()
+        merged.merge(worker_a.snapshot())
+        merged.merge(worker_b.snapshot())
+        snap = merged.snapshot()
+        assert snap["samples"] == 3
+        assert snap["pairs"]["web-search|470.lbm"]["count"] == 2
+        assert snap["overall"]["max_abs"] == pytest.approx(0.2)

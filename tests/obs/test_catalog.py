@@ -15,7 +15,8 @@ def test_names_are_unique_within_a_kind():
 
 def test_every_spec_has_unit_and_description():
     for spec in CATALOG:
-        assert spec.kind in {"counter", "gauge", "histogram", "span"}
+        assert spec.kind in {"counter", "gauge", "histogram", "span",
+                             "trace"}
         assert spec.unit
         assert spec.description
 
@@ -46,6 +47,21 @@ def test_span_paths_match_per_segment():
 
 
 def test_specs_of_kind_partitions_the_catalog():
-    kinds = ("counter", "gauge", "histogram", "span")
+    kinds = ("counter", "gauge", "histogram", "span", "trace")
     assert sum(len(specs_of_kind(kind)) for kind in kinds) == len(CATALOG)
     assert all(spec.kind == "span" for spec in specs_of_kind("span"))
+
+
+def test_span_path_placeholder_crosses_nesting_separators():
+    assert find_spec("counter", "characterize_many.errors") is not None
+    assert find_spec(
+        "counter", "experiment.fig2/characterize_many.errors"
+    ) is not None
+    assert find_spec("counter", "experiment.fig2/nested.errors") is not None
+    assert find_spec("counter", "errors") is None
+
+
+def test_trace_marker_names_are_cataloged():
+    assert find_spec("trace", "serve.decision") is not None
+    assert find_spec("trace", "serve.engine.running") is not None
+    assert find_spec("trace", "made.up.marker") is None

@@ -12,7 +12,7 @@ from repro.obs.catalog import CATALOG
 REPO = Path(__file__).resolve().parents[2]
 
 _METRIC_ROW = re.compile(
-    r"^\| `(?P<name>[^`]+)` \| (?P<kind>counter|gauge|histogram|span) "
+    r"^\| `(?P<name>[^`]+)` \| (?P<kind>counter|gauge|histogram|span|trace) "
     r"\| (?P<unit>[^|]+) \| (?P<description>[^|]+) \|$"
 )
 

@@ -1,0 +1,88 @@
+"""Merge edge cases: disjoint buckets, empty workers, old report schemas."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import report as obs_report
+from repro.obs.registry import MetricsRegistry
+
+
+def test_merge_disjoint_histogram_buckets_unions_them():
+    low, high = MetricsRegistry(), MetricsRegistry()
+    low.histogram("smt.solver.solve_seconds").record(0.001)
+    high.histogram("smt.solver.solve_seconds").record(1_000_000.0)
+
+    low_buckets = low.snapshot()["histograms"][
+        "smt.solver.solve_seconds"]["buckets"]
+    high_buckets = high.snapshot()["histograms"][
+        "smt.solver.solve_seconds"]["buckets"]
+    assert not set(low_buckets) & set(high_buckets), \
+        "test premise: the two values must land in disjoint buckets"
+
+    low.merge(high.snapshot())
+    merged = low.snapshot()["histograms"]["smt.solver.solve_seconds"]
+    assert merged["count"] == 2
+    assert merged["sum"] == pytest.approx(1_000_000.001)
+    assert merged["min"] == pytest.approx(0.001)
+    assert merged["max"] == pytest.approx(1_000_000.0)
+    assert set(merged["buckets"]) == set(low_buckets) | set(high_buckets)
+    assert sum(merged["buckets"].values()) == 2
+
+
+def test_merge_empty_worker_snapshot_is_a_noop():
+    registry = MetricsRegistry()
+    registry.counter("smt.solver.solves").inc(3)
+    registry.gauge("runner.jobs").set(2)
+    before = registry.snapshot()
+
+    registry.merge(MetricsRegistry().snapshot())
+    registry.merge({})  # a worker that died before instrumenting anything
+    assert registry.snapshot() == before
+
+
+def test_merge_into_empty_registry_copies_the_snapshot():
+    source = MetricsRegistry()
+    source.counter("smt.solver.solves").inc(5)
+    source.histogram("smt.solver.iterations").record(7)
+    source.span_histogram("serve.replay").record(0.5)
+
+    target = MetricsRegistry()
+    target.merge(source.snapshot())
+    assert target.snapshot() == source.snapshot()
+
+
+def test_load_report_upgrades_schema_one_in_place(tmp_path):
+    legacy = {
+        "schema": 1,
+        "generator": "repro.obs",
+        "command": ["runner", "--all"],
+        "wall_seconds": 2.0,
+        "metrics": {"counters": {"smt.solver.solves": 4}},
+    }
+    path = tmp_path / "legacy.json"
+    path.write_text(json.dumps(legacy), encoding="utf-8")
+
+    report = obs_report.load_report(path)
+    assert report["schema"] == 1
+    assert report["provenance"] == {}
+    assert report["audit"] is None
+    assert report["experiments"] == {}
+    assert report["workers"] == []
+    assert report["metrics"]["counters"]["smt.solver.solves"] == 4
+    # The upgraded document renders through the current reader unchanged.
+    assert "smt.solver.solves" in obs_report.render_report(report)
+
+
+def test_load_report_rejects_unknown_schemas(tmp_path):
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps({"schema": 99}), encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported run-report schema"):
+        obs_report.load_report(path)
+
+    missing = tmp_path / "no-schema.json"
+    missing.write_text(json.dumps({"metrics": {}}), encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported run-report schema"):
+        obs_report.load_report(missing)

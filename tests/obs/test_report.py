@@ -115,3 +115,69 @@ def test_render_summary_accepts_full_reports():
 
 def test_render_summary_empty():
     assert obs_report.render_summary(_metrics_with()) == "no metrics recorded"
+
+
+def test_provenance_records_interpreter_and_smite_knobs(monkeypatch):
+    monkeypatch.setenv("SMITE_JOBS", "4")
+    monkeypatch.setenv("UNRELATED_VAR", "ignored")
+    prov = obs_report.provenance()
+    assert prov["python"]
+    assert prov["implementation"]
+    assert prov["platform"]
+    assert prov["env"]["SMITE_JOBS"] == "4"
+    assert "UNRELATED_VAR" not in prov["env"]
+
+
+def test_span_errors_pairs_error_counters_with_spans():
+    metrics = _metrics_with(
+        counters={"experiment.fig2.errors": 2,
+                  "orphan.errors": 1,  # no matching span path
+                  "smt.solver.solves": 4},
+        spans={"experiment.fig2": 1.0, "experiment.fig10": 2.0},
+    )
+    assert obs_report.span_errors(metrics) == {"experiment.fig2": 2}
+
+
+def test_render_summary_includes_error_column():
+    metrics = _metrics_with(
+        counters={"experiment.fig2.errors": 3},
+        spans={"experiment.fig2": 1.0},
+    )
+    text = obs_report.render_summary(metrics)
+    assert "errors" in text
+
+
+def test_render_audit_empty_and_populated():
+    assert "no audit samples" in obs_report.render_audit({})
+    assert "no audit samples" in obs_report.render_audit({"samples": 0})
+    audit = {
+        "samples": 1,
+        "overall": {"count": 1, "sum_signed": -0.02, "sum_abs": 0.02,
+                    "max_abs": 0.02, "mean_abs": 0.02,
+                    "mean_signed": -0.02},
+        "pools": {"web-search": {"count": 1, "sum_signed": -0.02,
+                                 "sum_abs": 0.02, "max_abs": 0.02,
+                                 "mean_abs": 0.02, "mean_signed": -0.02}},
+        "pairs": {"web-search|470.lbm": {
+            "count": 1, "sum_signed": -0.02, "sum_abs": 0.02,
+            "max_abs": 0.02, "mean_abs": 0.02, "mean_signed": -0.02}},
+    }
+    text = obs_report.render_audit(audit)
+    assert "1 comparisons" in text
+    assert "per-pool residuals" in text
+    assert "per-pair residuals" in text
+    assert "-0.0200" in text
+    assert "web-search|470.lbm" in text
+
+
+def test_render_report_stitches_the_sections():
+    metrics = _metrics_with(spans={"experiment.fig2": 1.0})
+    report = obs_report.build_report(
+        command=["runner", "--all"], wall_seconds=3.5,
+        experiments={"fig2": 1.0}, metrics=metrics,
+    )
+    text = obs_report.render_report(report)
+    assert "command: runner --all" in text
+    assert "wall time: 3.5s" in text
+    assert "environment: python" in text
+    assert "experiment" in text

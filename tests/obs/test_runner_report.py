@@ -43,7 +43,9 @@ def report(tmp_path_factory) -> dict:
 
 
 def test_report_identifies_the_run(report):
-    assert report["schema"] == 1
+    assert report["schema"] == 2
+    assert report["provenance"]["python"]
+    assert "platform" in report["provenance"]
     assert set(report["experiments"]) == set(IDS)
     assert all(elapsed >= 0.0 for elapsed in report["experiments"].values())
     assert report["wall_seconds"] > 0.0

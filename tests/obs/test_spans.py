@@ -100,3 +100,32 @@ def test_explicit_registry_does_not_touch_the_default(registry):
     with span("isolated", registry=registry):
         pass
     assert "isolated" not in obs.snapshot()["spans"]
+
+
+def test_failed_span_records_an_errors_counter(registry):
+    with pytest.raises(RuntimeError):
+        with span("outer", registry=registry):
+            with span("inner", registry=registry):
+                raise RuntimeError("boom")
+    counters = registry.snapshot()["counters"]
+    # Both enclosing spans saw the exception pass through.
+    assert counters["outer.errors"] == 1
+    assert counters["outer/inner.errors"] == 1
+
+
+def test_successful_span_records_no_errors_counter(registry):
+    with span("outer", registry=registry):
+        pass
+    assert "outer.errors" not in registry.snapshot()["counters"]
+
+
+def test_caught_exception_does_not_mark_the_enclosing_span(registry):
+    with span("outer", registry=registry):
+        try:
+            with span("inner", registry=registry):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+    counters = registry.snapshot()["counters"]
+    assert counters["outer/inner.errors"] == 1
+    assert "outer.errors" not in counters

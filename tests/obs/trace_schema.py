@@ -1,0 +1,56 @@
+"""A minimal Chrome trace-event format schema, shared by trace tests.
+
+The format reference is the "Trace Event Format" document the Chrome
+and Perfetto viewers implement. :func:`validate_chrome_trace` asserts
+the subset our exporter promises: the JSON-object container flavor with
+a ``traceEvents`` list, every event carrying the required keys with the
+right types, known phase letters, scoped instants, and named tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: Phases the exporter may emit (plus "X", accepted when reading).
+KNOWN_PHASES = {"B", "E", "i", "C", "M", "X"}
+
+
+def validate_chrome_trace(doc: Mapping[str, Any]) -> None:
+    """Assert ``doc`` is a loadable Chrome trace-event JSON object."""
+    assert isinstance(doc, dict), "container must be the JSON-object flavor"
+    events = doc.get("traceEvents")
+    assert isinstance(events, list), "traceEvents must be a list"
+    if "displayTimeUnit" in doc:
+        assert doc["displayTimeUnit"] in ("ms", "ns")
+
+    begins: dict[tuple[Any, Any], int] = {}
+    for event in events:
+        assert isinstance(event, dict)
+        for key in ("name", "ph", "pid", "tid"):
+            assert key in event, f"event missing required key {key!r}"
+        assert isinstance(event["name"], str) and event["name"]
+        ph = event["ph"]
+        assert ph in KNOWN_PHASES, f"unknown phase {ph!r}"
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if ph != "M":
+            assert isinstance(event.get("ts"), (int, float)), \
+                "non-metadata events need a numeric ts"
+        if ph == "i":
+            assert event.get("s") in ("t", "p", "g"), \
+                "instants must declare a scope"
+        if ph == "C":
+            args = event.get("args", {})
+            assert args, "counter samples need args"
+            assert all(isinstance(v, (int, float)) for v in args.values())
+        if ph == "M" and event["name"] == "process_name":
+            assert "name" in event.get("args", {})
+        if ph == "B":
+            key = (event["pid"], event["tid"])
+            begins[key] = begins.get(key, 0) + 1
+        elif ph == "E":
+            key = (event["pid"], event["tid"])
+            begins[key] = begins.get(key, 0) - 1
+            assert begins[key] >= 0, "E without a matching B on its track"
+    assert all(depth == 0 for depth in begins.values()), \
+        "unbalanced B/E spans"

@@ -1,0 +1,149 @@
+"""The prediction audit wired through the engine, SLO windows, and service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.obs import PredictionAudit
+from repro.scheduler.qos import QosTarget
+from repro.serve.engine import ServingEngine
+from repro.serve.service import Decider, Decision, PredictionService
+from repro.serve.slo import WindowedSlo
+from repro.serve.traffic import poisson_trace
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+
+class PredictingDecider(Decider):
+    """Admits a fixed count and claims a fixed predicted degradation."""
+
+    name = "predicting"
+
+    def __init__(self, count: int, predicted: float = 0.05) -> None:
+        self.count = count
+        self.predicted = predicted
+
+    def _decide(self, latency_app, batch_profile, *, max_instances):
+        return Decision(max_safe_instances=self.count)
+
+    def predicted_degradation(self, latency_app, batch_profile, instances):
+        return self.predicted
+
+
+class ObliviousDecider(Decider):
+    """Admits like PredictingDecider but makes no prediction claim."""
+
+    name = "oblivious"
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+
+    def _decide(self, latency_app, batch_profile, *, max_instances):
+        return Decision(max_safe_instances=self.count)
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return cloudsuite_apps()[:2]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return spec_even()[:3]
+
+
+def _replay(snb_sim, apps, pool, decider, *, audit, window_s=900.0):
+    target = QosTarget.average(0.80)
+    slo = WindowedSlo(window_s, target, audit=audit)
+    engine = ServingEngine(
+        snb_sim, apps, decider, servers_per_app=3,
+        epoch_s=300.0, window_s=window_s, slo=slo, audit=audit,
+    )
+    trace = poisson_trace(pool, rate_per_s=0.02, horizon_s=3_600.0, seed=0)
+    return engine.replay(trace)
+
+
+class TestEngineFeedsTheAudit:
+    def test_predicting_policy_produces_comparisons(self, snb_sim, apps,
+                                                    pool):
+        audit = PredictionAudit()
+        outcome = _replay(snb_sim, apps, pool, PredictingDecider(6),
+                          audit=audit)
+        assert outcome.colocated_placed > 0
+        assert audit.samples > 0
+        snap = audit.snapshot()
+        app_names = {app.name for app in apps}
+        assert set(snap["pools"]) <= app_names
+        assert all("|" in pair for pair in snap["pairs"])
+        # The stub always predicts 0.05 and actual degradation is >= 0,
+        # so no signed residual can exceed the constant prediction.
+        assert snap["overall"]["mean_signed"] <= 0.05 + 1e-12
+
+    def test_oblivious_policy_produces_no_audit(self, snb_sim, apps, pool):
+        audit = PredictionAudit()
+        outcome = _replay(snb_sim, apps, pool, ObliviousDecider(6),
+                          audit=audit)
+        assert outcome.colocated_placed > 0
+        assert audit.samples == 0
+
+    def test_no_audit_instance_is_fine(self, snb_sim, apps, pool):
+        outcome = _replay(snb_sim, apps, pool, PredictingDecider(6),
+                          audit=None)
+        assert outcome.arrivals > 0
+
+
+class TestWindowDrift:
+    def test_windows_carry_calibration_drift(self, snb_sim, apps, pool):
+        audit = PredictionAudit()
+        outcome = _replay(snb_sim, apps, pool, PredictingDecider(6),
+                          audit=audit)
+        assert outcome.windows
+        for window in outcome.windows:
+            assert window.calibration_drift is not None
+            assert window.calibration_drift >= 0.0
+            assert "drift=" in window.as_line()
+
+    def test_windows_without_audit_have_no_drift(self, snb_sim, apps,
+                                                 pool):
+        outcome = _replay(snb_sim, apps, pool, PredictingDecider(6),
+                          audit=None)
+        assert outcome.windows
+        for window in outcome.windows:
+            assert window.calibration_drift is None
+            assert "drift=" not in window.as_line()
+
+
+class TestPredictionServiceMemo:
+    @pytest.fixture(scope="class")
+    def service(self, snb_sim):
+        predictor = SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")
+        return PredictionService(predictor, QosTarget.average(0.90))
+
+    def test_below_one_instance_is_not_a_prediction(self, service):
+        app = cloudsuite_apps()[0]
+        batch = spec_even()[0]
+        assert service.predicted_degradation(app, batch, 0) is None
+        assert service.predicted_degradation(app, batch, -1) is None
+
+    def test_matches_the_underlying_predictor(self, service):
+        app = cloudsuite_apps()[0]
+        batch = spec_even()[0]
+        predicted = service.predicted_degradation(app, batch, 4)
+        direct = service.predictor.predict_server(
+            app.profile, batch, instances=4,
+        )
+        assert predicted == pytest.approx(direct)
+
+    def test_decide_primes_the_memo(self, service):
+        app = cloudsuite_apps()[0]
+        batch = spec_even()[1]
+        decision = service.decide(app, batch,
+                                  max_instances=service.predictor
+                                  .simulator.machine.cores)
+        if decision.max_safe_instances >= 1:
+            key = (app.name, batch.name, decision.max_safe_instances)
+            assert key in service._predicted
+            assert service.predicted_degradation(
+                app, batch, decision.max_safe_instances,
+            ) == pytest.approx(service._predicted[key])

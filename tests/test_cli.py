@@ -1,8 +1,12 @@
 """Tests for the one-off CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs.report import build_report, write_report
+from tests.obs.trace_schema import validate_chrome_trace
 
 
 class TestWorkloads:
@@ -53,14 +57,129 @@ class TestServe:
     def test_smoke_diurnal_fast(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("SMITE_CACHE_DIR", str(tmp_path / "cache"))
         out_path = tmp_path / "serve_metrics.json"
+        trace_path = tmp_path / "serve.trace.json"
         assert main(["serve", "--fast", "--duration", "14400",
                      "--rate", "0.02", "--seed", "3", "--servers", "2",
-                     "--metrics-out", str(out_path)]) == 0
+                     "--metrics-out", str(out_path),
+                     "--trace-out", str(trace_path)]) == 0
         out = capsys.readouterr().out
         assert "diurnal trace" in out
         assert "windowed SLO series" in out
         assert "mean utilization gain" in out
+        assert "prediction audit" in out
         assert out_path.exists()
+
+        # The recorded timeline is a loadable Chrome trace-event file
+        # carrying the serving engine's simulated-clock markers.
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        validate_chrome_trace(doc)
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert "serve.decision" in names
+        assert "serve.engine.running" in names
+        assert "serve.replay" in names
+
+        # The run report carries the audit section, and `obs view`
+        # round-trips it including the per-pool residual table.
+        report = json.loads(out_path.read_text(encoding="utf-8"))
+        assert report["schema"] == 2
+        assert report["audit"]["samples"] > 0
+        assert report["audit"]["pools"]
+        assert main(["obs", "view", str(out_path)]) == 0
+        view = capsys.readouterr().out
+        assert "prediction audit" in view
+        assert "per-pool residuals" in view
+        for pool, stats in report["audit"]["pools"].items():
+            assert pool in view
+            assert f"{stats['mean_abs']:.4f}" in view
+
+        # `obs trace` summarizes the same file as text.
+        assert main(["obs", "trace", str(trace_path), "--top", "3"]) == 0
+        assert "longest events" in capsys.readouterr().out
+
+
+def _report_with(tmp_path, name, *, counters=None, audit=None,
+                 wall_seconds=1.0):
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for counter_name, value in (counters or {}).items():
+        registry.counter(counter_name).inc(value)
+    report = build_report(command=["unit-test", name],
+                          wall_seconds=wall_seconds,
+                          metrics=registry.snapshot(), audit=audit)
+    return write_report(tmp_path / f"{name}.json", report)
+
+
+class TestObs:
+    def test_view_renders_a_report(self, capsys, tmp_path):
+        audit = {
+            "samples": 2,
+            "overall": {"count": 2, "sum_signed": 0.02, "sum_abs": 0.06,
+                        "max_abs": 0.05, "mean_abs": 0.03,
+                        "mean_signed": 0.01},
+            "pools": {"web-search": {"count": 2, "sum_signed": 0.02,
+                                     "sum_abs": 0.06, "max_abs": 0.05,
+                                     "mean_abs": 0.03,
+                                     "mean_signed": 0.01}},
+            "pairs": {},
+        }
+        path = _report_with(tmp_path, "run",
+                            counters={"serve.engine.arrivals": 7},
+                            audit=audit)
+        assert main(["obs", "view", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "command: unit-test run" in out
+        assert "serve.engine.arrivals" in out
+        assert "prediction audit: 2 comparisons" in out
+        assert "web-search" in out
+
+    def test_diff_attributes_counter_movement(self, capsys, tmp_path):
+        before = _report_with(tmp_path, "before",
+                              counters={"serve.engine.arrivals": 10})
+        after = _report_with(tmp_path, "after",
+                             counters={"serve.engine.arrivals": 30},
+                             wall_seconds=2.0)
+        assert main(["obs", "diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.engine.arrivals" in out
+        assert "10" in out and "30" in out
+        assert "wall time" in out
+
+    def test_diff_of_identical_reports_says_so(self, capsys, tmp_path):
+        path = _report_with(tmp_path, "same", wall_seconds=1.0)
+        assert main(["obs", "diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "x1.00" in out  # wall ratio of a self-diff
+
+    def test_trace_summarizes_a_file(self, capsys, tmp_path):
+        doc = {"traceEvents": [
+            {"name": "serve.replay", "ph": "B", "ts": 0.0, "pid": 1,
+             "tid": 1},
+            {"name": "serve.replay", "ph": "E", "ts": 2000.0, "pid": 1,
+             "tid": 1},
+        ], "otherData": {"dropped": 0}}
+        path = tmp_path / "t.trace.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert main(["obs", "trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.replay" in out
+        assert "2.000 ms" in out
+
+    def test_missing_report_fails_cleanly(self, capsys, tmp_path):
+        assert main(["obs", "view", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_future_schema_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 99}), encoding="utf-8")
+        assert main(["obs", "view", str(path)]) == 1
+        assert "unsupported run-report schema" in capsys.readouterr().err
+
+    def test_non_json_trace_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "broken.trace.json"
+        path.write_text("not json", encoding="utf-8")
+        assert main(["obs", "trace", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestSafeBatch:
