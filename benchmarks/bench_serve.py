@@ -11,6 +11,12 @@ The session writes ``BENCH_serve.json`` (override the path with
 ``SMITE_BENCH_SERVE_OUT``) recording events/sec and the replay wall
 time; ``scripts/bench_regress.py`` gates changes against the committed
 copy.
+
+Besides the existing diurnal-day scenario, a warehouse-scale scenario
+(100k servers, ~1M arrivals over a day) measures the struct-of-arrays
+engine at the ROADMAP's north-star fleet size, in-process and sharded
+across worker processes. Set ``SMITE_BENCH_SKIP_SCALE`` to skip it on
+constrained runners (``scripts/bench_regress.py --skip-scale``).
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.scheduler.qos import QosTarget
 from repro.serve.engine import ServingEngine
 from repro.serve.service import PredictionService
 from repro.serve.slo import WindowedSlo
-from repro.serve.traffic import diurnal_trace
+from repro.serve.traffic import diurnal_trace, poisson_trace
 from repro.smt.params import SANDY_BRIDGE_EN
 from repro.smt.simulator import Simulator
 from repro.workloads.cloudsuite import cloudsuite_apps
@@ -35,6 +41,13 @@ from repro.workloads.spec import spec_even, spec_odd
 pytestmark = pytest.mark.bench_regress
 
 _RESULTS: dict[str, float] = {}
+
+#: Warehouse-scale scenario shape: 4 latency pools x 25k servers and a
+#: day of ~1M Poisson arrivals (ROADMAP north-star: 100k+ servers,
+#: 1M+ events/s).
+_SCALE_SERVERS_PER_APP = 25_000
+_SCALE_ARRIVALS = 1_000_000
+_SCALE_SHARDS = 4
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -55,6 +68,15 @@ def _write_report():
             "seconds": _RESULTS["_replay_seconds"],
         },
     }
+    if "_scale_events" in _RESULTS:
+        report["replay_scale"] = {
+            "events": int(_RESULTS["_scale_events"]),
+            "arrivals": int(_RESULTS["_scale_arrivals"]),
+            "servers": int(_RESULTS["_scale_servers"]),
+            "seconds": _RESULTS["_scale_seconds"],
+            "seconds_sharded": _RESULTS["_scale_seconds_sharded"],
+            "shards": _SCALE_SHARDS,
+        }
     out = os.environ.get("SMITE_BENCH_SERVE_OUT", "BENCH_serve.json")
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
@@ -99,3 +121,50 @@ def test_perf_replay_diurnal_day(benchmark, predictor):
     _RESULTS["_replay_events"] = float(events)
     _RESULTS["_replay_arrivals"] = float(outcome.arrivals)
     _RESULTS["replay_events"] = events / _RESULTS["_replay_seconds"]
+
+
+@pytest.mark.skipif(bool(os.environ.get("SMITE_BENCH_SKIP_SCALE")),
+                    reason="SMITE_BENCH_SKIP_SCALE is set")
+def test_perf_replay_warehouse_scale(predictor):
+    """100k-server fleet, ~2M events: the columnar engine at scale.
+
+    Measures the vectorized replay in-process (``replay_events_scale``)
+    and with the placement phase sharded across worker processes
+    (``replay_events_scale_sharded``). Timed manually (best of two warm
+    rounds) rather than through pytest-benchmark: at ~1s per round the
+    pedantic machinery would triple the session for no extra signal.
+    """
+    apps = cloudsuite_apps()
+    trace = poisson_trace(
+        spec_even()[:6],
+        rate_per_s=_SCALE_ARRIVALS / 86_400.0,
+        horizon_s=86_400.0, seed=7,
+    )
+    target = QosTarget.average(0.95)
+
+    def run_replay(shards):
+        engine = ServingEngine(
+            predictor.simulator, apps,
+            PredictionService(predictor, target),
+            servers_per_app=_SCALE_SERVERS_PER_APP,
+            epoch_s=300.0, window_s=3_600.0,
+            slo=WindowedSlo(3_600.0, target),
+        )
+        started = time.perf_counter()
+        outcome = engine.replay(trace, shards=shards)
+        return outcome, time.perf_counter() - started
+
+    outcome, _ = run_replay(0)  # warm round: predictor solves, memos
+    events = len(outcome.events)
+    assert events > 0
+    assert outcome.arrivals == outcome.departures + outcome.still_placed
+    seconds = min(run_replay(0)[1] for _ in range(2))
+    seconds_sharded = min(run_replay(_SCALE_SHARDS)[1] for _ in range(2))
+    _RESULTS["_scale_events"] = float(events)
+    _RESULTS["_scale_arrivals"] = float(outcome.arrivals)
+    _RESULTS["_scale_servers"] = float(
+        _SCALE_SERVERS_PER_APP * len(apps))
+    _RESULTS["_scale_seconds"] = seconds
+    _RESULTS["_scale_seconds_sharded"] = seconds_sharded
+    _RESULTS["replay_events_scale"] = events / seconds
+    _RESULTS["replay_events_scale_sharded"] = events / seconds_sharded

@@ -10,7 +10,10 @@ committed baselines. Two phases are gated, each allowed to drop at most
 - **solver** (``BENCH_solver.json``): batch pair-grid throughput, the
   pipeline's dominant offline operation;
 - **serve** (``BENCH_serve.json``): events/sec of the online serving
-  replay loop (a diurnal day through the full SMiTe stack).
+  replay loop (a diurnal day through the full SMiTe stack);
+- **serve-scale** (same file): events/sec of the 100k-server /
+  1M-arrival warehouse scenario (skippable with ``--skip-scale`` on
+  constrained runners; the gate then reports it as skipped).
 
 The benchmark session also emits a ``repro.obs`` run report
 (``SMITE_METRICS_OUT``), from which this gate derives *phase* numbers —
@@ -53,6 +56,9 @@ BASELINE = REPO / "BENCH_solver.json"
 SERVE_BASELINE = REPO / "BENCH_serve.json"
 GATED_METRIC = "pair_grid_batch"
 SERVE_GATED_METRIC = "replay_events"
+#: The 100k-server/1M-arrival scenario's in-process throughput; gated
+#: like the others but skippable (``--skip-scale``) on small runners.
+SERVE_SCALE_METRIC = "replay_events_scale"
 ALLOWED_REGRESSION = 0.20
 #: Tracing must stay cheap enough to leave on during an investigation:
 #: the trace-enabled serve replay may run at most this much below the
@@ -61,11 +67,14 @@ TRACE_OVERHEAD_ALLOWED = 0.05
 
 
 def _run_benchmarks(out_path: Path, serve_out_path: Path,
-                    metrics_path: Path) -> tuple[dict, dict, dict]:
+                    metrics_path: Path, *,
+                    skip_scale: bool) -> tuple[dict, dict, dict]:
     env = dict(os.environ)
     env["SMITE_BENCH_OUT"] = str(out_path)
     env["SMITE_BENCH_SERVE_OUT"] = str(serve_out_path)
     env["SMITE_METRICS_OUT"] = str(metrics_path)
+    if skip_scale:
+        env["SMITE_BENCH_SKIP_SCALE"] = "1"
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
     )
@@ -120,9 +129,15 @@ def _phases(metrics: dict) -> dict[str, float]:
 def _serve_phases(metrics: dict) -> dict[str, float]:
     """Serving-loop phase costs derived from the observability report."""
     phases: dict[str, float] = {}
+    attributed = (
+        "serve.replay", "serve.epoch",
+        # the vectorized engine's three sweeps plus the shard fan-out
+        "serve.decide", "serve.place", "serve.score",
+        "serve.shard.replay", "serve.shard.merge",
+    )
     for path, hist in metrics.get("spans", {}).items():
         leaf = path.rsplit("/", 1)[-1]
-        if leaf in ("serve.replay", "serve.epoch") and hist.get("count"):
+        if leaf in attributed and hist.get("count"):
             name = leaf.replace(".", "_") + "_mean_s"
             phases[name] = hist["sum"] / hist["count"]
     counters = metrics.get("counters", {})
@@ -152,6 +167,9 @@ def _run_traced_serve(serve_out_path: Path, trace_path: Path) -> dict:
     env = dict(os.environ)
     env["SMITE_BENCH_SERVE_OUT"] = str(serve_out_path)
     env["SMITE_TRACE_OUT"] = str(trace_path)
+    # The overhead gate only compares the diurnal-day replay; skip the
+    # scale scenario on the traced re-run to keep the gate cheap.
+    env["SMITE_BENCH_SKIP_SCALE"] = "1"
     env.pop("SMITE_METRICS_OUT", None)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
@@ -212,6 +230,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-trace-gate", action="store_true",
                         help="skip the tracing-overhead re-run of the "
                              "serve benchmark")
+    parser.add_argument("--skip-scale", action="store_true",
+                        help="skip the 100k-server/1M-arrival scale "
+                             "scenario (constrained runners)")
     args = parser.parse_args(argv)
 
     if not args.skip_lint and _lint_preflight() != 0:
@@ -226,6 +247,7 @@ def main(argv: list[str] | None = None) -> int:
             Path(tmp) / "BENCH_solver.json",
             Path(tmp) / "BENCH_serve.json",
             Path(tmp) / "BENCH_metrics.json",
+            skip_scale=args.skip_scale,
         )
         if not args.skip_trace_gate and not args.update:
             trace_path = Path(tmp) / "BENCH_serve.trace.json"
@@ -244,6 +266,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"serve replay: {fresh_serve['ops_per_sec'][SERVE_GATED_METRIC]:.0f} "
           f"events/s over {replay.get('events', '?')} events "
           f"({replay.get('seconds', 0.0):.2f} s wall)")
+    scale = fresh_serve.get("replay_scale")
+    if scale:
+        sharded = fresh_serve["ops_per_sec"].get(
+            SERVE_SCALE_METRIC + "_sharded", 0.0)
+        print(f"serve replay at scale: "
+              f"{fresh_serve['ops_per_sec'][SERVE_SCALE_METRIC]:.0f} "
+              f"events/s over {scale['events']} events on "
+              f"{scale['servers']} servers "
+              f"({sharded:.0f} events/s with {scale['shards']} shards)")
 
     fresh["phases"] = _phases(metrics)
     fresh_serve["phases"] = _serve_phases(metrics)
@@ -253,20 +284,30 @@ def main(argv: list[str] | None = None) -> int:
         ("solver", fresh, BASELINE, GATED_METRIC, "pairs/s"),
         ("serve", fresh_serve, SERVE_BASELINE, SERVE_GATED_METRIC,
          "events/s"),
+        ("serve-scale", fresh_serve, SERVE_BASELINE, SERVE_SCALE_METRIC,
+         "events/s"),
     ):
         if args.update or not baseline_path.exists():
+            if metric is SERVE_SCALE_METRIC:
+                continue  # SERVE_BASELINE was just written by "serve"
             baseline_path.write_text(
                 json.dumps(fresh_report, indent=2) + "\n", encoding="utf-8")
             print(f"{name} baseline written to {baseline_path}")
             continue
         baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-        reference = baseline["ops_per_sec"][metric]
-        measured = fresh_report["ops_per_sec"][metric]
+        reference = baseline["ops_per_sec"].get(metric)
+        measured = fresh_report["ops_per_sec"].get(metric)
+        if metric is SERVE_SCALE_METRIC and (reference is None
+                                             or measured is None):
+            missing = "baseline" if reference is None else "this run"
+            print(f"\n{name}: skipped ({metric} missing from {missing})")
+            continue
         floor = (1.0 - ALLOWED_REGRESSION) * reference
         print(f"\n{name}: baseline {reference:.0f} {unit} -> "
               f"floor {floor:.0f} {unit}")
-        _print_attribution(fresh_report["phases"],
-                           baseline.get("phases", {}))
+        if metric is not SERVE_SCALE_METRIC:
+            _print_attribution(fresh_report["phases"],
+                               baseline.get("phases", {}))
         if measured < floor:
             print(f"FAIL: {metric} regressed "
                   f"{1.0 - measured / reference:.0%} (> "

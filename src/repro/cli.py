@@ -208,7 +208,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         window_s=args.window, slo=slo, audit=audit,
     )
     tracer = obs_trace.install() if args.trace_out else None
-    outcome = engine.replay(trace)
+    outcome = engine.replay(trace, strategy=args.engine,
+                            shards=args.shards, jobs=args.jobs)
     if tracer is not None:
         obs_trace.uninstall()
         trace_path = obs_trace.write_chrome_trace(args.trace_out, tracer)
@@ -340,6 +341,17 @@ def _parser() -> argparse.ArgumentParser:
                        help="event-epoch width in seconds (default 300)")
     serve.add_argument("--window", type=float, default=3_600.0,
                        help="SLO window width in seconds (default 3600)")
+    serve.add_argument("--engine", default="vector",
+                       choices=("vector", "scalar"),
+                       help="replay strategy: struct-of-arrays (default)"
+                            " or the per-event reference loop")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="fan placement out over this many worker"
+                            " processes (capped at one per server pool;"
+                            " 0/1 stays in-process)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="max worker processes for --shards"
+                            " (default: one per shard)")
     serve.add_argument("--fast", action="store_true",
                        help="CI-sized run: smaller training set and pools")
     serve.add_argument("--metrics-out", default=None,

@@ -47,10 +47,11 @@ class ResidualStats:
     sum_abs: float = 0.0
     max_abs: float = 0.0
 
-    def add(self, residual: float) -> None:
-        self.count += 1
-        self.sum_signed += residual
-        self.sum_abs += abs(residual)
+    def add(self, residual: float, count: int = 1) -> None:
+        """Fold in ``count`` identical residual observations at once."""
+        self.count += count
+        self.sum_signed += residual * count
+        self.sum_abs += abs(residual) * count
         self.max_abs = max(self.max_abs, abs(residual))
 
     @property
@@ -104,17 +105,25 @@ class PredictionAudit:
         *,
         predicted: float,
         actual: float,
+        count: int = 1,
     ) -> None:
-        """Record one predicted-vs-realized comparison."""
+        """Record a predicted-vs-realized comparison.
+
+        ``count`` records the comparison for that many identical
+        placements in one update — the engine audits per group of
+        same-(pool, profile, instances) servers, not per server.
+        """
+        if count < 1:
+            return
         residual = float(predicted) - float(actual)
-        counter("serve.audit.samples").inc()
-        histogram("serve.audit.abs_residual").record(abs(residual))
+        counter("serve.audit.samples").inc(count)
+        histogram("serve.audit.abs_residual").record(abs(residual), count)
         pair = f"{pool}{PAIR_SEP}{batch_profile}"
         with self._lock:
-            self.overall.add(residual)
-            self.pools.setdefault(pool, ResidualStats()).add(residual)
-            self.pairs.setdefault(pair, ResidualStats()).add(residual)
-            self._window.add(residual)
+            self.overall.add(residual, count)
+            self.pools.setdefault(pool, ResidualStats()).add(residual, count)
+            self.pairs.setdefault(pair, ResidualStats()).add(residual, count)
+            self._window.add(residual, count)
 
     def close_window(self) -> float:
         """Drain the window accumulator; returns its mean absolute residual.

@@ -153,6 +153,12 @@ CATALOG: tuple[MetricSpec, ...] = (
                "decisions served from the in-memory prediction LRU"),
     MetricSpec("counter", "serve.service.cache_misses", "decisions",
                "decisions that had to consult the SMiTe predictor"),
+    MetricSpec("counter", "serve.shard.workers", "processes",
+               "worker processes the sharded placement phase fanned "
+               "pools out to"),
+    MetricSpec("counter", "serve.shard.events", "events",
+               "pool-local placement events replayed inside shard "
+               "workers (interesting events only)"),
     MetricSpec("counter", "serve.slo.windows", "windows",
                "SLO accounting windows closed over the event clock"),
     MetricSpec("gauge", "serve.slo.violation_rate", "fraction",
@@ -186,7 +192,22 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("span", "serve.replay", "seconds",
                "one trace replayed end to end through the serving engine"),
     MetricSpec("span", "serve.epoch", "seconds",
-               "one event epoch: micro-batched prefetch plus event loop"),
+               "one event epoch: micro-batched prefetch plus event loop "
+               "(scalar reference engine only)"),
+    MetricSpec("span", "serve.decide", "seconds",
+               "vectorized phase 1: all epochs' decisions batched "
+               "through the decider's columnar interface"),
+    MetricSpec("span", "serve.place", "seconds",
+               "vectorized phase 2: per-pool O(1) placement kernels "
+               "(in-process or sharded)"),
+    MetricSpec("span", "serve.score", "seconds",
+               "vectorized phase 3: event assembly plus per-epoch "
+               "aggregated SLO/audit scoring"),
+    MetricSpec("span", "serve.shard.replay", "seconds",
+               "one shard worker replaying its pools' placement kernels"),
+    MetricSpec("span", "serve.shard.merge", "seconds",
+               "folding shard workers' results and metric snapshots "
+               "back into the parent"),
     # -- span failure marking (obs/spans.py) -----------------------------
     MetricSpec("counter", "{span_path}.errors", "errors",
                "span blocks that exited via exception, keyed by the "

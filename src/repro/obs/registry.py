@@ -103,17 +103,22 @@ class Histogram:
         self.max = -math.inf
         self.buckets: dict[str, int] = {}
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``value``; ``count`` folds in that many identical samples
+        in one locked update (the serving engine records one observation
+        per *group* of identical servers, not one per server)."""
+        if count < 1:
+            return
         value = float(value)
         index = _bucket_index(value)
         with self._lock:
-            self.count += 1
-            self.sum += value
+            self.count += count
+            self.sum += value * count
             if value < self.min:
                 self.min = value
             if value > self.max:
                 self.max = value
-            self.buckets[index] = self.buckets.get(index, 0) + 1
+            self.buckets[index] = self.buckets.get(index, 0) + count
 
     @property
     def mean(self) -> float:

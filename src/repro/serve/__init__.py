@@ -28,25 +28,35 @@ Typical use::
 
 from __future__ import annotations
 
-from repro.serve.engine import EventRecord, OnlineServer, ReplayOutcome, ServingEngine
+from repro.serve.engine import OnlineServer, ReplayOutcome, ServingEngine
+from repro.serve.events import EventRecord, EventTable
 from repro.serve.service import (
     AdmissionControl,
     BaselineDecider,
+    CandidateBatch,
+    CandidateStream,
     Decider,
     Decision,
+    DecisionBatch,
     PredictionService,
     RandomDecider,
 )
+from repro.serve.shard import PoolReplay, run_pool_shards
 from repro.serve.slo import SloWindow, WindowedSlo, window_violation_stats
 from repro.serve.traffic import Trace, TraceJob, diurnal_trace, poisson_trace
 
 __all__ = [
     "AdmissionControl",
     "BaselineDecider",
+    "CandidateBatch",
+    "CandidateStream",
     "Decider",
     "Decision",
+    "DecisionBatch",
     "EventRecord",
+    "EventTable",
     "OnlineServer",
+    "PoolReplay",
     "PredictionService",
     "RandomDecider",
     "ReplayOutcome",
@@ -57,5 +67,6 @@ __all__ = [
     "WindowedSlo",
     "diurnal_trace",
     "poisson_trace",
+    "run_pool_shards",
     "window_violation_stats",
 ]

@@ -10,11 +10,21 @@ once, and either *co-located* on a server the decision calls safe or
 shed and unsafe jobs run alone). Every departure frees its context.
 
 Time is the simulated event clock — the engine never reads a wall
-clock. Events are processed in epochs: at each epoch boundary the
-decider's :meth:`begin_epoch` micro-batching hook fires (routing all
-needed degradation solves through ``Simulator.prefetch`` in one batched
-fixed point) and the SLO tracker samples the fleet. Given the same trace
-and seed, two replays produce byte-identical event logs.
+clock. Two replay strategies share one event-ordering contract
+(ascending ``(time, kind, job id)`` with departures ranked before
+arrivals, epochs assigned by one ``searchsorted`` over the epoch grid):
+
+- ``"vector"`` (default) runs three struct-of-arrays phases per replay:
+  *decide* (each epoch's candidates batched through
+  :meth:`~repro.serve.service.Decider.decide_batch`, which the decisions
+  depend on nothing but the arrival-ordered candidate stream), *place*
+  (per-pool O(1) free-list kernels from :mod:`repro.serve.shard`,
+  optionally fanned out over worker processes with ``shards``/``jobs``),
+  and *score* (vectorized event assembly plus per-epoch aggregated
+  SLO/audit accounting).
+- ``"scalar"`` is the per-event heapq reference loop, kept as the
+  correctness anchor: given the same trace it produces byte-identical
+  event logs, SLO series, and books as the vectorized and sharded paths.
 """
 
 from __future__ import annotations
@@ -24,10 +34,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError, SchedulingError
 from repro.obs import PredictionAudit, counter, gauge, span
 from repro.obs import trace as obs_trace
-from repro.serve.service import Candidate, Decider
+from repro.serve.events import EventRecord, EventTable
+from repro.serve.service import Candidate, CandidateStream, Decider
+from repro.serve.shard import PoolReplay, replay_pool_events, run_pool_shards
 from repro.serve.slo import SloWindow, WindowedSlo
 from repro.serve.traffic import Trace, TraceJob
 from repro.smt.simulator import Simulator
@@ -44,6 +58,9 @@ __all__ = [
 #: Event-kind sort ranks: at equal timestamps departures free contexts
 #: before arrivals claim them.
 _DEPART, _ARRIVE = 0, 1
+
+#: Colocation-state group rows: (app idx, profile idx, instances, count).
+_Group = tuple[int, int, int, int]
 
 
 @dataclass
@@ -72,34 +89,15 @@ class OnlineServer:
 
 
 @dataclass(frozen=True)
-class EventRecord:
-    """One processed event, formatted identically on every replay."""
-
-    time_s: float
-    kind: str  # "arrive" | "depart"
-    job_id: int
-    profile: str
-    app: str
-    server: int  # -1 for the baseline pool
-    placement: str  # "colocated" | "baseline" | "shed"
-    instances_after: int
-
-    def as_line(self) -> str:
-        """Render as one stable, byte-comparable log line."""
-        return (
-            f"{self.time_s:.6f} {self.kind} job={self.job_id} "
-            f"profile={self.profile} app={self.app} server={self.server} "
-            f"placement={self.placement} instances={self.instances_after}"
-        )
-
-
-@dataclass(frozen=True)
 class ReplayOutcome:
     """Everything one trace replay produced, reconciled.
 
     ``arrivals == departures + still_placed`` and
     ``colocated_placed + baseline_placed == arrivals`` are checked at
     construction time (:meth:`reconcile` raises on mismatch).
+    ``events`` is either a tuple of :class:`EventRecord` (scalar engine)
+    or a columnar :class:`~repro.serve.events.EventTable` (vectorized
+    engine); both render the same byte-stable log.
     """
 
     policy: str
@@ -112,7 +110,7 @@ class ReplayOutcome:
     colocated_placed: int
     baseline_placed: int
     shed: int
-    events: tuple[EventRecord, ...]
+    events: Sequence[EventRecord]
     windows: tuple[SloWindow, ...]
 
     def __post_init__(self) -> None:
@@ -133,6 +131,8 @@ class ReplayOutcome:
 
     def event_log(self) -> str:
         """The full event log as one newline-joined deterministic string."""
+        if isinstance(self.events, EventTable):
+            return "\n".join(self.events.render_lines())
         return "\n".join(record.as_line() for record in self.events)
 
     def slo_series(self) -> str:
@@ -195,22 +195,377 @@ class ServingEngine:
         self.audit = audit
         #: idle SMT contexts per server = one sibling per core
         self.threads_per_server = simulator.machine.cores
-        self.servers: list[OnlineServer] = [
-            OnlineServer(index=i, latency_app=apps[i // servers_per_app])
-            for i in range(servers_per_app * len(apps))
-        ]
-        self._groups: dict[str, list[OnlineServer]] = {
-            app.name: [
-                s for s in self.servers if s.latency_app.name == app.name
-            ]
-            for app in apps
-        }
+        self.n_servers = servers_per_app * len(apps)
+        #: measured degradation per (app, profile, instances) colocation
+        #: state — filled lazily through one batched prefetch per epoch
+        self._deg_cache: dict[tuple[str, str, int], float] = {}
+        #: index-keyed view of the same cache, valid for one replay's
+        #: pool (reset per replay — profile indices are trace-relative)
+        self._deg_idx: dict[tuple[int, int, int], float] = {}
+        #: index-keyed memo of the decider's (deterministic) predictions
+        self._pred_idx: dict[tuple[int, int, int], float] = {}
+        self._servers: list[OnlineServer] | None = None
 
-    # ------------------------------------------------------------------
+    @property
+    def servers(self) -> list[OnlineServer]:
+        """Materialized per-server state (scalar path; built lazily).
+
+        The vectorized path never allocates these — at 100k servers the
+        object fleet is exactly the overhead the columnar engine exists
+        to avoid.
+        """
+        if self._servers is None:
+            self._servers = [
+                OnlineServer(
+                    index=i,
+                    latency_app=self.apps[i // self.servers_per_app],
+                )
+                for i in range(self.n_servers)
+            ]
+        return self._servers
+
+    # -- shared event-ordering contract --------------------------------
 
     def _route(self, job: TraceJob) -> LatencySensitiveWorkload:
         """Deterministic round-robin routing of jobs to service pools."""
         return self.apps[job.job_id % len(self.apps)]
+
+    def _epoch_grid(self, horizon_s: float) -> tuple[int, np.ndarray]:
+        """Epoch count and closing edges; an event at time t belongs to
+        the first epoch whose end is strictly greater than t."""
+        n_epochs = max(1, math.ceil(horizon_s / self.epoch_s))
+        ends = np.minimum(
+            np.arange(1, n_epochs + 1, dtype=float) * self.epoch_s,
+            horizon_s,
+        )
+        return n_epochs, ends
+
+    def _arrival_plan(
+        self, trace: Trace, ends: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Arrival processing order and per-arrival epoch.
+
+        Returns job positions sorted by ``(arrival_s, job_id)`` — the
+        heap's tie-break — restricted to arrivals inside the horizon
+        (later ones are never popped), plus each arrival's epoch index.
+        """
+        order = np.lexsort((trace.job_id, trace.arrival_s))
+        live = trace.arrival_s[order] < trace.horizon_s
+        order = order[live]
+        epochs = np.searchsorted(ends, trace.arrival_s[order], side="right")
+        return order, epochs
+
+    # -- shared fleet scoring ------------------------------------------
+
+    def _score_fleet(
+        self,
+        time_s: float,
+        groups: Sequence[_Group],
+        pool: Sequence[WorkloadProfile],
+    ) -> None:
+        """Score one fleet sample from aggregated colocation groups.
+
+        ``groups`` rows are (app idx, profile idx, instances, count) in
+        canonical ascending order — every replay strategy produces the
+        same rows in the same order, so the SLO series and audit books
+        accumulate floats identically. Unseen states are measured once
+        through a batched prefetch and cached for the rest of the run.
+        """
+        deg_idx = self._deg_idx
+        missing = [
+            (a, p, inst) for a, p, inst, _count in groups
+            if (a, p, inst) not in deg_idx
+        ]
+        if missing:
+            self.simulator.prefetch([
+                self.simulator.server_placements(
+                    self.apps[a].profile, pool[p], instances=inst,
+                )
+                for a, p, inst in missing
+            ])
+            for a, p, inst in missing:
+                name_key = (self.apps[a].name, pool[p].name, inst)
+                degradation = self._deg_cache.get(name_key)
+                if degradation is None:
+                    degradation = self.simulator.measure_server_degradation(
+                        self.apps[a].profile, pool[p], instances=inst,
+                    )
+                    self._deg_cache[name_key] = degradation
+                deg_idx[(a, p, inst)] = degradation
+        scored: list[tuple[str, float, int, int]] = []
+        audit = self.audit
+        pred_idx = self._pred_idx
+        for a, p, inst, count in groups:
+            key = (a, p, inst)
+            app = self.apps[a]
+            degradation = deg_idx[key]
+            scored.append((app.name, degradation, inst, count))
+            if audit is not None:
+                # Predictions are deterministic once made, so non-None
+                # values are cached; None (not predicted yet) is re-asked.
+                predicted = pred_idx.get(key)
+                if predicted is None:
+                    predicted = self.decider.predicted_degradation(
+                        app, pool[p], inst,
+                    )
+                    if predicted is not None:
+                        pred_idx[key] = predicted
+                if predicted is not None:
+                    audit.record(
+                        app.name, pool[p].name,
+                        predicted=predicted, actual=degradation,
+                        count=count,
+                    )
+        if self.slo is not None:
+            self.slo.observe_groups(
+                time_s, scored,
+                n_servers=self.n_servers,
+                threads_per_server=self.threads_per_server,
+            )
+
+    # -- public entry point --------------------------------------------
+
+    def replay(
+        self,
+        trace: Trace,
+        *,
+        strategy: str = "vector",
+        shards: int = 0,
+        jobs: int | None = None,
+    ) -> ReplayOutcome:
+        """Run one trace to its horizon; returns the reconciled outcome.
+
+        ``strategy`` picks the replay implementation: ``"vector"``
+        (struct-of-arrays, the default) or ``"scalar"`` (the per-event
+        reference loop). ``shards > 1`` fans the vectorized placement
+        phase out over that many worker processes (capped at one shard
+        per server pool), using at most ``jobs`` workers. All
+        combinations produce byte-identical event logs and books.
+        """
+        if strategy not in ("vector", "scalar"):
+            raise ConfigurationError(
+                f"unknown replay strategy {strategy!r}"
+            )
+        if strategy == "scalar" and shards > 1:
+            raise ConfigurationError("the scalar engine cannot shard")
+        # profile indices are relative to this trace's pool
+        self._deg_idx = {}
+        self._pred_idx = {}
+        with span("serve.replay"):
+            if strategy == "scalar":
+                return self._replay_scalar(trace)
+            return self._replay_vector(trace, shards=shards, jobs=jobs)
+
+    # -- vectorized strategy -------------------------------------------
+
+    def _replay_vector(
+        self, trace: Trace, *, shards: int = 0, jobs: int | None = None,
+    ) -> ReplayOutcome:
+        n_apps = len(self.apps)
+        threads = self.threads_per_server
+        n_jobs = len(trace)
+        n_epochs, ends = self._epoch_grid(trace.horizon_s)
+        app_of_job = (trace.job_id % n_apps).astype(np.intp)
+        arr_order, arr_epoch = self._arrival_plan(trace, ends)
+        n_arrivals = int(arr_order.size)
+
+        # Phase 1 — decide. Decisions are a pure function of the
+        # arrival-ordered candidate stream (placement never feeds back),
+        # so the whole stream is classified up front and handed to the
+        # decider's stream interface in one call.
+        epoch_starts_arr = np.searchsorted(arr_epoch,
+                                           np.arange(n_epochs + 1))
+        epoch_starts = epoch_starts_arr.tolist()
+        app_c = app_of_job[arr_order]
+        prof_c = trace.profile_idx[arr_order]
+        n_pool = len(trace.pool)
+        n_pairs = n_apps * n_pool
+        key_table = [
+            (app.name, profile.name, threads)
+            for app in self.apps for profile in trace.pool
+        ]
+        # One numpy pass classifies every epoch's unique (app, profile)
+        # pairs: uid_combo holds the distinct (epoch, pair) codes in
+        # order, so each epoch's uids are a contiguous slice; inv/firsts
+        # are rebased to be epoch-local.
+        pair_c = app_c * n_pool + prof_c
+        combo = arr_epoch * n_pairs + pair_c
+        uid_combo, first_pos, inv_g = np.unique(
+            combo, return_index=True, return_inverse=True,
+        )
+        uid_epoch = uid_combo // n_pairs
+        uid_off = np.searchsorted(uid_epoch, np.arange(n_epochs + 1))
+        uid_pair = (uid_combo % n_pairs).tolist()
+        uid_offs = uid_off.tolist()
+        inv_local = (inv_g - uid_off[arr_epoch]).tolist()
+        firsts_local = (first_pos - epoch_starts_arr[uid_epoch]).tolist()
+        with span("serve.decide"):
+            stream = CandidateStream(
+                self.apps, trace.pool, app_c, prof_c, pair_c, threads,
+                key_table, epoch_starts, uid_offs, uid_pair,
+                inv_local, firsts_local,
+            )
+            counts, shed = self.decider.decide_stream(stream)
+        cap = np.minimum(counts, threads)
+        cap[shed] = 0
+
+        # Merged event table: arrivals plus in-horizon departures of
+        # processed arrivals, in (time, kind, job id) processing order.
+        dep_t = trace.departure_s[arr_order]
+        dep_pos = arr_order[dep_t < trace.horizon_s]
+        n_departures = int(dep_pos.size)
+        ev_time = np.concatenate(
+            (trace.arrival_s[arr_order], trace.departure_s[dep_pos])
+        )
+        ev_kind = np.concatenate((
+            np.full(n_arrivals, _ARRIVE, dtype=np.int8),
+            np.full(n_departures, _DEPART, dtype=np.int8),
+        ))
+        ev_jobpos = np.concatenate((arr_order, dep_pos))
+        order = np.lexsort((trace.job_id[ev_jobpos], ev_kind, ev_time))
+        ev_time = ev_time[order]
+        ev_kind = ev_kind[order]
+        ev_jobpos = ev_jobpos[order]
+        ev_epoch = np.searchsorted(ends, ev_time, side="right")
+        ev_app = app_of_job[ev_jobpos]
+        n_events = int(ev_time.size)
+
+        # Phase 2 — place. Only events that can touch pool state go
+        # through the kernels: arrivals allowed >= 1 instance, and their
+        # departures. Everything else is baseline by construction.
+        cap_of_job = np.zeros(n_jobs, dtype=np.int64)
+        cap_of_job[arr_order] = cap
+        interesting = cap_of_job[ev_jobpos] >= 1
+        pool_inputs = []
+        pool_positions = []
+        for p in range(n_apps):
+            idx = np.flatnonzero(interesting & (ev_app == p))
+            jobpos_p = ev_jobpos[idx]
+            pool_positions.append(idx)
+            pool_inputs.append({
+                "is_arrival": ev_kind[idx] == _ARRIVE,
+                "job_pos": jobpos_p,
+                "profile_idx": trace.profile_idx[jobpos_p],
+                "cap": cap_of_job[jobpos_p],
+                "epoch": ev_epoch[idx],
+                "n_epochs": n_epochs,
+                "n_servers": self.servers_per_app,
+            })
+        with span("serve.place"):
+            if shards > 1:
+                pool_outputs: list[PoolReplay] = run_pool_shards(
+                    pool_inputs, shards=shards, jobs=jobs,
+                )
+            else:
+                pool_outputs = [
+                    replay_pool_events(**kwargs) for kwargs in pool_inputs
+                ]
+
+        # Phase 3 — score. Scatter kernel outputs into the global event
+        # columns, batch the counters, and walk the epochs once for the
+        # aggregated SLO/audit sample each boundary owes.
+        shed_of_job = np.zeros(n_jobs, dtype=bool)
+        shed_of_job[arr_order] = shed
+        server_col = np.full(n_events, -1, dtype=np.int64)
+        placement_col = np.ones(n_events, dtype=np.int8)
+        placement_col[shed_of_job[ev_jobpos] & (ev_kind == _ARRIVE)] = 2
+        instances_col = np.zeros(n_events, dtype=np.int64)
+        for p in range(n_apps):
+            idx, out = pool_positions[p], pool_outputs[p]
+            base = p * self.servers_per_app
+            server_col[idx] = np.where(
+                out.server >= 0, out.server + base, -1
+            )
+            placement_col[idx] = out.placement
+            instances_col[idx] = out.instances_after
+
+        is_arrival_ev = ev_kind == _ARRIVE
+        colocated_ev = is_arrival_ev & (placement_col == 0)
+        colocated_placed = int(np.count_nonzero(colocated_ev))
+        shed_total = int(np.count_nonzero(shed))
+        counter("serve.engine.epochs").inc(n_epochs)
+        counter("serve.engine.events").inc(n_events)
+        counter("serve.engine.arrivals").inc(n_arrivals)
+        counter("serve.engine.departures").inc(n_departures)
+        counter("serve.engine.colocated").inc(colocated_placed)
+        counter("serve.engine.baseline_placed").inc(
+            n_arrivals - colocated_placed
+        )
+
+        arr_per_epoch = np.bincount(arr_epoch, minlength=n_epochs)
+        dep_per_epoch = np.bincount(
+            ev_epoch[~is_arrival_ev], minlength=n_epochs
+        )
+        running = np.cumsum(arr_per_epoch - dep_per_epoch)
+        colocated_per_epoch = np.bincount(
+            ev_epoch[colocated_ev], minlength=n_epochs
+        )
+        shed_per_epoch = np.bincount(
+            arr_epoch[shed], minlength=n_epochs
+        )
+        running_gauge = gauge("serve.engine.running")
+        tracing = obs_trace.is_active()
+        with span("serve.score"):
+            for e in range(n_epochs):
+                end = float(ends[e])
+                running_gauge.set(float(running[e]))
+                obs_trace.counter_value(
+                    "serve.engine.running", float(running[e]),
+                    sim_time_s=end,
+                )
+                if tracing:
+                    obs_trace.instant(
+                        "serve.decision",
+                        {
+                            "epoch": e,
+                            "arrivals": int(arr_per_epoch[e]),
+                            "colocated": int(colocated_per_epoch[e]),
+                            "baseline": int(
+                                arr_per_epoch[e] - colocated_per_epoch[e]
+                                - shed_per_epoch[e]
+                            ),
+                            "shed": int(shed_per_epoch[e]),
+                        },
+                        sim_time_s=end,
+                    )
+                groups: list[_Group] = []
+                for p in range(n_apps):
+                    groups.extend(
+                        (p, prof, inst, count)
+                        for prof, inst, count
+                        in pool_outputs[p].groups_per_epoch[e]
+                    )
+                self._score_fleet(end, groups, trace.pool)
+
+        events = EventTable(
+            time_s=ev_time,
+            kind=ev_kind,
+            job_id=trace.job_id[ev_jobpos],
+            profile_idx=trace.profile_idx[ev_jobpos],
+            app_idx=ev_app,
+            server=server_col,
+            placement=placement_col,
+            instances_after=instances_col,
+            profiles=[p.name for p in trace.pool],
+            apps=[a.name for a in self.apps],
+        )
+        windows = self.slo.finish() if self.slo is not None else ()
+        return ReplayOutcome(
+            policy=self.decider.name,
+            trace_kind=trace.kind,
+            seed=trace.seed,
+            horizon_s=trace.horizon_s,
+            arrivals=n_arrivals,
+            departures=n_departures,
+            still_placed=n_arrivals - n_departures,
+            colocated_placed=colocated_placed,
+            baseline_placed=n_arrivals - colocated_placed,
+            shed=shed_total,
+            events=events,
+            windows=tuple(windows),
+        )
+
+    # -- scalar reference strategy -------------------------------------
 
     def _pick_server(
         self, app: LatencySensitiveWorkload, profile: WorkloadProfile,
@@ -220,14 +575,15 @@ class ServingEngine:
 
         Bin-packs: same-profile servers first (fullest, then lowest
         index), then an idle server — never above the decision's safe
-        count or the context supply.
+        count or the context supply. The vectorized kernel's free lists
+        implement exactly this scan.
         """
         if safe_instances < 1:
             return None
         cap = min(safe_instances, self.threads_per_server)
         best: OnlineServer | None = None
         idle: OnlineServer | None = None
-        for server in self._groups[app.name]:
+        for server in self._pool_servers(app.name):
             if server.batch_profile is None:
                 if idle is None:
                     idle = server
@@ -240,86 +596,78 @@ class ServingEngine:
                 best = server
         return best if best is not None else idle
 
-    def _sample_fleet(self, time_s: float) -> None:
-        """Refresh degradations (batched) and hand a sample to the SLO."""
-        colocated = [s for s in self.servers if s.is_colocated]
-        distinct: dict[tuple[str, str, int], list[OnlineServer]] = {}
-        for server in colocated:
-            assert server.batch_profile is not None
-            key = (server.latency_app.name, server.batch_profile.name,
-                   server.instances)
-            distinct.setdefault(key, []).append(server)
-        placements = [
-            self.simulator.server_placements(
-                group[0].latency_app.profile, group[0].batch_profile,
-                instances=group[0].instances,
-            )
-            for group in distinct.values()
-        ]
-        if placements:
-            self.simulator.prefetch(placements)
-        for group in distinct.values():
-            degradation = self.simulator.measure_server_degradation(
-                group[0].latency_app.profile, group[0].batch_profile,
-                instances=group[0].instances,
-            )
-            for server in group:
-                server.actual_degradation = degradation
-            if self.audit is not None:
-                predicted = self.decider.predicted_degradation(
-                    group[0].latency_app, group[0].batch_profile,
-                    group[0].instances,
-                )
-                if predicted is not None:
-                    for server in group:
-                        self.audit.record(
-                            server.latency_app.name,
-                            server.batch_profile.name,
-                            predicted=predicted,
-                            actual=degradation,
-                        )
+    def _pool_servers(self, app_name: str) -> list[OnlineServer]:
+        for i, app in enumerate(self.apps):
+            if app.name == app_name:
+                lo = i * self.servers_per_app
+                return self.servers[lo:lo + self.servers_per_app]
+        raise ConfigurationError(f"unknown service pool {app_name}")
+
+    def _scalar_groups(
+        self, profile_index: dict[str, int]
+    ) -> list[_Group]:
+        """Aggregate live server state into canonical scoring groups."""
+        tally: dict[tuple[int, int, int], int] = {}
         for server in self.servers:
             if not server.is_colocated:
-                server.actual_degradation = 0.0
-        if self.slo is not None:
-            self.slo.observe(time_s, self.servers,
-                             threads_per_server=self.threads_per_server)
+                continue
+            assert server.batch_profile is not None
+            key = (
+                server.index // self.servers_per_app,
+                profile_index[server.batch_profile.name],
+                server.instances,
+            )
+            tally[key] = tally.get(key, 0) + 1
+        return [
+            (a, p, inst, count)
+            for (a, p, inst), count in sorted(tally.items())
+        ]
 
-    # ------------------------------------------------------------------
+    def _replay_scalar(self, trace: Trace) -> ReplayOutcome:
+        n_epochs, ends = self._epoch_grid(trace.horizon_s)
+        arr_order, arr_epoch = self._arrival_plan(trace, ends)
+        epoch_starts = np.searchsorted(arr_epoch, np.arange(n_epochs + 1))
+        jobs = trace.jobs
+        profile_index = {p.name: i for i, p in enumerate(trace.pool)}
+        heap: list[tuple[float, int, int, TraceJob]] = [
+            (jobs[i].arrival_s, _ARRIVE, jobs[i].job_id, jobs[i])
+            for i in arr_order.tolist()
+        ]
+        heapq.heapify(heap)
 
-    def replay(self, trace: Trace) -> ReplayOutcome:
-        """Run one trace to its horizon; returns the reconciled outcome."""
-        with span("serve.replay"):
-            return self._replay(trace)
-
-    def _replay(self, trace: Trace) -> ReplayOutcome:
-        n_epochs = max(1, math.ceil(trace.horizon_s / self.epoch_s))
-        arrivals_by_epoch: dict[int, list[TraceJob]] = {}
-        heap: list[tuple[float, int, int, TraceJob]] = []
-        for job in trace.jobs:
-            epoch = min(int(job.arrival_s // self.epoch_s), n_epochs - 1)
-            arrivals_by_epoch.setdefault(epoch, []).append(job)
-            heapq.heappush(heap, (job.arrival_s, _ARRIVE, job.job_id, job))
+        events_c = counter("serve.engine.events")
+        arrivals_c = counter("serve.engine.arrivals")
+        departures_c = counter("serve.engine.departures")
+        colocated_c = counter("serve.engine.colocated")
+        baseline_c = counter("serve.engine.baseline_placed")
+        epochs_c = counter("serve.engine.epochs")
 
         events: list[EventRecord] = []
         placed_on: dict[int, OnlineServer | None] = {}
         arrivals = departures = colocated_placed = baseline_placed = shed = 0
 
         for epoch in range(n_epochs):
-            epoch_end = min((epoch + 1) * self.epoch_s, trace.horizon_s)
+            epoch_end = float(ends[epoch])
+            s0, s1 = int(epoch_starts[epoch]), int(epoch_starts[epoch + 1])
             candidates: list[Candidate] = [
-                (self._route(job), job.profile, self.threads_per_server)
-                for job in arrivals_by_epoch.get(epoch, [])
+                (self._route(jobs[i]), jobs[i].profile,
+                 self.threads_per_server)
+                for i in arr_order[s0:s1].tolist()
             ]
             with span("serve.epoch"):
-                counter("serve.engine.epochs").inc()
+                epochs_c.inc()
                 self.decider.begin_epoch(candidates)
+                epoch_events = 0
+                epoch_arrivals = 0
+                epoch_departures = 0
+                epoch_colocated = 0
+                epoch_baseline = 0
                 while heap and heap[0][0] < epoch_end:
                     time_s, kind, job_id, job = heapq.heappop(heap)
-                    counter("serve.engine.events").inc()
+                    epoch_events += 1
                     if kind == _ARRIVE:
                         arrivals += 1
-                        counter("serve.engine.arrivals").inc()
+                        epoch_arrivals += 1
                         app = self._route(job)
                         decision = self.decider.decide(
                             app, job.profile,
@@ -336,11 +684,11 @@ class ServingEngine:
                             server.batch_profile = job.profile
                             server.resident_jobs[job.job_id] = None
                             colocated_placed += 1
-                            counter("serve.engine.colocated").inc()
+                            epoch_colocated += 1
                             placement = "colocated"
                         else:
                             baseline_placed += 1
-                            counter("serve.engine.baseline_placed").inc()
+                            epoch_baseline += 1
                             placement = "shed" if decision.shed else "baseline"
                             if decision.shed:
                                 shed += 1
@@ -376,7 +724,7 @@ class ServingEngine:
                         ))
                     else:
                         departures += 1
-                        counter("serve.engine.departures").inc()
+                        epoch_departures += 1
                         server = placed_on.pop(job.job_id)
                         if server is not None:
                             del server.resident_jobs[job.job_id]
@@ -394,11 +742,27 @@ class ServingEngine:
                                 server.instances if server else 0
                             ),
                         ))
+                events_c.inc(epoch_events)
+                arrivals_c.inc(epoch_arrivals)
+                departures_c.inc(epoch_departures)
+                colocated_c.inc(epoch_colocated)
+                baseline_c.inc(epoch_baseline)
                 gauge("serve.engine.running").set(float(len(placed_on)))
                 obs_trace.counter_value("serve.engine.running",
-                                    float(len(placed_on)),
-                                    sim_time_s=epoch_end)
-                self._sample_fleet(epoch_end)
+                                        float(len(placed_on)),
+                                        sim_time_s=epoch_end)
+                groups = self._scalar_groups(profile_index)
+                self._score_fleet(epoch_end, groups, trace.pool)
+                for server in self.servers:
+                    if server.is_colocated:
+                        assert server.batch_profile is not None
+                        server.actual_degradation = self._deg_cache[(
+                            server.latency_app.name,
+                            server.batch_profile.name,
+                            server.instances,
+                        )]
+                    else:
+                        server.actual_degradation = 0.0
 
         still_placed = len(placed_on)
         windows = self.slo.finish() if self.slo is not None else ()

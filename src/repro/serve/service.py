@@ -49,8 +49,11 @@ from repro.workloads.profile import WorkloadProfile
 __all__ = [
     "AdmissionControl",
     "BaselineDecider",
+    "CandidateBatch",
+    "CandidateStream",
     "Decider",
     "Decision",
+    "DecisionBatch",
     "PredictionService",
     "RandomDecider",
 ]
@@ -58,6 +61,168 @@ __all__ = [
 #: One placement question: which latency service pool the job was routed
 #: to, what it wants to run, and how many sibling contexts exist.
 Candidate = tuple[LatencySensitiveWorkload, WorkloadProfile, int]
+
+
+class CandidateBatch(Sequence):
+    """One epoch's decision candidates, stored struct-of-arrays.
+
+    Holds integer index columns into small ``apps`` / ``pool`` name
+    tables instead of one tuple per arrival. It is also a ``Sequence``
+    of plain :data:`Candidate` tuples, so deciders that only implement
+    the per-arrival interface consume it unchanged.
+    """
+
+    __slots__ = ("apps", "pool", "app_idx", "profile_idx",
+                 "max_instances", "_pair_id", "key_table", "pairs")
+
+    def __init__(
+        self,
+        apps: Sequence[LatencySensitiveWorkload],
+        pool: Sequence[WorkloadProfile],
+        app_idx: np.ndarray,
+        profile_idx: np.ndarray,
+        max_instances: int,
+        key_table: Sequence[tuple[str, str, int]] | None = None,
+        pairs: tuple[
+            list[int], list[int], list[int], list[tuple[str, str, int]]
+        ] | None = None,
+    ) -> None:
+        self.apps = tuple(apps)
+        self.pool = tuple(pool)
+        self.app_idx = app_idx
+        self.profile_idx = profile_idx
+        self.max_instances = max_instances
+        self._pair_id: np.ndarray | None = None
+        #: Optional pre-built ``pair_id -> LRU key`` row-major table,
+        #: shared across the epochs of one replay so per-epoch batches
+        #: stop rebuilding identical key tuples.
+        self.key_table = key_table
+        #: Optional precomputed unique-pair classification
+        #: ``(uids, inv, firsts, keys)`` — the vectorized engine derives
+        #: it for all epochs in one pass (see
+        #: :meth:`PredictionService._classify` for the contract).
+        self.pairs = pairs
+
+    @property
+    def pair_id(self) -> np.ndarray:
+        """Dense code for each candidate's (app, profile) pairing — the
+        unit of LRU identity within an epoch (``max_instances`` is
+        uniform across a batch). Computed lazily: batches carrying a
+        precomputed ``pairs`` classification never need it."""
+        pair_id = self._pair_id
+        if pair_id is None:
+            pair_id = self.app_idx * len(self.pool) + self.profile_idx
+            self._pair_id = pair_id
+        return pair_id
+
+    def __len__(self) -> int:
+        return int(self.app_idx.size)
+
+    def __getitem__(self, index: int) -> Candidate:
+        return (
+            self.apps[int(self.app_idx[index])],
+            self.pool[int(self.profile_idx[index])],
+            self.max_instances,
+        )
+
+    def candidate_for_pair(self, pair_id: int) -> Candidate:
+        """The :data:`Candidate` tuple behind one dense pair code."""
+        return (
+            self.apps[pair_id // len(self.pool)],
+            self.pool[pair_id % len(self.pool)],
+            self.max_instances,
+        )
+
+    def key_for_pair(self, pair_id: int) -> tuple[str, str, int]:
+        """The LRU key (app name, profile name, max) for one pair code."""
+        if self.key_table is not None:
+            return self.key_table[pair_id]
+        return (
+            self.apps[pair_id // len(self.pool)].name,
+            self.pool[pair_id % len(self.pool)].name,
+            self.max_instances,
+        )
+
+
+class CandidateStream:
+    """A whole replay's candidates, epoch-partitioned and columnar.
+
+    The vectorized engine classifies every epoch's unique (app, profile)
+    pairs in one numpy pass and hands the full stream to
+    :meth:`Decider.decide_stream`; per-epoch :class:`CandidateBatch`
+    views are sliced out on demand by :meth:`batch`. ``uid_pair`` holds
+    each epoch's unique pair codes back to back (epoch ``e`` owns
+    ``uid_pair[uid_offs[e]:uid_offs[e + 1]]``), while ``inv`` and
+    ``firsts`` are epoch-local, matching the ``pairs`` contract of
+    :meth:`PredictionService._classify`.
+    """
+
+    __slots__ = ("apps", "pool", "app_idx", "profile_idx", "pair_id",
+                 "max_instances", "key_table", "epoch_starts",
+                 "uid_offs", "uid_pair", "inv", "firsts")
+
+    def __init__(
+        self,
+        apps: Sequence[LatencySensitiveWorkload],
+        pool: Sequence[WorkloadProfile],
+        app_idx: np.ndarray,
+        profile_idx: np.ndarray,
+        pair_id: np.ndarray,
+        max_instances: int,
+        key_table: Sequence[tuple[str, str, int]],
+        epoch_starts: list[int],
+        uid_offs: list[int],
+        uid_pair: list[int],
+        inv: list[int],
+        firsts: list[int],
+    ) -> None:
+        self.apps = tuple(apps)
+        self.pool = tuple(pool)
+        self.app_idx = app_idx
+        self.profile_idx = profile_idx
+        self.pair_id = pair_id
+        self.max_instances = max_instances
+        self.key_table = key_table
+        self.epoch_starts = epoch_starts
+        self.uid_offs = uid_offs
+        self.uid_pair = uid_pair
+        self.inv = inv
+        self.firsts = firsts
+
+    def __len__(self) -> int:
+        return int(self.app_idx.size)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epoch_starts) - 1
+
+    def batch(self, epoch: int) -> CandidateBatch:
+        """The :class:`CandidateBatch` view of one epoch's arrivals."""
+        s0, s1 = self.epoch_starts[epoch], self.epoch_starts[epoch + 1]
+        u0, u1 = self.uid_offs[epoch], self.uid_offs[epoch + 1]
+        uids = self.uid_pair[u0:u1]
+        return CandidateBatch(
+            self.apps, self.pool,
+            self.app_idx[s0:s1], self.profile_idx[s0:s1],
+            self.max_instances, key_table=self.key_table,
+            pairs=(
+                uids, self.inv[s0:s1], self.firsts[u0:u1],
+                [self.key_table[u] for u in uids],
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class DecisionBatch:
+    """One epoch's decisions, one array per :class:`Decision` field.
+
+    Row ``i`` answers candidate ``i`` of the batch, exactly as a
+    sequential loop of :meth:`Decider.decide` calls would have.
+    """
+
+    max_safe_instances: np.ndarray
+    shed: np.ndarray
+    cached: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -91,6 +256,61 @@ class Decider(ABC):
 
     def begin_epoch(self, candidates: Sequence[Candidate]) -> None:
         """Announce the epoch's decision candidates (micro-batch hook)."""
+
+    def begin_epoch_batch(self, batch: CandidateBatch) -> None:
+        """Columnar :meth:`begin_epoch`. Default: the object path.
+
+        ``CandidateBatch`` is itself a sequence of candidates, so
+        deciders that only implement :meth:`begin_epoch` keep working;
+        vectorizing deciders override this to skip tuple materialization.
+        """
+        self.begin_epoch(batch)
+
+    def decide_batch(self, batch: CandidateBatch) -> DecisionBatch:
+        """Decide one epoch's arrivals in order, columnar in and out.
+
+        Must be decision-for-decision and counter-for-counter equivalent
+        to calling :meth:`decide` on each candidate in sequence — the
+        vectorized engine relies on that equivalence for byte-identical
+        replays. The default implementation *is* that sequential loop.
+        """
+        n = len(batch)
+        counts = np.zeros(n, dtype=np.int64)
+        shed = np.zeros(n, dtype=bool)
+        cached = np.zeros(n, dtype=bool)
+        for i in range(n):
+            latency_app, batch_profile, max_instances = batch[i]
+            decision = self.decide(latency_app, batch_profile,
+                                   max_instances=max_instances)
+            counts[i] = decision.max_safe_instances
+            shed[i] = decision.shed
+            cached[i] = decision.cached
+        return DecisionBatch(max_safe_instances=counts, shed=shed,
+                             cached=cached)
+
+    def decide_stream(
+        self, stream: CandidateStream
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decide a whole replay's arrivals, returning (counts, shed).
+
+        Must be decision-for-decision equivalent to looping
+        :meth:`begin_epoch_batch` / :meth:`decide_batch` over the
+        stream's epochs in order — which is exactly what this default
+        does. Deciders with cross-epoch structure to exploit (see
+        :meth:`PredictionService.decide_stream`) override it.
+        """
+        n = len(stream)
+        counts = np.zeros(n, dtype=np.int64)
+        shed = np.zeros(n, dtype=bool)
+        starts = stream.epoch_starts
+        for e in range(stream.n_epochs):
+            batch = stream.batch(e)
+            self.begin_epoch_batch(batch)
+            decisions = self.decide_batch(batch)
+            s0, s1 = starts[e], starts[e + 1]
+            counts[s0:s1] = decisions.max_safe_instances
+            shed[s0:s1] = decisions.shed
+        return counts, shed
 
     def predicted_degradation(
         self,
@@ -142,6 +362,17 @@ class BaselineDecider(Decider):
     def _decide(self, latency_app, batch_profile, *, max_instances):
         return Decision(max_safe_instances=0, cached=True)
 
+    def decide_batch(self, batch: CandidateBatch) -> DecisionBatch:
+        """Vectorized: everything goes to the baseline pool."""
+        n = len(batch)
+        counter("serve.service.requests").inc(n)
+        counter("serve.service.decisions").inc(n)
+        return DecisionBatch(
+            max_safe_instances=np.zeros(n, dtype=np.int64),
+            shed=np.zeros(n, dtype=bool),
+            cached=np.ones(n, dtype=bool),
+        )
+
 
 class RandomDecider(Decider):
     """Interference-oblivious: a seeded uniform draw over 0..max."""
@@ -154,6 +385,22 @@ class RandomDecider(Decider):
     def _decide(self, latency_app, batch_profile, *, max_instances):
         count = int(self._rng.integers(0, max_instances + 1))
         return Decision(max_safe_instances=count, cached=True)
+
+    def decide_batch(self, batch: CandidateBatch) -> DecisionBatch:
+        """Vectorized draw; the PCG64 stream is chunk-size invariant, so
+        one ``size=n`` call consumes exactly the draws ``n`` sequential
+        :meth:`decide` calls would have."""
+        n = len(batch)
+        counter("serve.service.requests").inc(n)
+        counter("serve.service.decisions").inc(n)
+        counts = self._rng.integers(
+            0, batch.max_instances + 1, size=n,
+        ).astype(np.int64)
+        return DecisionBatch(
+            max_safe_instances=counts,
+            shed=np.zeros(n, dtype=bool),
+            cached=np.ones(n, dtype=bool),
+        )
 
 
 @dataclass(frozen=True)
@@ -221,6 +468,14 @@ class PredictionService(Decider):
         self._warmed_batch: dict[str, None] = {}
         self._warmed_server: dict[tuple[str, int], None] = {}
         self._warmed_rulers = False
+        # Per-epoch unique-pair classification memo (see _classify) and
+        # the LRU-count walk begin_epoch_batch shares with decide_batch.
+        self._epoch_batch: CandidateBatch | None = None
+        self._epoch_class: tuple[
+            list[int], list[int], list[int], list[tuple[str, str, int]]
+        ] | None = None
+        self._epoch_counts_batch: CandidateBatch | None = None
+        self._epoch_counts: list[int | None] = []
 
     # ------------------------------------------------------------------
 
@@ -277,6 +532,66 @@ class PredictionService(Decider):
                 )
         if affordable_misses:
             self._prefetch(affordable_misses)
+
+    def _classify(
+        self, batch: CandidateBatch
+    ) -> tuple[list[int], list[int], list[int], list[tuple[str, str, int]]]:
+        """Unique-pair view of one epoch's batch, shared across methods.
+
+        Returns ``(uids, inv, firsts, keys)``: the unique pair codes,
+        the per-position index into them, each unique pair's first
+        position, and each pair's LRU key. The order of the unique pairs
+        is an implementation detail no output depends on — decisions,
+        counters, and the final LRU order are all functions of the
+        per-position view. Batches carrying a precomputed ``pairs``
+        classification (the vectorized engine derives it for all epochs
+        in one numpy pass) short-circuit; otherwise the result is
+        memoized per batch object, so :meth:`begin_epoch_batch` and
+        :meth:`decide_batch` compute it once between them.
+        """
+        if batch.pairs is not None:
+            return batch.pairs
+        if self._epoch_batch is batch:
+            return self._epoch_class
+        index: dict[int, int] = {}
+        uids: list[int] = []
+        inv: list[int] = []
+        firsts: list[int] = []
+        for i, u in enumerate(batch.pair_id.tolist()):
+            j = index.get(u)
+            if j is None:
+                j = len(uids)
+                index[u] = j
+                uids.append(u)
+                firsts.append(i)
+            inv.append(j)
+        keys = [batch.key_for_pair(u) for u in uids]
+        self._epoch_batch = batch
+        self._epoch_class = (uids, inv, firsts, keys)
+        return self._epoch_class
+
+    def begin_epoch_batch(self, batch: CandidateBatch) -> None:
+        """Columnar :meth:`begin_epoch`: reset the budget, prefetch misses.
+
+        In the steady state every unique pair of the epoch is already in
+        the LRU, so there is nothing to prefetch and the budget reset is
+        all that happens. Epochs that do carry misses replay the exact
+        object path, which charges the same arrival-ordered cost model
+        as :meth:`decide` to find the affordable prefix.
+        """
+        self._epoch_remaining_ms = self.admission.budget_ms_per_epoch
+        if len(batch) == 0:
+            return
+        _uids, _inv, _firsts, keys = self._classify(batch)
+        lru = self._lru
+        uid_counts = [lru.get(k) for k in keys]
+        # Prefetching never touches the LRU, so the walk stays valid for
+        # this batch's decide_batch call.
+        self._epoch_counts_batch = batch
+        self._epoch_counts = uid_counts
+        if None not in uid_counts:
+            return
+        self.begin_epoch(batch)
 
     def _prefetch(self, misses: Iterable[Candidate]) -> None:
         """Batch every solve the epoch's affordable misses will need."""
@@ -349,6 +664,291 @@ class PredictionService(Decider):
         if len(self._lru) > self._lru_capacity:
             self._lru.popitem(last=False)
         return Decision(max_safe_instances=count, cached=False)
+
+    # ------------------------------------------------------------------
+
+    def decide_batch(self, batch: CandidateBatch) -> DecisionBatch:
+        """One epoch's decisions, equivalent to sequential :meth:`decide`.
+
+        Dispatches on the epoch's shape. The common steady-state epoch —
+        every unique pair already in the LRU and the whole batch provably
+        affordable (with a float-safety margin) — touches only per-pair
+        dictionary state. Epochs with affordable misses and no possible
+        eviction run a per-unique-pair fast path. Everything else replays
+        the per-arrival cost model exactly, including the all-shed tail
+        once the budget can no longer cover even a cache hit.
+        """
+        n = len(batch)
+        if n == 0:
+            return DecisionBatch(
+                max_safe_instances=np.zeros(0, dtype=np.int64),
+                shed=np.zeros(0, dtype=bool),
+                cached=np.zeros(0, dtype=bool),
+            )
+        admission = self.admission
+        uids, inv, firsts, keys = self._classify(batch)
+        lru = self._lru
+        if self._epoch_counts_batch is batch:
+            uid_counts: list[int | None] = list(self._epoch_counts)
+            self._epoch_counts_batch = None  # decisions mutate the LRU
+        else:
+            uid_counts = [lru.get(k) for k in keys]
+        # Misses are exactly the first occurrences of uncached pairs.
+        n_miss = sum(1 for c in uid_counts if c is None)
+        total_ms = (n_miss * admission.miss_cost_ms
+                    + (n - n_miss) * admission.hit_cost_ms)
+        if total_ms <= self._epoch_remaining_ms - 1e-6:
+            if n_miss == 0:
+                return self._decide_batch_hits(
+                    n, inv, keys, uid_counts, total_ms,
+                )
+            if len(lru) + n_miss <= self._lru_capacity:
+                return self._decide_batch_fast(
+                    batch, uids, inv, firsts, keys, uid_counts, total_ms,
+                )
+        return self._decide_batch_sequential(batch, inv, keys)
+
+    def decide_stream(
+        self, stream: CandidateStream
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-replay decide with bulk runs of steady-state epochs.
+
+        A steady-state epoch — every unique pair already in the LRU and
+        the whole batch affordable — sheds nothing, changes no LRU
+        membership or cached count, and only touches recency order. A
+        maximal run of them therefore collapses into one vectorized
+        count-table lookup, one batched counter update, and a single
+        recency pass (each epoch's move-to-end sweep composes to
+        "touched keys in ascending last occurrence across the run").
+        Any epoch carrying a miss, or too many arrivals for the budget,
+        drops to the exact per-epoch path.
+        """
+        n = len(stream)
+        counts = np.zeros(n, dtype=np.int64)
+        shed = np.zeros(n, dtype=bool)
+        admission = self.admission
+        budget = admission.budget_ms_per_epoch
+        hit_cost = admission.hit_cost_ms
+        # Same float-safety margin as decide_batch's affordability test.
+        hit_limit = budget - 1e-6
+        lru = self._lru
+        lru_get = lru.get
+        move_to_end = lru.move_to_end
+        key_table = stream.key_table
+        starts = stream.epoch_starts
+        uid_pair, uid_offs = stream.uid_pair, stream.uid_offs
+        pair_arr = stream.pair_id
+        # pair code -> cached safe count; only read for pairs verified
+        # present during run detection, so stale rows are harmless.
+        count_of_pair = np.zeros(len(key_table), dtype=np.int64)
+        requests = counter("serve.service.requests")
+        decisions_total = counter("serve.service.decisions")
+        cache_hits = counter("serve.service.cache_hits")
+        n_epochs = stream.n_epochs
+        e = 0
+        while e < n_epochs:
+            # Extend [e, r) while epochs stay all-hit and affordable.
+            # Hits never change LRU membership or stored counts, so
+            # looking ahead with the current LRU state is exact.
+            r = e
+            while r < n_epochs:
+                if (starts[r + 1] - starts[r]) * hit_cost > hit_limit:
+                    break
+                ok = True
+                for u in uid_pair[uid_offs[r]:uid_offs[r + 1]]:
+                    c = lru_get(key_table[u])
+                    if c is None:
+                        ok = False
+                        break
+                    count_of_pair[u] = c
+                if not ok:
+                    break
+                r += 1
+            if r > e:
+                s0, s1 = starts[e], starts[r]
+                n_run = s1 - s0
+                if n_run:
+                    seg = pair_arr[s0:s1]
+                    counts[s0:s1] = count_of_pair[seg]
+                    requests.inc(n_run)
+                    decisions_total.inc(n_run)
+                    cache_hits.inc(n_run)
+                    # idx_rev = last occurrences (first in the reversed
+                    # view); descending idx_rev = ascending last position.
+                    _u_rev, idx_rev = np.unique(
+                        seg[::-1], return_index=True
+                    )
+                    for u in _u_rev[np.argsort(idx_rev)[::-1]].tolist():
+                        move_to_end(key_table[u])
+                # The run's last epoch reset the budget then charged all
+                # its hits in one subtraction, exactly as the per-epoch
+                # hits path does.
+                self._epoch_remaining_ms = (
+                    budget - (starts[r] - starts[r - 1]) * hit_cost
+                )
+                e = r
+                continue
+            batch = stream.batch(e)
+            self.begin_epoch_batch(batch)
+            decisions = self.decide_batch(batch)
+            s0, s1 = starts[e], starts[e + 1]
+            counts[s0:s1] = decisions.max_safe_instances
+            shed[s0:s1] = decisions.shed
+            e += 1
+        return counts, shed
+
+    def _decide_batch_hits(
+        self,
+        n: int,
+        inv: list[int],
+        keys: list[tuple[str, str, int]],
+        uid_counts: list[int],
+        total_ms: float,
+    ) -> DecisionBatch:
+        """All-hit affordable epoch: dictionary reads plus LRU recency."""
+        counter("serve.service.requests").inc(n)
+        counter("serve.service.decisions").inc(n)
+        counter("serve.service.cache_hits").inc(n)
+        # Reproduce the sequential recency order: a touched key's final
+        # LRU position is set by its *last* occurrence, so re-appending
+        # on every occurrence leaves ``order`` in ascending
+        # last-occurrence order.
+        order: dict[int, None] = {}
+        pop = order.pop
+        for j in inv:
+            pop(j, None)
+            order[j] = None
+        lru = self._lru
+        for j in order:
+            lru.move_to_end(keys[j])
+        self._epoch_remaining_ms -= total_ms
+        return DecisionBatch(
+            max_safe_instances=np.array(
+                [uid_counts[j] for j in inv], dtype=np.int64,
+            ),
+            shed=np.zeros(n, dtype=bool),
+            cached=np.ones(n, dtype=bool),
+        )
+
+    def _decide_batch_fast(
+        self,
+        batch: CandidateBatch,
+        uids: list[int],
+        inv: list[int],
+        firsts: list[int],
+        keys: list[tuple[str, str, int]],
+        uid_counts: list[int | None],
+        total_ms: float,
+    ) -> DecisionBatch:
+        """Affordable misses, no eviction possible: per-unique-pair work."""
+        n = len(inv)
+        miss_js = [j for j, c in enumerate(uid_counts) if c is None]
+        n_miss = len(miss_js)
+        counter("serve.service.requests").inc(n)
+        counter("serve.service.decisions").inc(n)
+        if n > n_miss:
+            counter("serve.service.cache_hits").inc(n - n_miss)
+        if n_miss:
+            counter("serve.service.cache_misses").inc(n_miss)
+        for j in miss_js:
+            latency_app, batch_profile, max_instances = \
+                batch.candidate_for_pair(uids[j])
+            uid_counts[j] = self._predict_safe_count(
+                latency_app, batch_profile, max_instances,
+            )
+        # Last-occurrence recency order, as in :meth:`_decide_batch_hits`;
+        # a missing pair inserts (at its would-be last touch), a cached
+        # pair moves.
+        was_miss = [False] * len(uids)
+        for j in miss_js:
+            was_miss[j] = True
+        order: dict[int, None] = {}
+        pop = order.pop
+        for j in inv:
+            pop(j, None)
+            order[j] = None
+        lru = self._lru
+        for j in order:
+            if was_miss[j]:
+                lru[keys[j]] = uid_counts[j]
+            else:
+                lru.move_to_end(keys[j])
+        self._epoch_remaining_ms -= total_ms
+        cached = np.ones(n, dtype=bool)
+        cached[[firsts[j] for j in miss_js]] = False
+        return DecisionBatch(
+            max_safe_instances=np.array(
+                [uid_counts[j] for j in inv], dtype=np.int64,
+            ),
+            shed=np.zeros(n, dtype=bool),
+            cached=cached,
+        )
+
+    def _decide_batch_sequential(
+        self,
+        batch: CandidateBatch,
+        inv: list[int],
+        keys: list[tuple[str, str, int]],
+    ) -> DecisionBatch:
+        """Exact per-arrival replay of the admission cost model.
+
+        Bit-identical to calling :meth:`_decide` in a loop — same float
+        subtraction order, same shed/charge rules — but once the budget
+        drops below even a hit's cost every later arrival must shed and
+        the LRU stops changing, so the tail is filled in bulk.
+        """
+        n = len(inv)
+        admission = self.admission
+        hit_cost, miss_cost = admission.hit_cost_ms, admission.miss_cost_ms
+        lru = self._lru
+        counts = np.zeros(n, dtype=np.int64)
+        shed = np.zeros(n, dtype=bool)
+        cached = np.zeros(n, dtype=bool)
+        hits = misses = sheds = 0
+        remaining = self._epoch_remaining_ms
+        i = 0
+        while i < n:
+            if remaining < hit_cost:
+                break  # every remaining arrival sheds, LRU frozen
+            key = keys[inv[i]]
+            cached_count = lru.get(key)
+            if cached_count is not None:
+                remaining -= hit_cost
+                hits += 1
+                lru.move_to_end(key)
+                counts[i] = cached_count
+                cached[i] = True
+            elif remaining < miss_cost:
+                sheds += 1
+                shed[i] = True
+            else:
+                remaining -= miss_cost
+                misses += 1
+                latency_app, batch_profile, max_instances = batch[i]
+                count = self._predict_safe_count(
+                    latency_app, batch_profile, max_instances,
+                )
+                lru[key] = count
+                if len(lru) > self._lru_capacity:
+                    lru.popitem(last=False)
+                counts[i] = count
+            i += 1
+        if i < n:
+            sheds += n - i
+            shed[i:] = True
+            in_lru = [k in lru for k in keys]
+            cached[i:] = [in_lru[j] for j in inv[i:]]
+        self._epoch_remaining_ms = remaining
+        counter("serve.service.requests").inc(n)
+        counter("serve.service.decisions").inc(n - sheds)
+        if sheds:
+            counter("serve.service.sheds").inc(sheds)
+        if hits:
+            counter("serve.service.cache_hits").inc(hits)
+        if misses:
+            counter("serve.service.cache_misses").inc(misses)
+        return DecisionBatch(max_safe_instances=counts, shed=shed,
+                             cached=cached)
 
     def _predict_safe_count(
         self,

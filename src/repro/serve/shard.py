@@ -1,0 +1,239 @@
+"""Per-pool placement kernel and multi-process shard fan-out.
+
+The vectorized replay splits each epoch's work into three phases; this
+module owns phase two — *placement* — which is the only phase whose state
+is per server pool and therefore shards cleanly. The kernel
+(:func:`replay_pool_events`) consumes one pool's pre-decided event
+stream (columnar, already filtered to events that can touch pool state)
+and replays it with O(1) free-list structures:
+
+- ``prof_of`` / ``cnt_of``: the batch profile and instance count of
+  every server (``-1`` / ``0`` when idle);
+- a lazily-validated min-heap per ``(profile, count)`` bucket plus an
+  idle-server heap, giving the scalar engine's bin-packing rule —
+  fullest same-profile server under the cap, lowest index on ties, else
+  the lowest-index idle server — without scanning the pool;
+- ``n_at`` occupancy counts, snapshotted after each epoch into the
+  ``(profile, instances) -> servers`` groups the SLO/audit scorer needs.
+
+Because decisions are computed before placement ever runs (they depend
+only on the arrival-ordered candidate stream, never on which server a
+job landed on), pools are fully independent: :func:`run_pool_shards`
+fans contiguous pool ranges out to worker processes and folds the
+workers' metrics back in through the existing obs snapshot/merge
+machinery. The kernel is deterministic, so sharded and in-process
+replays produce byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs import counter, span
+
+__all__ = [
+    "PoolReplay",
+    "replay_pool_events",
+    "run_pool_shards",
+]
+
+
+@dataclass
+class PoolReplay:
+    """One pool's placement results, aligned with its input event stream."""
+
+    #: Per event: local server index placed on / freed from, -1 baseline.
+    server: np.ndarray
+    #: Per event: placement code (0 colocated, 1 baseline).
+    placement: np.ndarray
+    #: Per event: the server's instance count after the event.
+    instances_after: np.ndarray
+    #: Per epoch: sorted ``(profile_idx, instances, server count)`` rows
+    #: describing every occupied colocation state at the epoch boundary.
+    groups_per_epoch: list[list[tuple[int, int, int]]]
+
+
+def replay_pool_events(
+    *,
+    is_arrival: np.ndarray,
+    job_pos: np.ndarray,
+    profile_idx: np.ndarray,
+    cap: np.ndarray,
+    epoch: np.ndarray,
+    n_epochs: int,
+    n_servers: int,
+) -> PoolReplay:
+    """Replay one pool's interesting events with O(1) placement.
+
+    Events arrive pre-sorted in global processing order and pre-filtered
+    to this pool's *interesting* stream: arrivals whose decision allows
+    at least one instance (``cap >= 1``) and the departures of exactly
+    those jobs. ``cap`` is the per-arrival instance ceiling
+    (``min(max_safe_instances, threads)``); placement picks the fullest
+    same-profile server strictly below it, lowest index on ties, else
+    the lowest-index idle server, else the baseline pool — the same rule
+    as the scalar engine's ``_pick_server`` scan.
+    """
+    m = int(is_arrival.size)
+    out_srv = [-1] * m
+    out_plc = [1] * m
+    out_inst = [0] * m
+    splits = np.searchsorted(epoch, np.arange(n_epochs + 1)).tolist()
+    is_arr = is_arrival.tolist()
+    jobs = job_pos.tolist()
+    profs = profile_idx.tolist()
+    caps = cap.tolist()
+    # Bucket keys are dense ints p * n_states + c: cheaper to hash than
+    # tuples, and sorting them sorts (profile, count) lexicographically.
+    n_states = (int(cap.max()) if m else 0) + 2
+    prof_of = [-1] * n_servers
+    cnt_of = [0] * n_servers
+    idle = list(range(n_servers))  # ascending == already a valid min-heap
+    buckets: dict[int, list[int]] = {}
+    n_at: dict[int, int] = {}
+    placed: dict[int, int] = {}
+    groups: list[list[tuple[int, int, int]]] = []
+    hpush, hpop = heapq.heappush, heapq.heappop
+    n_at_get = n_at.get
+    i = 0
+    for e in range(n_epochs):
+        end = splits[e + 1]
+        while i < end:
+            j = jobs[i]
+            if is_arr[i]:
+                p = profs[i]
+                pbase = p * n_states
+                best = -1
+                c = caps[i] - 1
+                while c >= 1:
+                    key = pbase + c
+                    if n_at_get(key, 0):
+                        heap = buckets[key]
+                        s = heap[0]
+                        # entries are lazily validated: pop servers that
+                        # have since left this (profile, count) state
+                        while prof_of[s] != p or cnt_of[s] != c:
+                            hpop(heap)
+                            s = heap[0]
+                        hpop(heap)
+                        best = s
+                        break
+                    c -= 1
+                if best < 0:
+                    while idle:
+                        s = hpop(idle)
+                        if prof_of[s] == -1:
+                            best = s
+                            break
+                if best >= 0:
+                    old = cnt_of[best]
+                    if old:
+                        key = pbase + old
+                        left = n_at[key] - 1
+                        if left:
+                            n_at[key] = left
+                        else:
+                            del n_at[key]
+                    else:
+                        prof_of[best] = p
+                    new = old + 1
+                    cnt_of[best] = new
+                    key = pbase + new
+                    n_at[key] = n_at_get(key, 0) + 1
+                    hpush(buckets.setdefault(key, []), best)
+                    placed[j] = best
+                    out_srv[i] = best
+                    out_plc[i] = 0
+                    out_inst[i] = new
+            else:
+                s = placed.pop(j, -1)
+                if s >= 0:
+                    p = prof_of[s]
+                    c = cnt_of[s]
+                    key = p * n_states + c
+                    left = n_at[key] - 1
+                    if left:
+                        n_at[key] = left
+                    else:
+                        del n_at[key]
+                    nc = c - 1
+                    cnt_of[s] = nc
+                    if nc:
+                        key -= 1
+                        n_at[key] = n_at_get(key, 0) + 1
+                        hpush(buckets.setdefault(key, []), s)
+                    else:
+                        prof_of[s] = -1
+                        hpush(idle, s)
+                    out_srv[i] = s
+                    out_plc[i] = 0
+                    out_inst[i] = nc
+            i += 1
+        groups.append([
+            (*divmod(key, n_states), n) for key, n in sorted(n_at.items())
+        ])
+    return PoolReplay(
+        server=np.array(out_srv, dtype=np.int64),
+        placement=np.array(out_plc, dtype=np.int8),
+        instances_after=np.array(out_inst, dtype=np.int64),
+        groups_per_epoch=groups,
+    )
+
+
+def _shard_worker(pools: list[dict[str, Any]]) -> dict[str, Any]:
+    """Replay one shard's pools in a worker process.
+
+    The forked child inherits the parent's metric registry, so it resets
+    first; everything it records under ``serve.shard.*`` ships back in
+    its obs snapshot and is folded into the parent registry.
+    """
+    obs.reset()
+    with span("serve.shard.replay"):
+        results = [replay_pool_events(**kwargs) for kwargs in pools]
+    counter("serve.shard.events").inc(
+        sum(int(r.server.size) for r in results)
+    )
+    return {"results": results, "obs": obs.snapshot()}
+
+
+def run_pool_shards(
+    pool_inputs: list[dict[str, Any]],
+    *,
+    shards: int,
+    jobs: int | None = None,
+) -> list[PoolReplay]:
+    """Fan the per-pool placement kernels out across worker processes.
+
+    Pools are partitioned into ``shards`` contiguous ranges (one shard
+    per server pool at most) and executed on ``jobs`` workers; results
+    come back in pool order, so the parent's merge is deterministic.
+    Worker metric snapshots are merged into the parent registry.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    shards = min(shards, len(pool_inputs))
+    if shards <= 1:
+        return [replay_pool_events(**kwargs) for kwargs in pool_inputs]
+    n = len(pool_inputs)
+    bounds = [(k * n) // shards for k in range(shards + 1)]
+    chunks = [pool_inputs[bounds[k]:bounds[k + 1]] for k in range(shards)]
+    workers = min(jobs if jobs is not None else shards, shards)
+    counter("serve.shard.workers").inc(len(chunks))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        futures = [executor.submit(_shard_worker, chunk) for chunk in chunks]
+        outputs = [future.result() for future in futures]
+    with span("serve.shard.merge"):
+        results: list[PoolReplay] = []
+        for output in outputs:
+            obs.merge(output["obs"])
+            results.extend(output["results"])
+    return results

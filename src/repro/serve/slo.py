@@ -128,6 +128,9 @@ class WindowedSlo:
         self._current: int | None = None
         self._samples: list[tuple[float, ViolationStats]] = []
         self._app_violations: dict[str, int] = {}
+        # (app, degradation) -> (met, magnitude) verdict memo: group
+        # scoring re-checks the same few colocation states every epoch.
+        self._verdicts: dict[tuple[str, float], tuple[bool, float]] = {}
 
     # ------------------------------------------------------------------
 
@@ -166,6 +169,74 @@ class WindowedSlo:
                 self._app_violations[name] = (
                     self._app_violations.get(name, 0) + 1
                 )
+
+    def observe_groups(
+        self,
+        time_s: float,
+        groups: Sequence[tuple[str, float, int, int]],
+        *,
+        n_servers: int,
+        threads_per_server: int,
+    ) -> None:
+        """Record one fleet sample from pre-aggregated colocation groups.
+
+        ``groups`` holds one ``(app name, degradation, instances,
+        server count)`` row per distinct (pool, profile, instance-count)
+        colocation state, in a canonical deterministic order; identical
+        servers are scored once and weighted by ``count``. This is the
+        struct-of-arrays replacement for :meth:`observe` — the engine
+        calls it on every path (scalar, vectorized, sharded) so the
+        float accumulation order, and therefore the rendered SLO series,
+        is identical across them.
+        """
+        window_index = max(0, math.ceil(time_s / self.window_s) - 1)
+        if self._current is None:
+            self._current = window_index
+        while window_index > self._current:
+            self._close_window()
+        colocated = 0
+        violated = 0
+        worst = 0.0
+        total_magnitude = 0.0
+        instances_total = 0
+        verdicts = self._verdicts
+        for app_name, degradation, instances, count in groups:
+            colocated += count
+            instances_total += instances * count
+            verdict = verdicts.get((app_name, degradation))
+            if verdict is None:
+                tail_model = None
+                if self.tail_models is not None:
+                    tail_model = self.tail_models.get(app_name)
+                    if tail_model is None:
+                        raise SchedulingError(
+                            f"no tail model for {app_name}"
+                        )
+                met = self.target.is_met(degradation, tail_model)
+                verdict = (
+                    met,
+                    0.0 if met else self.target.violation_magnitude(
+                        degradation, tail_model
+                    ),
+                )
+                verdicts[(app_name, degradation)] = verdict
+            met, magnitude = verdict
+            if not met:
+                violated += count
+                worst = max(worst, magnitude)
+                total_magnitude += magnitude * count
+                self._app_violations[app_name] = (
+                    self._app_violations.get(app_name, 0) + count
+                )
+        stats = ViolationStats(
+            colocated_servers=colocated,
+            violated_servers=violated,
+            worst_magnitude=worst,
+            mean_magnitude=(total_magnitude / violated) if violated else 0.0,
+        )
+        baseline_busy = n_servers * threads_per_server
+        gain = (instances_total / baseline_busy) if baseline_busy else 0.0
+        self._samples.append((gain, stats))
 
     def _close_window(self) -> None:
         assert self._current is not None

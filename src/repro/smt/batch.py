@@ -112,6 +112,10 @@ class _Packed:
         self.n_cores = len(core_keys)
         core_count = np.bincount(core_gid, minlength=self.n_cores)
         self.n_sib = core_count[core_gid] - 1
+        # Fused (core, port) bucket keys: one bincount aggregates all
+        # ports' sibling pressure instead of one bincount per port.
+        self.core_port_key = (core_gid[:, None] * _N_PORTS
+                              + np.arange(_N_PORTS)).ravel()
 
         self.port_demand = np.array(
             [[s.port_demand[p] for p in ALL_PORTS] for s in flat]
@@ -175,11 +179,14 @@ def _slot_update(machine: MachineSpec, pk: _Packed, idx: np.ndarray,
     rho_cap = machine.contention_rho_cap
 
     # Sibling background per port: per-core totals minus own contribution.
+    # One bincount over fused (core, port) keys covers every port; the
+    # per-bucket accumulation order matches the per-port version, so the
+    # sums are bitwise identical.
     ipd = pk.ipc[:, None] * pk.port_demand
-    core_ipd = np.empty((pk.n_cores, _N_PORTS))
-    for p in range(_N_PORTS):
-        core_ipd[:, p] = np.bincount(pk.core_gid, weights=ipd[:, p],
-                                     minlength=pk.n_cores)
+    core_ipd = np.bincount(
+        pk.core_port_key, weights=ipd.ravel(),
+        minlength=pk.n_cores * _N_PORTS,
+    ).reshape(pk.n_cores, _N_PORTS)
     bg = core_ipd[pk.core_gid[idx]] - ipd[idx]
 
     # Re-place flexible uops against the sibling pressure (water-fill),

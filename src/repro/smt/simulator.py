@@ -70,6 +70,22 @@ def _canonical_placements(
     relabeled densely from zero. Returns the canonical placement plus
     the original indices in canonical order (to map results back).
     """
+    n = len(placements)
+    if n == 1:
+        pl = placements[0]
+        if pl.core == 0:
+            return [pl], [0]
+        return [ContextPlacement(pl.profile, core=0)], [0]
+    if n == 2 and placements[0].core == placements[1].core:
+        a, b = placements
+        if _profile_sort_key(a.profile) <= _profile_sort_key(b.profile):
+            pair, order = (a, b), [0, 1]
+        else:
+            pair, order = (b, a), [1, 0]
+        if a.core == 0:
+            return list(pair), order
+        return [ContextPlacement(pair[0].profile, core=0),
+                ContextPlacement(pair[1].profile, core=0)], order
     by_core: dict[int, list[int]] = {}
     for i, pl in enumerate(placements):
         by_core.setdefault(pl.core, []).append(i)
@@ -129,6 +145,11 @@ class Simulator:
             disk_cache = PersistentSolveCache(disk_cache)
         self.disk_cache = disk_cache
         self._cache: dict[tuple, RunResult] = {}
+        # Placement lists already pushed through prefetch, keyed by their
+        # *uncanonicalized* (profile, core) tuple: repeat prefetches of
+        # the same job list (every serving replay warms the same Ruler
+        # grid) then skip canonicalization entirely.
+        self._prefetched: set[tuple] = set()
         self._solve_count = 0
 
     # ------------------------------------------------------------------
@@ -193,10 +214,16 @@ class Simulator:
     ) -> None:
         """Fill the solve caches in bulk without materializing results."""
         todo: dict[tuple, list[ContextPlacement]] = {}
+        raw_keys: list[tuple] = []
         n_requests = 0
         memo_hits = 0
         for placements in placements_list:
             n_requests += 1
+            raw_key = tuple((pl.profile, pl.core) for pl in placements)
+            if raw_key in self._prefetched:
+                memo_hits += 1
+                continue
+            raw_keys.append(raw_key)
             canonical, _order = _canonical_placements(list(placements))
             key = self._memo_key(canonical)
             if key in self._cache:
@@ -212,6 +239,7 @@ class Simulator:
             solved = solve_many(self.machine, [todo[k] for k in keys])
             for key, result in zip(keys, solved):
                 self._store(todo[key], key, result)
+        self._prefetched.update(raw_keys)
 
     # -- cache plumbing -------------------------------------------------
 

@@ -207,6 +207,13 @@ class WorkloadProfile:
         fp = self.fp_mul + self.fp_add + self.fp_shf
         return fp > self.int_alu
 
+    def __hash__(self) -> int:
+        # The dataclass-generated hash rebuilds the full field tuple
+        # (nested strata included) on every call, which dominates the
+        # simulator's memo-key lookups on the serving hot path. Profiles
+        # sharing a name are rare and just fall back to __eq__.
+        return hash(self.name)
+
     def replace(self, **changes: object) -> "WorkloadProfile":
         """A copy of this profile with the given fields replaced."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

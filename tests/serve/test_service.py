@@ -161,3 +161,126 @@ class TestPredictionService:
             AdmissionControl(budget_ms_per_epoch=0.0)
         with pytest.raises(ConfigurationError):
             AdmissionControl(hit_cost_ms=5.0, miss_cost_ms=1.0)
+
+
+class TestBatchEquivalence:
+    """Columnar decide paths must replay the scalar cost model exactly."""
+
+    def _batches(self, apps, pool, plan, max_instances=2):
+        import numpy as np
+
+        from repro.serve.service import CandidateBatch
+
+        return [
+            CandidateBatch(
+                apps, pool,
+                np.array([a for a, _p in epoch], dtype=np.intp),
+                np.array([p for _a, p in epoch], dtype=np.intp),
+                max_instances,
+            )
+            for epoch in plan
+        ]
+
+    def _drive(self, service, batches, columnar):
+        decisions = []
+        for batch in batches:
+            if columnar:
+                service.begin_epoch_batch(batch)
+                out = service.decide_batch(batch)
+                decisions.extend(zip(
+                    out.max_safe_instances.tolist(),
+                    out.shed.tolist(), out.cached.tolist(),
+                ))
+            else:
+                service.begin_epoch(list(batch))
+                for app, profile, n in batch:
+                    d = service.decide(app, profile, max_instances=n)
+                    decisions.append(
+                        (d.max_safe_instances, d.shed, d.cached))
+        return decisions
+
+    @pytest.mark.parametrize("lru_capacity,budget", [
+        (512, 50.0),   # hits + fast-miss paths
+        (3, 50.0),     # evictions force the sequential path
+        (512, 0.3),    # budget exhaustion sheds mid-epoch
+    ])
+    def test_decide_batch_equals_decide_loop(self, predictor, lru_capacity,
+                                             budget):
+        apps = cloudsuite_apps()[:2]
+        pool = spec_even()[:3]
+        admission = AdmissionControl(budget_ms_per_epoch=budget,
+                                     hit_cost_ms=0.05, miss_cost_ms=0.1)
+        plan = [
+            [(0, 0), (1, 1), (0, 0), (0, 2)],
+            [(0, 0), (0, 0), (1, 1)],
+            [],
+            [(1, 2), (0, 1), (1, 2), (0, 1), (1, 0), (0, 0), (1, 1)],
+            [(0, 0), (1, 1), (0, 2), (1, 0)],
+        ]
+        services = [
+            PredictionService(predictor, QosTarget.average(0.90),
+                              admission=admission,
+                              lru_capacity=lru_capacity)
+            for _ in range(2)
+        ]
+        batches = self._batches(apps, pool, plan)
+        scalar = self._drive(services[0], batches, columnar=False)
+        columnar = self._drive(services[1], batches, columnar=True)
+        assert columnar == scalar
+        assert list(services[0]._lru.items()) == \
+            list(services[1]._lru.items())
+
+    def test_decide_stream_equals_epoch_loop(self, predictor):
+        import numpy as np
+
+        from repro.serve.service import CandidateStream
+
+        apps = cloudsuite_apps()[:2]
+        pool = spec_even()[:3]
+        plan = [
+            [(0, 0), (1, 1)],
+            [(0, 0), (0, 0), (1, 1), (1, 1)],
+            [],
+            [(0, 0), (1, 1), (0, 2)],          # miss breaks the run
+            [(0, 2), (1, 1), (0, 0), (0, 2)],
+            [(1, 1), (1, 1)],
+        ]
+        app_idx = np.array([a for epoch in plan for a, _p in epoch],
+                           dtype=np.intp)
+        prof_idx = np.array([p for epoch in plan for _a, p in epoch],
+                            dtype=np.intp)
+        pair_id = app_idx * len(pool) + prof_idx
+        starts = [0]
+        for epoch in plan:
+            starts.append(starts[-1] + len(epoch))
+        key_table = [(a.name, p.name, 2) for a in apps for p in pool]
+        uid_offs, uid_pair, inv, firsts = [0], [], [], []
+        for e, epoch in enumerate(plan):
+            index = {}
+            for i, (a, p) in enumerate(epoch):
+                u = a * len(pool) + p
+                j = index.get(u)
+                if j is None:
+                    index[u] = j = len(index)
+                    uid_pair.append(u)
+                    firsts.append(i)
+                inv.append(j)
+            uid_offs.append(len(uid_pair))
+        stream = CandidateStream(
+            apps, pool, app_idx, prof_idx, pair_id, 2, key_table,
+            starts, uid_offs, uid_pair, inv, firsts,
+        )
+        bulk_svc = PredictionService(predictor, QosTarget.average(0.90))
+        loop_svc = PredictionService(predictor, QosTarget.average(0.90))
+        counts, shed = bulk_svc.decide_stream(stream)
+        loop_counts = []
+        loop_shed = []
+        for e in range(stream.n_epochs):
+            batch = stream.batch(e)
+            loop_svc.begin_epoch_batch(batch)
+            out = loop_svc.decide_batch(batch)
+            loop_counts.extend(out.max_safe_instances.tolist())
+            loop_shed.extend(out.shed.tolist())
+        assert counts.tolist() == loop_counts
+        assert shed.tolist() == loop_shed
+        assert list(bulk_svc._lru.items()) == list(loop_svc._lru.items())

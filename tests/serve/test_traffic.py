@@ -75,6 +75,32 @@ class TestDiurnal:
         assert trace.mean_rate_per_s == pytest.approx(0.05, rel=0.15)
 
 
+class TestChunkedGeneration:
+    """Bounded-memory arrival streaming must not change any trace."""
+
+    @pytest.mark.parametrize("chunk_gaps", [1, 7, 64, 100_000])
+    def test_poisson_chunk_size_invariant(self, pool, chunk_gaps):
+        one_shot = poisson_trace(pool, rate_per_s=0.08, horizon_s=20_000.0,
+                                 seed=9)
+        chunked = poisson_trace(pool, rate_per_s=0.08, horizon_s=20_000.0,
+                                seed=9, chunk_gaps=chunk_gaps)
+        assert chunked == one_shot
+
+    @pytest.mark.parametrize("chunk_gaps", [1, 13, 1_000])
+    def test_diurnal_chunk_size_invariant(self, pool, chunk_gaps):
+        one_shot = diurnal_trace(pool, mean_rate_per_s=0.05,
+                                 horizon_s=40_000.0, seed=4)
+        chunked = diurnal_trace(pool, mean_rate_per_s=0.05,
+                                horizon_s=40_000.0, seed=4,
+                                chunk_gaps=chunk_gaps)
+        assert chunked == one_shot
+
+    def test_bad_chunk_gaps_rejected(self, pool):
+        with pytest.raises(ConfigurationError):
+            poisson_trace(pool, rate_per_s=0.1, horizon_s=1_000.0,
+                          seed=0, chunk_gaps=0)
+
+
 class TestValidation:
     def test_empty_pool_rejected(self):
         with pytest.raises(ConfigurationError):
