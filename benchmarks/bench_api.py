@@ -1,0 +1,252 @@
+"""Throughput/latency benchmark of the network-facing prediction API.
+
+Two questions, answered against a live :class:`ApiServer` on loopback:
+
+1. **Sustained micro-batched QPS** (gated as ``api_qps`` by
+   ``scripts/bench_regress.py``): how many pipelined ``place`` requests
+   per second one connection pushes through the full stack — framing,
+   validation, micro-batch coalescing, and a warm
+   :class:`PredictionService` LRU.
+2. **Open-loop latency under offered load**: a seeded Poisson client
+   drives the server at several offered-load points around a known
+   saturation capacity (a decider with a deterministic per-batch cost
+   makes capacity exact: ``max_batch / batch_cost``). Past saturation
+   the bounded queue must *shed* — the benchmark asserts the overload
+   point keeps a non-zero shed rate while the p99 of *served* requests
+   stays bounded instead of collapsing into an unbounded queue.
+
+The session writes ``BENCH_api.json`` (override with
+``SMITE_BENCH_API_OUT``) recording QPS plus per-point p50/p99/shed-rate
+series; ``scripts/bench_regress.py`` gates ``api_qps`` against the
+committed copy (``--skip-api`` skips the whole phase).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.scheduler.qos import QosTarget
+from repro.serve.api import ApiClient, ApiServer
+from repro.serve.api.protocol import HEADER_BYTES, encode_frame
+from repro.serve.service import Decider, Decision, PredictionService
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.spec import spec_even, spec_odd
+
+pytestmark = pytest.mark.bench_regress
+
+_RESULTS: dict[str, object] = {}
+
+#: Deterministic per-micro-batch decision cost of the open-loop decider,
+#: giving an exact saturation capacity of MAX_BATCH / BATCH_COST_S.
+_BATCH_COST_S = 0.02
+_MAX_BATCH = 16
+_QUEUE_BOUND = 32
+_CAPACITY_QPS = _MAX_BATCH / _BATCH_COST_S
+#: Offered-load multipliers around capacity; the last is deliberately
+#: past saturation to exercise the shed path.
+_LOAD_POINTS = (0.5, 3.0)
+_REQUESTS_PER_POINT = 600
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    """Dump everything the module measured once its benchmarks finish."""
+    yield
+    if not _RESULTS:
+        return
+    report = {
+        "machine": SANDY_BRIDGE_EN.name,
+        "ops_per_sec": {"api_qps": _RESULTS["api_qps"]},
+        "pipelined": _RESULTS["pipelined"],
+        "open_loop": _RESULTS["open_loop"],
+    }
+    out = os.environ.get("SMITE_BENCH_API_OUT", "BENCH_api.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+@pytest.fixture(scope="module")
+def service():
+    simulator = Simulator(SANDY_BRIDGE_EN)
+    predictor = SMiTe(simulator).fit(spec_odd()[:6], mode="smt")
+    predictor.fit_server(spec_odd()[:6], instance_counts=(1, 3, 6))
+    return PredictionService(predictor, QosTarget.average(0.95))
+
+
+class _FixedCostDecider(Decider):
+    """Baseline answers at an exact, deterministic per-batch cost."""
+
+    name = "fixed-cost"
+
+    def begin_epoch(self, candidates) -> None:
+        time.sleep(_BATCH_COST_S)
+
+    def _decide(self, latency_app, batch_profile, *, max_instances):
+        return Decision(max_safe_instances=0, cached=True)
+
+
+def _place_message(batch: str, instances: int) -> dict:
+    return {"op": "place", "latency_app": "web-search", "batch": batch,
+            "max_instances": instances}
+
+
+def test_perf_pipelined_qps(service):
+    """Gated: pipelined place throughput through a warm prediction LRU."""
+    pool = [p.name for p in spec_even()[:4]]
+    messages = [_place_message(name, instances)
+                for name in pool for instances in (2, 4)]
+    n = 2_000
+
+    server = ApiServer(service, max_batch=64, queue_bound=4_096)
+    with server.background() as (host, port):
+        with ApiClient(host, port) as client:
+            # Warm round: prime the prediction LRU so the timed rounds
+            # measure the serving path, not first-touch solver work.
+            for message in messages:
+                client.request(dict(message))
+            best = None
+            for _ in range(3):
+                started = time.perf_counter()
+                ids = [client.send(dict(messages[i % len(messages)]))
+                       for i in range(n)]
+                results = [client.wait(request_id) for request_id in ids]
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
+            stats = client.stats()
+
+    assert all(not r["shed"] for r in results)
+    assert all(r["cached"] for r in results)  # the LRU stayed warm
+    occupancy = stats["requests"] / max(stats["batches"], 1)
+    _RESULTS["api_qps"] = n / best
+    _RESULTS["pipelined"] = {
+        "requests": n,
+        "seconds": best,
+        "mean_batch_occupancy": occupancy,
+    }
+    # Micro-batching must actually coalesce the pipelined burst.
+    assert occupancy > 1.5
+
+
+class _OpenLoopClient:
+    """Seeded open-loop driver: paced sends, reader thread, latencies."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._sock = socket.create_connection((host, port), timeout=60)
+        self._send_at: dict[int, float] = {}
+        self._served_ms: list[float] = []
+        self._shed = 0
+        self._errors = 0
+        self._lock = threading.Lock()
+
+    def _reader(self, expected: int) -> None:
+        buffer = b""
+        seen = 0
+        while seen < expected:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+            while len(buffer) >= HEADER_BYTES:
+                length = int.from_bytes(buffer[:HEADER_BYTES], "big")
+                end = HEADER_BYTES + length
+                if len(buffer) < end:
+                    break
+                response = json.loads(buffer[HEADER_BYTES:end])
+                buffer = buffer[end:]
+                seen += 1
+                now = time.perf_counter()
+                with self._lock:
+                    sent = self._send_at.pop(response["id"], None)
+                if response.get("ok"):
+                    self._served_ms.append((now - sent) * 1e3)
+                elif response.get("error", {}).get("code") == "overloaded":
+                    self._shed += 1
+                else:
+                    self._errors += 1
+
+    def run(self, offered_qps: float, n: int, seed: int) -> dict:
+        """Drive ``n`` seeded-Poisson arrivals; return the point record."""
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(1.0 / offered_qps, size=n)
+        reader = threading.Thread(target=self._reader, args=(n,),
+                                  daemon=True)
+        reader.start()
+        started = time.perf_counter()
+        due = started
+        for i in range(n):
+            due += gaps[i]
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            frame = encode_frame({"v": 1, "id": i,
+                                  **_place_message("470.lbm", 4)})
+            with self._lock:
+                self._send_at[i] = time.perf_counter()
+            self._sock.sendall(frame)
+        reader.join(timeout=120)
+        elapsed = time.perf_counter() - started
+        self._sock.close()
+        served = sorted(self._served_ms)
+
+        def pct(q: float) -> float:
+            return served[min(len(served) - 1,
+                              int(q * len(served)))] if served else 0.0
+
+        return {
+            "offered_qps": offered_qps,
+            "sent": n,
+            "served": len(served),
+            "shed": self._shed,
+            "errors": self._errors,
+            "achieved_qps": len(served) / elapsed,
+            "p50_ms": pct(0.50),
+            "p99_ms": pct(0.99),
+            "shed_rate": self._shed / n,
+        }
+
+
+def test_perf_open_loop_latency_and_shed():
+    """Seeded offered-load sweep around an exact saturation capacity."""
+    points = []
+    for index, multiplier in enumerate(_LOAD_POINTS):
+        server = ApiServer(_FixedCostDecider(), max_batch=_MAX_BATCH,
+                           queue_bound=_QUEUE_BOUND)
+        with server.background() as (host, port):
+            client = _OpenLoopClient(host, port)
+            point = client.run(multiplier * _CAPACITY_QPS,
+                               _REQUESTS_PER_POINT, seed=42 + index)
+            point["load_multiplier"] = multiplier
+            points.append(point)
+
+    _RESULTS["open_loop"] = {
+        "capacity_qps": _CAPACITY_QPS,
+        "batch_cost_s": _BATCH_COST_S,
+        "max_batch": _MAX_BATCH,
+        "queue_bound": _QUEUE_BOUND,
+        "points": points,
+    }
+    for point in points:
+        assert point["errors"] == 0
+        assert point["served"] + point["shed"] == point["sent"]
+
+    light, overload = points[0], points[-1]
+    # Below capacity nothing sheds and the server keeps up.
+    assert light["shed"] == 0
+    assert light["served"] == light["sent"]
+    # Past saturation the bounded queue sheds instead of building an
+    # unbounded backlog...
+    assert overload["shed_rate"] > 0.2
+    # ...and the requests that *are* served see bounded queueing delay:
+    # at most queue_bound/max_batch batches ahead of them, far under a
+    # second even with generous scheduling slack.
+    assert overload["p99_ms"] < 1_000.0

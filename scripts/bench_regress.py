@@ -13,7 +13,11 @@ committed baselines. Two phases are gated, each allowed to drop at most
   replay loop (a diurnal day through the full SMiTe stack);
 - **serve-scale** (same file): events/sec of the 100k-server /
   1M-arrival warehouse scenario (skippable with ``--skip-scale`` on
-  constrained runners; the gate then reports it as skipped).
+  constrained runners; the gate then reports it as skipped);
+- **api** (``BENCH_api.json``): sustained pipelined QPS through the
+  network-facing prediction API (``benchmarks/bench_api.py``), whose
+  open-loop sweep also proves overload sheds to the baseline instead of
+  collapsing (skippable with ``--skip-api``).
 
 The benchmark session also emits a ``repro.obs`` run report
 (``SMITE_METRICS_OUT``), from which this gate derives *phase* numbers —
@@ -54,8 +58,10 @@ from repro.obs.diffs import format_phase_deltas  # noqa: E402
 
 BASELINE = REPO / "BENCH_solver.json"
 SERVE_BASELINE = REPO / "BENCH_serve.json"
+API_BASELINE = REPO / "BENCH_api.json"
 GATED_METRIC = "pair_grid_batch"
 SERVE_GATED_METRIC = "replay_events"
+API_GATED_METRIC = "api_qps"
 #: The 100k-server/1M-arrival scenario's in-process throughput; gated
 #: like the others but skippable (``--skip-scale``) on small runners.
 SERVE_SCALE_METRIC = "replay_events_scale"
@@ -67,21 +73,27 @@ TRACE_OVERHEAD_ALLOWED = 0.05
 
 
 def _run_benchmarks(out_path: Path, serve_out_path: Path,
-                    metrics_path: Path, *,
-                    skip_scale: bool) -> tuple[dict, dict, dict]:
+                    api_out_path: Path, metrics_path: Path, *,
+                    skip_scale: bool,
+                    skip_api: bool) -> tuple[dict, dict, dict, dict]:
     env = dict(os.environ)
     env["SMITE_BENCH_OUT"] = str(out_path)
     env["SMITE_BENCH_SERVE_OUT"] = str(serve_out_path)
+    env["SMITE_BENCH_API_OUT"] = str(api_out_path)
     env["SMITE_METRICS_OUT"] = str(metrics_path)
     if skip_scale:
         env["SMITE_BENCH_SKIP_SCALE"] = "1"
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
     )
-    command = [
-        sys.executable, "-m", "pytest",
+    files = [
         str(REPO / "benchmarks" / "bench_solver_perf.py"),
         str(REPO / "benchmarks" / "bench_serve.py"),
+    ]
+    if not skip_api:
+        files.append(str(REPO / "benchmarks" / "bench_api.py"))
+    command = [
+        sys.executable, "-m", "pytest", *files,
         "-m", "bench_regress", "-q", "-p", "no:cacheprovider",
     ]
     subprocess.run(command, cwd=REPO, env=env, check=True)
@@ -89,11 +101,15 @@ def _run_benchmarks(out_path: Path, serve_out_path: Path,
         fresh = json.load(fh)
     with serve_out_path.open(encoding="utf-8") as fh:
         fresh_serve = json.load(fh)
+    fresh_api: dict = {}
+    if api_out_path.exists():
+        with api_out_path.open(encoding="utf-8") as fh:
+            fresh_api = json.load(fh)
     metrics: dict = {}
     if metrics_path.exists():
         with metrics_path.open(encoding="utf-8") as fh:
             metrics = json.load(fh).get("metrics", {})
-    return fresh, fresh_serve, metrics
+    return fresh, fresh_serve, fresh_api, metrics
 
 
 def _phases(metrics: dict) -> dict[str, float]:
@@ -149,6 +165,26 @@ def _serve_phases(metrics: dict) -> dict[str, float]:
     events = counters.get("serve.engine.events", 0)
     if epochs:
         phases["events_per_epoch"] = events / epochs
+    return phases
+
+
+def _api_phases(metrics: dict) -> dict[str, float]:
+    """API serving-path phase costs derived from the obs report."""
+    phases: dict[str, float] = {}
+    for path, hist in metrics.get("spans", {}).items():
+        if path.rsplit("/", 1)[-1] == "serve.api.batch" \
+                and hist.get("count"):
+            phases["api_batch_mean_s"] = hist["sum"] / hist["count"]
+    occupancy = metrics.get("histograms", {}).get(
+        "serve.api.batch_occupancy")
+    if occupancy and occupancy.get("count"):
+        phases["api_batch_occupancy_mean"] = (
+            occupancy["sum"] / occupancy["count"])
+    counters = metrics.get("counters", {})
+    requests = counters.get("serve.api.requests", 0)
+    if requests:
+        phases["api_shed_rate"] = (
+            counters.get("serve.api.sheds", 0) / requests)
     return phases
 
 
@@ -233,6 +269,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-scale", action="store_true",
                         help="skip the 100k-server/1M-arrival scale "
                              "scenario (constrained runners)")
+    parser.add_argument("--skip-api", action="store_true",
+                        help="skip the network-facing prediction API "
+                             "benchmark and its QPS gate")
     args = parser.parse_args(argv)
 
     if not args.skip_lint and _lint_preflight() != 0:
@@ -243,11 +282,13 @@ def main(argv: list[str] | None = None) -> int:
 
     trace_failed = False
     with tempfile.TemporaryDirectory() as tmp:
-        fresh, fresh_serve, metrics = _run_benchmarks(
+        fresh, fresh_serve, fresh_api, metrics = _run_benchmarks(
             Path(tmp) / "BENCH_solver.json",
             Path(tmp) / "BENCH_serve.json",
+            Path(tmp) / "BENCH_api.json",
             Path(tmp) / "BENCH_metrics.json",
             skip_scale=args.skip_scale,
+            skip_api=args.skip_api,
         )
         if not args.skip_trace_gate and not args.update:
             trace_path = Path(tmp) / "BENCH_serve.trace.json"
@@ -275,18 +316,38 @@ def main(argv: list[str] | None = None) -> int:
               f"events/s over {scale['events']} events on "
               f"{scale['servers']} servers "
               f"({sharded:.0f} events/s with {scale['shards']} shards)")
+    if fresh_api:
+        overload = next(
+            (p for p in fresh_api["open_loop"]["points"]
+             if p["load_multiplier"] > 1.0), None)
+        print(f"api: {fresh_api['ops_per_sec'][API_GATED_METRIC]:.0f} "
+              f"req/s pipelined (mean batch occupancy "
+              f"{fresh_api['pipelined']['mean_batch_occupancy']:.1f})")
+        if overload:
+            print(f"api overload ({overload['load_multiplier']:.1f}x "
+                  f"capacity): shed rate {overload['shed_rate']:.0%}, "
+                  f"served p99 {overload['p99_ms']:.0f} ms")
 
     fresh["phases"] = _phases(metrics)
     fresh_serve["phases"] = _serve_phases(metrics)
+    if fresh_api:
+        fresh_api["phases"] = _api_phases(metrics)
 
-    failed = trace_failed
-    for name, fresh_report, baseline_path, metric, unit in (
+    gates = [
         ("solver", fresh, BASELINE, GATED_METRIC, "pairs/s"),
         ("serve", fresh_serve, SERVE_BASELINE, SERVE_GATED_METRIC,
          "events/s"),
         ("serve-scale", fresh_serve, SERVE_BASELINE, SERVE_SCALE_METRIC,
          "events/s"),
-    ):
+    ]
+    if args.skip_api or not fresh_api:
+        print("\napi: skipped (--skip-api)")
+    else:
+        gates.append(("api", fresh_api, API_BASELINE, API_GATED_METRIC,
+                      "req/s"))
+
+    failed = trace_failed
+    for name, fresh_report, baseline_path, metric, unit in gates:
         if args.update or not baseline_path.exists():
             if metric is SERVE_SCALE_METRIC:
                 continue  # SERVE_BASELINE was just written by "serve"

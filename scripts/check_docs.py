@@ -8,7 +8,13 @@ docs/*.md) and
    repository's ``src/`` on ``PYTHONPATH``, so a renamed API or a stale
    import in the docs fails CI instead of a reader;
 2. **resolves every relative markdown link**, so moved or deleted files
-   can't leave dead references behind.
+   can't leave dead references behind;
+3. **checks documentation coverage**: every public ``repro.cli``
+   subcommand must be mentioned (as ``repro.cli <name>``) somewhere in
+   the user-facing docs, and every metric in the observability catalog
+   (``repro.obs.catalog``) must have a reference row in
+   ``docs/OBSERVABILITY.md`` — adding a subcommand or metric without
+   documenting it fails CI.
 
 Snippet policy, controlled by an HTML comment on the line above the
 fence:
@@ -169,6 +175,48 @@ def check_links() -> list[str]:
     return errors
 
 
+def _all_doc_text() -> str:
+    return "\n".join(path.read_text(encoding="utf-8")
+                     for path in doc_paths())
+
+
+def check_cli_coverage() -> list[str]:
+    """Every public CLI subcommand needs a documentation mention."""
+    sys.path.insert(0, str(REPO / "src"))
+    import argparse as _argparse
+
+    from repro.cli import _parser
+
+    subcommands: list[str] = []
+    for action in _parser()._actions:
+        if isinstance(action, _argparse._SubParsersAction):
+            subcommands = sorted(action.choices)
+    text = _all_doc_text()
+    return [
+        f"cli coverage: subcommand '{name}' has no 'repro.cli {name}' "
+        f"mention in any user-facing doc"
+        for name in subcommands
+        if f"repro.cli {name}" not in text
+    ]
+
+
+def check_metric_coverage() -> list[str]:
+    """Every cataloged metric needs a row in docs/OBSERVABILITY.md."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.catalog import CATALOG
+
+    reference = REPO / "docs" / "OBSERVABILITY.md"
+    if not reference.exists():
+        return ["metric coverage: docs/OBSERVABILITY.md is missing"]
+    text = reference.read_text(encoding="utf-8")
+    return [
+        f"metric coverage: {spec.kind} '{spec.name}' has no "
+        f"documentation row in docs/OBSERVABILITY.md"
+        for spec in CATALOG
+        if f"`{spec.name}`" not in text
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--links-only", action="store_true",
@@ -176,6 +224,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     errors = check_links()
+    errors += check_cli_coverage()
+    errors += check_metric_coverage()
     if not args.links_only:
         errors += check_snippets()
     for error in errors:

@@ -6,6 +6,7 @@ A thin operational wrapper over the library for quick questions:
     python -m repro.cli predict 444.namd 470.lbm --mode smt
     python -m repro.cli safe-batch web-search --qos 0.9
     python -m repro.cli serve --trace diurnal --policy smite --fast
+    python -m repro.cli serve-api --policy baseline --port 7077
     python -m repro.cli workloads
     python -m repro.cli obs view run.json
     python -m repro.cli obs diff before.json after.json
@@ -19,6 +20,7 @@ Sandy Bridge-EN server questions, matching the paper's splits).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from pathlib import Path
@@ -40,6 +42,7 @@ from repro.obs.report import (
 from repro.scheduler.qos import QosTarget
 from repro.scheduler.scaleout import fit_tail_model
 from repro.serve import (
+    ApiServer,
     BaselineDecider,
     PredictionService,
     RandomDecider,
@@ -47,6 +50,7 @@ from repro.serve import (
     WindowedSlo,
     diurnal_trace,
     poisson_trace,
+    run_api_shards,
 )
 from repro.smt.diskcache import default_cache
 from repro.smt.params import IVY_BRIDGE, MACHINES, SANDY_BRIDGE_EN
@@ -254,6 +258,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _api_decider(args: argparse.Namespace):
+    """Build the serve-api decider; only ``smite`` needs a fitted model."""
+    if args.policy == "random":
+        return RandomDecider(seed=args.seed + 1)
+    if args.policy == "baseline":
+        return BaselineDecider()
+    simulator = Simulator(SANDY_BRIDGE_EN, disk_cache=default_cache())
+    training = spec_odd()[:8] if args.fast else spec_odd()
+    counts = (1, 3, 6) if args.fast else (1, 2, 4, 6)
+    predictor = SMiTe(simulator).fit(training, mode="smt")
+    predictor.fit_server(training, instance_counts=counts)
+    target = _parse_qos(args.qos)
+    tail_models = None
+    if target.metric.value == "tail_latency":
+        apps = cloudsuite_apps()[:2] if args.fast else cloudsuite_apps()
+        tail_models = {
+            app.name: fit_tail_model(simulator, predictor, app,
+                                     des_jobs=10_000 if args.fast
+                                     else 60_000)
+            for app in apps
+        }
+    return PredictionService(predictor, target, tail_models=tail_models)
+
+
+def _cmd_serve_api(args: argparse.Namespace) -> int:
+    if args.shards > 1 and args.port != 0:
+        raise ReproError(
+            "--port only applies to the in-process server; sharded "
+            "workers each listen on an ephemeral port (printed at start)"
+        )
+    decider = _api_decider(args)
+    options = dict(
+        max_batch=args.max_batch,
+        queue_bound=args.queue_bound,
+        batch_window_s=args.batch_window,
+        retry_after_ms=args.retry_after,
+        max_requests=args.max_requests,
+    )
+    drained = True
+    if args.shards > 1:
+        def _announce(addresses: list[tuple[str, int]]) -> None:
+            for host, port in addresses:
+                print(f"listening on {host}:{port}", flush=True)
+
+        try:
+            summaries = run_api_shards(
+                decider, shards=args.shards, jobs=args.jobs,
+                host=args.host, ready_callback=_announce, **options,
+            )
+        except KeyboardInterrupt:
+            drained = False
+            summaries = []
+        served = sum(s["requests"] or 0 for s in summaries)
+        if drained:
+            print(f"{len(summaries)} shard workers drained "
+                  f"after {served} requests")
+    else:
+        server = ApiServer(decider, host=args.host, port=args.port,
+                           **options)
+
+        async def _run() -> None:
+            host, port = await server.start()
+            print(f"listening on {host}:{port}", flush=True)
+            await server.serve_until_stopped()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            drained = False
+        if drained:
+            print(f"server drained after {server.requests_served} "
+                  f"requests")
+    metrics = snapshot()
+    counters = metrics["counters"]
+    requests = counters.get("serve.api.requests", 0)
+    batches = counters.get("serve.api.batches", 0)
+    sheds = counters.get("serve.api.sheds", 0)
+    if batches:
+        print(f"  {requests} requests answered in {batches} "
+              f"micro-batches, {sheds} shed to the baseline")
+    if args.metrics_out:
+        path = write_report(args.metrics_out, build_report(
+            command=["repro.cli", "serve-api"], metrics=metrics,
+        ))
+        print(f"  metrics report written to {path}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     try:
         if args.obs_command == "view":
@@ -361,6 +453,55 @@ def _parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace-event JSON timeline "
                             "here (SMITE_TRACE_OUT is honored too)")
 
+    serve_api = sub.add_parser(
+        "serve-api",
+        help="answer prediction/placement queries over a TCP socket")
+    serve_api.add_argument("--host", default="127.0.0.1",
+                           help="interface to bind (default 127.0.0.1)")
+    serve_api.add_argument("--port", type=int, default=0,
+                           help="port to bind; 0 picks an ephemeral port, "
+                                "printed at startup (in-process mode only)")
+    serve_api.add_argument("--policy", default="smite",
+                           choices=("smite", "random", "baseline"),
+                           help="decider behind the socket (default smite)")
+    serve_api.add_argument("--qos", default="average:0.95",
+                           help="QoS target for --policy smite: LEVEL, "
+                                "average:LEVEL, or tail:LEVEL "
+                                "(default average:0.95)")
+    serve_api.add_argument("--seed", type=int, default=42,
+                           help="seed for --policy random (default 42)")
+    serve_api.add_argument("--max-batch", type=int, default=64,
+                           help="max requests coalesced into one decision "
+                                "micro-batch (default 64)")
+    serve_api.add_argument("--queue-bound", type=int, default=256,
+                           help="pending-queue bound; overflow is answered "
+                                "with the overloaded shed-to-baseline "
+                                "response (default 256)")
+    serve_api.add_argument("--batch-window", type=float, default=0.0,
+                           help="seconds to linger after the first queued "
+                                "request so a concurrent burst coalesces "
+                                "(default 0: drain immediately)")
+    serve_api.add_argument("--retry-after", type=float, default=50.0,
+                           help="retry_after_ms hint carried by overloaded "
+                                "responses (default 50)")
+    serve_api.add_argument("--max-requests", type=int, default=None,
+                           help="drain gracefully after answering this "
+                                "many requests (default: serve until "
+                                "shutdown)")
+    serve_api.add_argument("--shards", type=int, default=0,
+                           help="serve from this many worker processes, "
+                                "each on its own printed ephemeral port "
+                                "(0/1 stays in-process)")
+    serve_api.add_argument("--jobs", type=int, default=None,
+                           help="max worker processes for --shards "
+                                "(default: one per shard)")
+    serve_api.add_argument("--fast", action="store_true",
+                           help="CI-sized run: smaller training set and "
+                                "tail-model fits")
+    serve_api.add_argument("--metrics-out", default=None,
+                           help="write the JSON run report here after the "
+                                "drain (SMITE_METRICS_OUT is honored too)")
+
     obs = sub.add_parser(
         "obs", help="inspect run reports and trace files")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -392,6 +533,7 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "safe-batch": _cmd_safe_batch,
         "serve": _cmd_serve,
+        "serve-api": _cmd_serve_api,
         "obs": _cmd_obs,
     }
     obs_trace.maybe_install_env_tracer()

@@ -163,6 +163,27 @@ CATALOG: tuple[MetricSpec, ...] = (
                "SLO accounting windows closed over the event clock"),
     MetricSpec("gauge", "serve.slo.violation_rate", "fraction",
                "QoS-violation rate of the most recently closed window"),
+    # -- network-facing prediction API (serve/api/) ----------------------
+    MetricSpec("counter", "serve.api.connections", "connections",
+               "client connections accepted by the API server"),
+    MetricSpec("counter", "serve.api.requests", "requests",
+               "valid protocol requests answered (every op, shed "
+               "responses included)"),
+    MetricSpec("counter", "serve.api.protocol_errors", "requests",
+               "frames or requests rejected with a protocol error "
+               "(bad framing, schema violations, version mismatches)"),
+    MetricSpec("counter", "serve.api.batches", "batches",
+               "decision micro-batches drained from the pending queue"),
+    MetricSpec("counter", "serve.api.sheds", "requests",
+               "requests answered with the 429-style overloaded "
+               "shed-to-baseline response because the queue bound was hit"),
+    MetricSpec("counter", "serve.api.shard_workers", "processes",
+               "worker processes the sharded API service fanned out to"),
+    MetricSpec("gauge", "serve.api.queue_depth", "requests",
+               "pending decision requests observed at the last "
+               "batch-drain boundary"),
+    MetricSpec("histogram", "serve.api.batch_occupancy", "requests",
+               "requests coalesced into each decision micro-batch"),
     # -- prediction-accuracy audit (obs/audit.py, fed by serve/engine.py)
     MetricSpec("counter", "serve.audit.samples", "comparisons",
                "predicted-vs-realized degradation comparisons recorded "
@@ -208,6 +229,12 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("span", "serve.shard.merge", "seconds",
                "folding shard workers' results and metric snapshots "
                "back into the parent"),
+    MetricSpec("span", "serve.api.batch", "seconds",
+               "one decision micro-batch: epoch prefetch plus per-request "
+               "decisions through the decider"),
+    MetricSpec("span", "serve.api.shard_merge", "seconds",
+               "folding one API shard worker's metric snapshot back into "
+               "the parent registry"),
     # -- span failure marking (obs/spans.py) -----------------------------
     MetricSpec("counter", "{span_path}.errors", "errors",
                "span blocks that exited via exception, keyed by the "

@@ -28,6 +28,7 @@ Typical use::
 
 from __future__ import annotations
 
+from repro.serve.api import ApiClient, ApiError, ApiServer, run_api_shards
 from repro.serve.engine import OnlineServer, ReplayOutcome, ServingEngine
 from repro.serve.events import EventRecord, EventTable
 from repro.serve.service import (
@@ -47,6 +48,9 @@ from repro.serve.traffic import Trace, TraceJob, diurnal_trace, poisson_trace
 
 __all__ = [
     "AdmissionControl",
+    "ApiClient",
+    "ApiError",
+    "ApiServer",
     "BaselineDecider",
     "CandidateBatch",
     "CandidateStream",
@@ -67,6 +71,7 @@ __all__ = [
     "WindowedSlo",
     "diurnal_trace",
     "poisson_trace",
+    "run_api_shards",
     "run_pool_shards",
     "window_violation_stats",
 ]

@@ -1,11 +1,16 @@
-"""Docs stay truthful: OBSERVABILITY.md mirrors the catalog, and the
-EXPERIMENTS.md reproduction guide mirrors the experiment registry."""
+"""Docs stay truthful: OBSERVABILITY.md mirrors the catalog, the
+EXPERIMENTS.md reproduction guide mirrors the experiment registry, and
+the README Configuration reference mirrors the CLI's actual flags."""
 
 from __future__ import annotations
 
+import argparse
 import re
 from pathlib import Path
 
+import pytest
+
+from repro.cli import _parser
 from repro.experiments.registry import all_experiment_ids
 from repro.obs.catalog import CATALOG
 
@@ -90,3 +95,63 @@ def test_guide_commands_invoke_the_runner_with_the_row_id():
     for experiment_id, command in _guide_rows().items():
         assert command.startswith("python -m repro.experiments.runner ")
         assert f" {experiment_id}" in command
+
+
+# -- README Configuration reference vs the live CLI ----------------------
+
+_FLAG = re.compile(r"--[a-z][a-z-]*")
+
+
+def _readme_flag_tables() -> dict[str, set[str]]:
+    """Header label -> the set of flags its table's first column names."""
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    tables: dict[str, set[str]] = {}
+    label = None
+    for line in text.splitlines():
+        line = line.strip()
+        header = re.match(r"^\| Flag \(`?(?P<label>[^`)]+)`?\) \|", line)
+        if header:
+            label = header["label"]
+            tables[label] = set()
+            continue
+        if label is None:
+            continue
+        if not line.startswith("|"):
+            label = None
+            continue
+        first_cell = line.split("|")[1]
+        tables[label].update(_FLAG.findall(first_cell))
+    return tables
+
+
+def _cli_flags(subcommand: str) -> set[str]:
+    for action in _parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            sub = action.choices[subcommand]
+            return {a.option_strings[-1] for a in sub._actions
+                    if a.option_strings
+                    and a.option_strings[-1] != "--help"}
+    raise AssertionError("repro.cli lost its subparsers")  # pragma: no cover
+
+
+@pytest.mark.parametrize("subcommand", ["serve", "serve-api"])
+def test_every_serving_cli_flag_is_documented(subcommand):
+    tables = _readme_flag_tables()
+    # A serving flag may be documented either in its own table or in the
+    # shared runner table (--fast, --metrics-out, --trace-out, ...).
+    documented = tables[f"repro.cli {subcommand}"] | tables["runner"]
+    missing = _cli_flags(subcommand) - documented
+    assert not missing, (
+        f"README documents no row for repro.cli {subcommand} "
+        f"flags: {sorted(missing)}"
+    )
+
+
+@pytest.mark.parametrize("subcommand", ["serve", "serve-api"])
+def test_every_documented_serving_flag_exists(subcommand):
+    stale = _readme_flag_tables()[f"repro.cli {subcommand}"] \
+        - _cli_flags(subcommand)
+    assert not stale, (
+        f"README's repro.cli {subcommand} table documents flags the CLI "
+        f"no longer has: {sorted(stale)}"
+    )

@@ -1,0 +1,158 @@
+"""Unit tests for the wire protocol: framing, validation, envelopes."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.api.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    MAX_INSTANCES,
+    PROTOCOL_VERSION,
+    ApiProtocolError,
+    E_BAD_FRAME,
+    E_BAD_REQUEST,
+    E_BAD_VERSION,
+    E_FRAME_TOO_LARGE,
+    E_UNKNOWN_OP,
+    decode_payload,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+    validate_request,
+)
+
+
+def _roundtrip(message):
+    frame = encode_frame(message)
+    length = int.from_bytes(frame[:HEADER_BYTES], "big")
+    assert length == len(frame) - HEADER_BYTES
+    return decode_payload(frame[HEADER_BYTES:])
+
+
+class TestFraming:
+    def test_roundtrip_preserves_message(self):
+        message = {"v": 1, "op": "place", "latency_app": "web-search",
+                   "batch": "470.lbm", "max_instances": 4, "id": 7}
+        assert _roundtrip(message) == message
+
+    def test_encoding_is_deterministic(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b  # sorted keys, compact separators
+
+    def test_oversized_payload_rejected_at_encode(self):
+        with pytest.raises(ApiProtocolError) as excinfo:
+            encode_frame({"blob": "x" * MAX_FRAME_BYTES})
+        assert excinfo.value.code == E_FRAME_TOO_LARGE
+        assert excinfo.value.close
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ApiProtocolError) as excinfo:
+            decode_payload(b"\xff\xfenot json")
+        assert excinfo.value.code == E_BAD_FRAME
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ApiProtocolError) as excinfo:
+            decode_payload(b"[1, 2, 3]")
+        assert excinfo.value.code == E_BAD_FRAME
+
+
+class TestReadFrame:
+    def _read(self, data, **kwargs):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader, **kwargs)
+
+        return asyncio.run(go())
+
+    def test_reads_one_frame(self):
+        assert self._read(encode_frame({"op": "ping"})) == {"op": "ping"}
+
+    def test_announced_length_over_limit_rejected(self):
+        huge = (2 * MAX_FRAME_BYTES).to_bytes(HEADER_BYTES, "big")
+        with pytest.raises(ApiProtocolError) as excinfo:
+            self._read(huge + b"x")
+        assert excinfo.value.code == E_FRAME_TOO_LARGE
+
+    def test_truncated_frame_raises_incomplete_read(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(asyncio.IncompleteReadError):
+            self._read(frame[:-2])
+
+    def test_custom_limit_applies(self):
+        frame = encode_frame({"pad": "y" * 256})
+        with pytest.raises(ApiProtocolError):
+            self._read(frame, max_frame_bytes=64)
+
+
+class TestValidateRequest:
+    def _place(self, **overrides):
+        message = {"v": PROTOCOL_VERSION, "op": "place",
+                   "latency_app": "web-search", "batch": "470.lbm",
+                   "max_instances": 4}
+        message.update(overrides)
+        return message
+
+    def test_valid_place(self):
+        op, fields = validate_request(self._place())
+        assert op == "place"
+        assert fields == {"latency_app": "web-search", "batch": "470.lbm",
+                          "max_instances": 4}
+
+    def test_valid_predict(self):
+        op, fields = validate_request(
+            {"v": 1, "op": "predict", "latency_app": "web-search",
+             "batch": "470.lbm", "instances": 2})
+        assert op == "predict"
+        assert fields["instances"] == 2
+
+    def test_ops_without_fields(self):
+        for op in ("ping", "stats", "shutdown"):
+            assert validate_request({"v": 1, "op": op}) == (op, {})
+
+    @pytest.mark.parametrize("version", [None, 0, 2, "1"])
+    def test_wrong_version_rejected(self, version):
+        with pytest.raises(ApiProtocolError) as excinfo:
+            validate_request(self._place(v=version))
+        assert excinfo.value.code == E_BAD_VERSION
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ApiProtocolError) as excinfo:
+            validate_request({"v": 1, "op": "teleport"})
+        assert excinfo.value.code == E_UNKNOWN_OP
+
+    @pytest.mark.parametrize("bad", [
+        {"op": 7}, {"id": 1.5}, {"latency_app": ""}, {"latency_app": 3},
+        {"max_instances": 0}, {"max_instances": MAX_INSTANCES + 1},
+        {"max_instances": True}, {"max_instances": "4"},
+    ])
+    def test_schema_violations_rejected(self, bad):
+        with pytest.raises(ApiProtocolError) as excinfo:
+            validate_request(self._place(**bad))
+        assert excinfo.value.code in (E_BAD_REQUEST, E_UNKNOWN_OP)
+
+
+class TestEnvelopes:
+    def test_ok_envelope(self):
+        response = ok_response(9, {"pong": True})
+        assert response == {"v": PROTOCOL_VERSION, "id": 9, "ok": True,
+                            "result": {"pong": True}}
+
+    def test_error_envelope_with_backpressure_fields(self):
+        response = error_response(
+            "r1", "overloaded", "queue full", retry_after_ms=50.0,
+            result={"max_safe_instances": 0, "shed": True,
+                    "cached": False})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "overloaded"
+        assert response["error"]["retry_after_ms"] == 50.0
+        assert response["result"]["shed"] is True
+
+    def test_error_envelope_minimal(self):
+        response = error_response(None, "bad_request", "nope")
+        assert "retry_after_ms" not in response["error"]
+        assert "result" not in response

@@ -1,0 +1,366 @@
+"""Server behavior: micro-batching, backpressure, edge cases, sharding."""
+
+import queue
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.predictor import SMiTe
+from repro.errors import ConfigurationError
+from repro.obs import snapshot
+from repro.scheduler.qos import QosTarget
+from repro.serve.api import ApiClient, ApiError, ApiServer, run_api_shards
+from repro.serve.api.protocol import (
+    HEADER_BYTES,
+    E_BAD_FRAME,
+    E_BAD_VERSION,
+    E_DRAINING,
+    E_FRAME_TOO_LARGE,
+    E_OVERLOADED,
+    E_UNKNOWN_WORKLOAD,
+    encode_frame,
+)
+from repro.serve.service import (
+    AdmissionControl,
+    BaselineDecider,
+    Decider,
+    Decision,
+    PredictionService,
+)
+from repro.workloads.spec import spec_odd
+
+
+class RecordingDecider(Decider):
+    """Cheap decider that records epochs; optional per-batch delay."""
+
+    name = "recording"
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self.delay_s = delay_s
+        self.epochs: list[list] = []
+
+    def begin_epoch(self, candidates) -> None:
+        self.epochs.append(list(candidates))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+
+    def _decide(self, latency_app, batch_profile, *, max_instances):
+        return Decision(max_safe_instances=min(2, max_instances),
+                        cached=False)
+
+    def predicted_degradation(self, latency_app, batch_profile, instances):
+        return 0.05 * instances
+
+
+def _place(client, request_id=None):
+    message = {"op": "place", "latency_app": "web-search",
+               "batch": "470.lbm", "max_instances": 6}
+    if request_id is not None:
+        message["id"] = request_id
+    return client.send(message)
+
+
+class TestRoundTrip:
+    def test_all_ops(self):
+        server = ApiServer(BaselineDecider())
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                assert client.ping()["pong"] is True
+                placed = client.place("web-search", "470.lbm", 6)
+                assert placed == {"max_safe_instances": 0, "shed": False,
+                                  "cached": True}
+                predicted = client.predict("web-search", "470.lbm", 2)
+                assert predicted["predicted_degradation"] is None
+                stats = client.stats()
+                assert stats["policy"] == "baseline"
+                assert stats["requests"] == 4
+
+    def test_pipelined_requests_answered_by_id(self):
+        server = ApiServer(RecordingDecider(), batch_window_s=0.05)
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                ids = [_place(client, request_id=f"r{i}")
+                       for i in range(5)]
+                results = [client.wait(i) for i in reversed(ids)]
+        assert all(r["max_safe_instances"] == 2 for r in results)
+
+    def test_unknown_workload_keeps_connection_usable(self):
+        server = ApiServer(BaselineDecider())
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                with pytest.raises(ApiError) as excinfo:
+                    client.place("no-such-app", "470.lbm", 2)
+                assert excinfo.value.code == E_UNKNOWN_WORKLOAD
+                with pytest.raises(ApiError) as excinfo:
+                    client.place("web-search", "no-such-batch", 2)
+                assert excinfo.value.code == E_UNKNOWN_WORKLOAD
+                assert client.ping()["pong"] is True
+
+    def test_wrong_version_keeps_connection_usable(self):
+        server = ApiServer(BaselineDecider())
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                with pytest.raises(ApiError) as excinfo:
+                    client.request({"v": 99, "op": "ping"})
+                assert excinfo.value.code == E_BAD_VERSION
+                assert client.ping()["pong"] is True
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            ApiServer(BaselineDecider(), max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ApiServer(BaselineDecider(), queue_bound=0)
+        with pytest.raises(ConfigurationError):
+            ApiServer(BaselineDecider(), max_requests=0)
+
+
+class TestFramingEdgeCases:
+    def _raw(self, host, port, payload):
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(payload)
+            chunks = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks += chunk
+        return chunks
+
+    def test_malformed_frame_answered_then_closed(self):
+        server = ApiServer(BaselineDecider())
+        with server.background() as (host, port):
+            garbage = len(b"not json").to_bytes(HEADER_BYTES, "big") \
+                + b"not json"
+            raw = self._raw(host, port, garbage)
+        assert E_BAD_FRAME.encode() in raw  # error frame came back
+        # ... and the connection was closed by the server (recv saw EOF).
+
+    def test_oversized_announcement_answered_then_closed(self):
+        server = ApiServer(BaselineDecider())
+        with server.background() as (host, port):
+            huge = (10 * 1024 * 1024).to_bytes(HEADER_BYTES, "big")
+            raw = self._raw(host, port, huge + b"x")
+        assert E_FRAME_TOO_LARGE.encode() in raw
+
+    def test_oversized_payload_rejected_with_small_limit(self):
+        server = ApiServer(BaselineDecider(), max_frame_bytes=128)
+        with server.background() as (host, port):
+            frame = encode_frame({"op": "ping", "pad": "y" * 256})
+            raw = self._raw(host, port, frame)
+        assert E_FRAME_TOO_LARGE.encode() in raw
+
+    def test_client_disconnect_mid_batch_served_others(self):
+        decider = RecordingDecider(delay_s=0.1)
+        server = ApiServer(decider, batch_window_s=0.15)
+        with server.background() as (host, port):
+            doomed = ApiClient(host, port)
+            _place(doomed)
+            survivor = ApiClient(host, port)
+            try:
+                request_id = _place(survivor)
+                doomed.close()  # vanishes while its request is queued
+                result = survivor.wait(request_id)
+                assert result["max_safe_instances"] == 2
+                # Both requests went through the decider despite the
+                # disconnect; the server is still healthy.
+                assert sum(len(e) for e in decider.epochs) == 2
+                assert survivor.ping()["pong"] is True
+            finally:
+                survivor.close()
+
+
+class TestMicroBatching:
+    def test_concurrent_clients_coalesce_into_one_batch(self):
+        decider = RecordingDecider()
+        server = ApiServer(decider, batch_window_s=0.25)
+        with server.background() as (host, port):
+            clients = [ApiClient(host, port) for _ in range(4)]
+            try:
+                ids = [_place(client) for client in clients]
+                results = [client.wait(request_id)
+                           for client, request_id in zip(clients, ids)]
+            finally:
+                for client in clients:
+                    client.close()
+        assert all(r["max_safe_instances"] == 2 for r in results)
+        # All four in-flight requests landed in a single epoch batch.
+        assert [len(epoch) for epoch in decider.epochs] == [4]
+
+    def test_max_batch_splits_the_queue(self):
+        decider = RecordingDecider()
+        server = ApiServer(decider, batch_window_s=0.25, max_batch=3)
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                ids = [_place(client) for _ in range(7)]
+                for request_id in ids:
+                    client.wait(request_id)
+        sizes = [len(epoch) for epoch in decider.epochs]
+        assert sum(sizes) == 7
+        assert max(sizes) <= 3
+
+
+class TestBackpressure:
+    def test_overflow_sheds_deterministically_with_fallback(self):
+        decider = RecordingDecider()
+        server = ApiServer(decider, queue_bound=4, batch_window_s=0.3,
+                           retry_after_ms=75.0)
+        served, shed = [], []
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                ids = [_place(client) for _ in range(20)]
+                for request_id in ids:
+                    try:
+                        served.append(client.wait(request_id))
+                    except ApiError as exc:
+                        assert exc.code == E_OVERLOADED
+                        assert exc.retry_after_ms == 75.0
+                        shed.append(exc.fallback)
+        # The seeded burst far exceeds the queue bound: exactly the
+        # bound's worth is decided, the rest shed to the baseline with a
+        # retry hint and a usable fallback answer.
+        assert len(served) == 4
+        assert len(shed) == 16
+        assert all(f == {"max_safe_instances": 0, "shed": True,
+                         "cached": False} for f in shed)
+        counters = snapshot()["counters"]
+        assert counters.get("serve.api.sheds", 0) >= 16
+
+    def test_predict_overflow_has_no_fallback(self):
+        server = ApiServer(RecordingDecider(), queue_bound=1,
+                           batch_window_s=0.3)
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                first = _place(client)
+                second = client.send(
+                    {"op": "predict", "latency_app": "web-search",
+                     "batch": "470.lbm", "instances": 2})
+                client.wait(first)
+                with pytest.raises(ApiError) as excinfo:
+                    client.wait(second)
+        assert excinfo.value.code == E_OVERLOADED
+        assert excinfo.value.fallback is None
+
+
+class TestDrain:
+    def test_drain_answers_queued_work(self):
+        decider = RecordingDecider(delay_s=0.05)
+        server = ApiServer(decider, batch_window_s=0.2)
+        client = None
+        with server.background() as (host, port):
+            client = ApiClient(host, port)
+            ids = [_place(client) for _ in range(5)]
+            deadline = time.monotonic() + 10
+            while server.requests_served < 5:  # accepted, still pending
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("server never accepted the burst")
+                time.sleep(0.005)
+        # The context exit drained the server while the five requests
+        # were still pending (the 0.2s batch window plus the slow
+        # decider keep them queued); every one was answered first.
+        try:
+            results = [client.wait(request_id) for request_id in ids]
+            assert all(r["max_safe_instances"] == 2 for r in results)
+        finally:
+            client.close()
+
+    def test_max_requests_drains_and_rejects_new_work(self):
+        server = ApiServer(RecordingDecider(), batch_window_s=0.3,
+                           max_requests=1)
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                first = _place(client)
+                second = _place(client)
+                assert client.wait(first)["max_safe_instances"] == 2
+                with pytest.raises(ApiError) as excinfo:
+                    client.wait(second)
+                assert excinfo.value.code == E_DRAINING
+
+    def test_shutdown_op_stops_the_server(self):
+        server = ApiServer(BaselineDecider())
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                assert client.shutdown()["stopping"] is True
+            deadline = time.monotonic() + 10
+            while not server._stopped.is_set():
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("server did not stop after shutdown op")
+                time.sleep(0.01)
+
+
+class TestPredictionServiceIntegration:
+    @pytest.fixture(scope="class")
+    def service(self, snb_sim):
+        predictor = SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")
+        return PredictionService(predictor, QosTarget.average(0.90))
+
+    def test_place_and_predict_through_the_socket(self, service):
+        server = ApiServer(service, batch_window_s=0.05)
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                first = client.place("web-search", "471.omnetpp", 6)
+                again = client.place("web-search", "471.omnetpp", 6)
+                predicted = client.predict("web-search", "471.omnetpp", 2)
+        assert 0 <= first["max_safe_instances"] <= 6
+        assert not first["shed"]
+        assert again["cached"]  # second ask hit the prediction LRU
+        assert again["max_safe_instances"] == first["max_safe_instances"]
+        assert predicted["predicted_degradation"] is not None
+
+    def test_admission_budget_sheds_within_accepted_batch(self, snb_sim):
+        predictor = SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")
+        strict = PredictionService(
+            predictor, QosTarget.average(0.90),
+            admission=AdmissionControl(budget_ms_per_epoch=0.001))
+        server = ApiServer(strict)
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                result = client.place("web-search", "473.astar", 6)
+        # The request was accepted (no overloaded error) but the
+        # admission controller's zero budget shed it to the baseline
+        # inside the batch: the second backpressure layer.
+        assert result == {"max_safe_instances": 0, "shed": True,
+                          "cached": False}
+
+
+class TestSharding:
+    def test_two_shards_serve_and_merge_obs(self):
+        before = snapshot()["counters"]
+        addresses = queue.Queue()
+        outcome = {}
+
+        def run():
+            outcome["summaries"] = run_api_shards(
+                BaselineDecider(), shards=4, jobs=2,
+                ready_callback=addresses.put)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        bound = addresses.get(timeout=60)
+        assert len(bound) == 2  # jobs caps the shard count
+        for host, port in bound:
+            with ApiClient(host, port) as client:
+                assert client.place("web-search", "470.lbm", 4) == {
+                    "max_safe_instances": 0, "shed": False,
+                    "cached": True}
+                client.shutdown()
+        thread.join(60)
+        assert not thread.is_alive()
+        summaries = outcome["summaries"]
+        assert [s["requests"] for s in summaries] == [2, 2]
+        after = snapshot()["counters"]
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        # Worker-side serving counters merged back into this process.
+        assert delta("serve.api.shard_workers") == 2
+        assert delta("serve.api.connections") == 2
+        assert delta("serve.api.requests") == 4
+
+    def test_shard_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_api_shards(BaselineDecider(), shards=0)
+        with pytest.raises(ConfigurationError):
+            run_api_shards(BaselineDecider(), shards=2, jobs=0)

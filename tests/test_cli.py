@@ -1,6 +1,7 @@
 """Tests for the one-off CLI."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -108,6 +109,54 @@ def _report_with(tmp_path, name, *, counters=None, audit=None,
                           wall_seconds=wall_seconds,
                           metrics=registry.snapshot(), audit=audit)
     return write_report(tmp_path / f"{name}.json", report)
+
+
+class TestServeApi:
+    def test_port_with_shards_rejected(self, capsys):
+        assert main(["serve-api", "--policy", "baseline",
+                     "--shards", "2", "--port", "7000"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_serves_over_a_real_socket(self, tmp_path):
+        import os
+        import re
+        import subprocess
+        import sys
+
+        import repro
+        from repro.serve.api import ApiClient
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        out_path = tmp_path / "api_metrics.json"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve-api",
+             "--policy", "baseline", "--max-requests", "3",
+             "--metrics-out", str(out_path)],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.match(r"listening on (.+):(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            with ApiClient(host, port) as client:
+                assert client.ping()["pong"] is True
+                placed = client.place("web-search", "470.lbm", 4)
+                assert placed["max_safe_instances"] == 0
+                predicted = client.predict("web-search", "470.lbm", 2)
+                assert predicted["predicted_degradation"] is None
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "server drained after 3 requests" in out
+        assert "metrics report written" in out
+        report = json.loads(out_path.read_text(encoding="utf-8"))
+        counters = report["metrics"]["counters"]
+        assert counters["serve.api.requests"] == 3
 
 
 class TestObs:
