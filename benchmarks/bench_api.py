@@ -148,6 +148,9 @@ class _OpenLoopClient:
         self._errors = 0
         self._lock = threading.Lock()
 
+    def close(self) -> None:
+        self._sock.close()
+
     def _reader(self, expected: int) -> None:
         buffer = b""
         seen = 0
@@ -182,20 +185,22 @@ class _OpenLoopClient:
                                   daemon=True)
         reader.start()
         started = time.perf_counter()
-        due = started
-        for i in range(n):
-            due += gaps[i]
-            delay = due - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
-            frame = encode_frame({"v": 1, "id": i,
-                                  **_place_message("470.lbm", 4)})
-            with self._lock:
-                self._send_at[i] = time.perf_counter()
-            self._sock.sendall(frame)
-        reader.join(timeout=120)
-        elapsed = time.perf_counter() - started
-        self._sock.close()
+        try:
+            due = started
+            for i in range(n):
+                due += gaps[i]
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                frame = encode_frame({"v": 1, "id": i,
+                                      **_place_message("470.lbm", 4)})
+                with self._lock:
+                    self._send_at[i] = time.perf_counter()
+                self._sock.sendall(frame)
+            reader.join(timeout=120)
+            elapsed = time.perf_counter() - started
+        finally:
+            self.close()
         served = sorted(self._served_ms)
 
         def pct(q: float) -> float:

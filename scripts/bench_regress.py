@@ -246,15 +246,51 @@ def _lint_preflight() -> int:
     """Run the static analyzer before spending minutes on benchmarks.
 
     A lint violation means the numbers about to be measured come from a
-    tree that would not pass review; fail fast instead.
+    tree that would not pass review; fail fast instead. Stale baseline
+    entries fail distinctly: a fixed finding whose baseline row lingers
+    would silently mask the next regression at the same fingerprint.
+    Phase timings are printed so the two-phase cost stays attributable
+    (the result cache keeps warm reruns near the phase-1 floor).
     """
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
     )
     command = [sys.executable, "-m", "repro.lint",
-               "--root", str(REPO), str(REPO / "src")]
-    return subprocess.run(command, cwd=REPO, env=env).returncode
+               "--root", str(REPO), "--format", "json"]
+    proc = subprocess.run(command, cwd=REPO, env=env,
+                          capture_output=True, text=True)
+    try:
+        report = json.loads(proc.stdout)
+    except ValueError:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        print("FAIL: lint preflight did not produce a JSON report",
+              file=sys.stderr)
+        return proc.returncode or 1
+    failing = [f for f in report["findings"]
+               if not f["suppressed"] and not f["baselined"]
+               and f["severity"] != "info"]
+    for finding in failing:
+        print(f"{finding['path']}:{finding['line']}: "
+              f"[{finding['rule']}] {finding['message']}")
+    timings = report.get("timings", {})
+    cache = report.get("cache", {})
+    print(f"lint preflight: {report['files_checked']} file(s), "
+          f"phase1 {timings.get('phase1_s', 0.0):.3f}s, "
+          f"phase2 {timings.get('phase2_s', 0.0):.3f}s "
+          f"({cache.get('hits', 0)} cached), "
+          f"{len(failing)} new violation(s)")
+    if report["stale_baseline"]:
+        for fingerprint in report["stale_baseline"]:
+            print(f"stale baseline entry: {fingerprint}", file=sys.stderr)
+        print("FAIL: .smite-lint-baseline.json lists findings that no "
+              "longer occur; delete the stale entries (or rerun "
+              "`python -m repro.lint --update-baseline`)",
+              file=sys.stderr)
+        return 1
+    if failing:
+        return 1
+    return proc.returncode
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -275,8 +311,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if not args.skip_lint and _lint_preflight() != 0:
-        print("FAIL: static-analysis preflight (scripts/lint.py) found new "
-              "violations; fix or baseline them before benchmarking",
+        print("FAIL: static-analysis preflight; fix the findings above "
+              "(or baseline deliberate ones) before benchmarking",
               file=sys.stderr)
         return 1
 

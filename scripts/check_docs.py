@@ -11,10 +11,12 @@ docs/*.md) and
    can't leave dead references behind;
 3. **checks documentation coverage**: every public ``repro.cli``
    subcommand must be mentioned (as ``repro.cli <name>``) somewhere in
-   the user-facing docs, and every metric in the observability catalog
+   the user-facing docs, every metric in the observability catalog
    (``repro.obs.catalog``) must have a reference row in
-   ``docs/OBSERVABILITY.md`` — adding a subcommand or metric without
-   documenting it fails CI.
+   ``docs/OBSERVABILITY.md``, and every registered lint rule id must
+   have a table row in ``docs/STATIC_ANALYSIS.md`` (and vice versa —
+   a doc row for an unregistered id is equally fatal). Adding a
+   subcommand, metric, or rule without documenting it fails CI.
 
 Snippet policy, controlled by an HTML comment on the line above the
 fence:
@@ -217,6 +219,42 @@ def check_metric_coverage() -> list[str]:
     ]
 
 
+#: A markdown table row whose first cell is a rule id — only table rows
+#: count, so an id cited in prose or a code-fence example ("SMT901" in
+#: the writing-a-rule sketch) is not mistaken for reference coverage.
+_RULE_ROW = re.compile(r"^\|\s*(SMT\d{3})\s*\|", re.MULTILINE)
+
+#: Ids documented outside the per-family tables by design.
+_RULE_DOC_EXEMPT = frozenset({
+    "SMT000",  # the parse-failure pseudo-rule has its own section
+})
+
+
+def check_rule_coverage() -> list[str]:
+    """Registered lint rule ids and doc table rows must match exactly."""
+    sys.path.insert(0, str(REPO / "src"))
+    import repro.lint.rules  # noqa: F401  (imports register the rules)
+    from repro.lint.registry import all_rules
+
+    reference = REPO / "docs" / "STATIC_ANALYSIS.md"
+    if not reference.exists():
+        return ["rule coverage: docs/STATIC_ANALYSIS.md is missing"]
+    documented = set(_RULE_ROW.findall(
+        reference.read_text(encoding="utf-8")))
+    registered = {rule.id for rule in all_rules()}
+    errors = [
+        f"rule coverage: rule '{rule_id}' is registered but has no "
+        f"table row in docs/STATIC_ANALYSIS.md"
+        for rule_id in sorted(registered - documented - _RULE_DOC_EXEMPT)
+    ]
+    errors += [
+        f"rule coverage: docs/STATIC_ANALYSIS.md documents '{rule_id}' "
+        f"but no such rule is registered"
+        for rule_id in sorted(documented - registered)
+    ]
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--links-only", action="store_true",
@@ -226,6 +264,7 @@ def main(argv: list[str] | None = None) -> int:
     errors = check_links()
     errors += check_cli_coverage()
     errors += check_metric_coverage()
+    errors += check_rule_coverage()
     if not args.links_only:
         errors += check_snippets()
     for error in errors:

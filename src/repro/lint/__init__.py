@@ -1,7 +1,13 @@
 """``repro.lint``: domain-aware static analysis for the SMiTe tree.
 
-A dependency-free, AST-based lint framework with five built-in rule
-families tied to the paper's correctness invariants:
+A dependency-free, AST-based lint framework. The engine runs in two
+phases: phase 1 parses every file once and links a project-wide symbol
+and call graph (:mod:`repro.lint.graph` — imports, class hierarchies,
+async/worker taint sets, blocking reachability); phase 2 executes the
+rule families per module, the single-walk ones against the AST and the
+cross-module ones against the graph. Seven built-in families tie to
+the paper's correctness invariants and the serving runtime's
+concurrency contracts:
 
 - **determinism** (SMT1xx): unseeded RNGs, wall-clock logic, and
   set-iteration-order hazards in model code — characterization runs
@@ -16,7 +22,13 @@ families tied to the paper's correctness invariants:
   not drift from what a module defines;
 - **ports** (SMT5xx): each functional-unit Ruler's kernel, walked
   through the real ISA layer, must map to exactly one execution port
-  (Table 1) and respect the 0.01% loop-branch purity budget.
+  (Table 1) and respect the 0.01% loop-branch purity budget;
+- **concurrency** (SMT6xx): blocking calls transitively reachable from
+  coroutines without an executor hop, dropped (un-awaited) coroutine
+  objects, and implicit event-loop creation;
+- **procsafety** (SMT7xx): worker-process state that never folds back
+  (obs snapshot/merge), unpicklable executor submit targets, and
+  process/socket resources without a close guarantee.
 
 Run it as ``python -m repro.lint src``; configure via the
 ``[tool.smite-lint]`` block in ``pyproject.toml``; silence one finding
@@ -32,12 +44,15 @@ from repro.lint.config import LintConfig, Scope, load_config
 from repro.lint.engine import (
     LintResult,
     ModuleContext,
+    ProjectContext,
     collect_files,
     lint_file,
     lint_paths,
     lint_source,
+    lint_sources,
     run,
 )
+from repro.lint.graph import ProjectGraph, build_graph, scan_module
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import Rule, all_rules, find_rule, register
 from repro.lint.suppress import Suppression, parse_suppressions
@@ -48,17 +63,22 @@ __all__ = [
     "LintConfig",
     "LintResult",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectGraph",
     "Rule",
     "Scope",
     "Severity",
     "Suppression",
     "all_rules",
+    "build_graph",
     "collect_files",
     "find_rule",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_config",
+    "scan_module",
     "parse_suppressions",
     "register",
     "run",

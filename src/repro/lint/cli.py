@@ -50,6 +50,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also print suppressed/baselined findings")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule reference and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-rule finding/suppression counts "
+                             "and phase timings")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="phase-2 worker processes (default: "
+                             "$SMITE_LINT_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
     return parser
 
 
@@ -88,6 +96,24 @@ def _render_text(result: LintResult, *, show_suppressed: bool) -> None:
           f"baseline entr(ies) across {result.files_checked} file(s)")
 
 
+def _render_stats(result: LintResult) -> None:
+    stats = result.rule_stats()
+    print()
+    print(f"{'rule':<8} {'failing':>8} {'baselined':>10} "
+          f"{'suppressed':>11} {'advisory':>9}")
+    for rule_id in sorted(stats):
+        row = stats[rule_id]
+        print(f"{rule_id:<8} {row['failing']:>8} {row['baselined']:>10} "
+              f"{row['suppressed']:>11} {row['advisory']:>9}")
+    timings = result.timings
+    if timings:
+        print(f"phase1 {timings.get('phase1_s', 0.0):.3f}s "
+              f"(parse+graph)  phase2 {timings.get('phase2_s', 0.0):.3f}s "
+              f"(rules)  total {timings.get('total_s', 0.0):.3f}s  "
+              f"jobs={result.jobs}  cache {result.cache_hits} hit(s) / "
+              f"{result.cache_misses} miss(es)")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.lint``."""
     parser = _build_parser()
@@ -107,8 +133,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(f"no such path(s): "
                          f"{', '.join(str(p) for p in missing)}")
 
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     result = run(config, paths,
-                 use_baseline=not (args.no_baseline or args.update_baseline))
+                 use_baseline=not (args.no_baseline or args.update_baseline),
+                 jobs=args.jobs, use_cache=not args.no_cache)
 
     if args.update_baseline:
         baseline = Baseline.from_findings(result.failing)
@@ -124,9 +153,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             "stale_baseline": result.stale_baseline,
             "files_checked": result.files_checked,
             "exit_code": result.exit_code,
+            "timings": result.timings,
+            "cache": {"hits": result.cache_hits,
+                      "misses": result.cache_misses},
+            "jobs": result.jobs,
+            "rule_stats": result.rule_stats(),
         }, indent=2))
     else:
         _render_text(result, show_suppressed=args.show_suppressed)
+        if args.stats:
+            _render_stats(result)
     return result.exit_code
 
 

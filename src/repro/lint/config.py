@@ -70,6 +70,8 @@ DEFAULT_SCOPES: Mapping[str, Scope] = {
     )),
     "api": Scope(),
     "ports": Scope(),
+    "concurrency": Scope(),
+    "procsafety": Scope(),
 }
 
 
@@ -80,6 +82,7 @@ class LintConfig:
     root: Path = Path(".")
     paths: tuple[str, ...] = ("src",)
     baseline_path: str = ".smite-lint-baseline.json"
+    cache_path: str = ".smite-lint-cache.json"
     disable: tuple[str, ...] = ()
     scopes: Mapping[str, Scope] = field(
         default_factory=lambda: dict(DEFAULT_SCOPES))
@@ -94,6 +97,10 @@ class LintConfig:
     @property
     def baseline_file(self) -> Path:
         return self.root / self.baseline_path
+
+    @property
+    def cache_file(self) -> Path:
+        return self.root / self.cache_path
 
 
 def _parse_scope(raw: Mapping[str, Any], fallback: Scope) -> Scope:
@@ -122,6 +129,7 @@ def load_config(root: Path | str = ".") -> LintConfig:
         config,
         paths=tuple(raw.get("paths", config.paths)),
         baseline_path=str(raw.get("baseline", config.baseline_path)),
+        cache_path=str(raw.get("cache", config.cache_path)),
         disable=tuple(raw.get("disable", ())),
         scopes=scopes,
     )

@@ -1,44 +1,73 @@
-"""The lint engine: one AST walk per module, shared by every rule.
+"""The two-phase lint engine.
 
-The engine parses each file once, dispatches nodes to every active
-rule's ``visit_<NodeType>`` hooks during a single :func:`ast.walk`, runs
-``check_module`` hooks, then filters the collected findings through
-inline suppressions and (optionally) the checked-in baseline. Rules
-never do their own tree walks or file IO, which keeps a whole-tree run
-linear in the source size regardless of how many rules are enabled.
+**Phase 1** parses every file once and scans it into the plain-data
+module summaries of :mod:`repro.lint.graph`, then links them into one
+:class:`~repro.lint.graph.ProjectGraph` — the project-wide symbol table,
+import/call graph, and taint sets ("reachable from an ``async def``",
+"executed inside a shard worker") the cross-module rule families need.
+
+**Phase 2** lints each module: the single-walk families (SMT1xx-5xx)
+dispatch their ``visit_<NodeType>`` hooks during one shared
+:func:`ast.walk` exactly as before, and the graph families (SMT6xx/7xx)
+read ``ctx.project`` in their ``check_module`` hooks. Rules never do
+their own tree walks or file IO, which keeps a whole-tree run linear in
+the source size regardless of how many rules are enabled.
+
+Phase 2 is the expensive half, so it is memoized per file in a
+content-hash :class:`~repro.lint.cache.ResultCache` (keyed by file
+bytes, the lint framework's own sources, the config, and the module's
+graph slice) and can fan out across worker processes (``jobs``); both
+are transparent — cached, parallel, and cold in-process runs produce
+identical findings.
 """
 
 from __future__ import annotations
 
 import ast
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence, Type
+from typing import Mapping, Sequence, Type
 
 from repro.lint.baseline import Baseline
+from repro.lint.cache import ResultCache
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ProjectGraph, build_graph, scan_module
 from repro.lint.registry import Rule, all_rules
 from repro.lint.suppress import Suppression, parse_suppressions
 
-__all__ = ["ModuleContext", "LintResult", "lint_source", "lint_file",
-           "lint_paths", "collect_files", "run", "SYNTAX_ERROR_RULE"]
+__all__ = ["ModuleContext", "ProjectContext", "LintResult", "lint_source",
+           "lint_sources", "lint_file", "lint_paths", "collect_files",
+           "run", "SYNTAX_ERROR_RULE"]
 
 #: Pseudo-rule id for files the parser rejects; not suppressible.
 SYNTAX_ERROR_RULE = "SMT000"
+
+
+class ProjectContext:
+    """Phase-1 output shared by every module's phase-2 run."""
+
+    def __init__(self, graph: ProjectGraph, config: LintConfig) -> None:
+        self.graph = graph
+        self.config = config
 
 
 class ModuleContext:
     """Everything a rule may inspect about the module being linted."""
 
     def __init__(self, *, path: Path, relpath: str, source: str,
-                 tree: ast.Module, config: LintConfig) -> None:
+                 tree: ast.Module, config: LintConfig,
+                 project: ProjectContext | None = None) -> None:
         self.path = path
         self.relpath = relpath
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
         self.config = config
+        self.project = project
         self.findings: list[Finding] = []
         self._parent_map: dict[ast.AST, ast.AST] | None = None
 
@@ -96,6 +125,12 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     stale_baseline: list[str] = field(default_factory=list)
     files_checked: int = 0
+    #: Wall-clock attribution: ``phase1_s`` (parse + graph build),
+    #: ``phase2_s`` (rule execution incl. cache lookups), ``total_s``.
+    timings: dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
 
     @property
     def failing(self) -> list[Finding]:
@@ -107,6 +142,24 @@ class LintResult:
     @property
     def exit_code(self) -> int:
         return 1 if (self.failing or self.stale_baseline) else 0
+
+    def rule_stats(self) -> dict[str, dict[str, int]]:
+        """Per-rule ``{failing, suppressed, baselined, advisory}`` counts."""
+        stats: dict[str, dict[str, int]] = {}
+        for finding in self.findings:
+            row = stats.setdefault(finding.rule, {
+                "failing": 0, "suppressed": 0, "baselined": 0,
+                "advisory": 0,
+            })
+            if finding.suppressed:
+                row["suppressed"] += 1
+            elif finding.baselined:
+                row["baselined"] += 1
+            elif finding.severity is Severity.INFO:
+                row["advisory"] += 1
+            else:
+                row["failing"] += 1
+        return stats
 
 
 def _active_rules(config: LintConfig, relpath: str,
@@ -141,25 +194,32 @@ def _apply_suppressions(findings: list[Finding],
     return out
 
 
-def lint_source(source: str, relpath: str, config: LintConfig,
-                *, path: Path | None = None,
-                rule_classes: Sequence[Type[Rule]] | None = None,
-                ) -> list[Finding]:
-    """Lint one module given as text; the unit every test fixture uses."""
+def _syntax_finding(relpath: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule=SYNTAX_ERROR_RULE, severity=Severity.ERROR, path=relpath,
+        line=exc.lineno or 0, col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _lint_module(source: str, relpath: str, config: LintConfig,
+                 *, tree: ast.Module | None = None,
+                 path: Path | None = None,
+                 project: ProjectContext | None = None,
+                 rule_classes: Sequence[Type[Rule]] | None = None,
+                 ) -> list[Finding]:
+    """Phase 2 for one module: the shared walk plus module hooks."""
     if rule_classes is None:
         rule_classes = all_rules()
-    relpath = relpath.replace("\\", "/")
-    try:
-        tree = ast.parse(source, filename=relpath)
-    except SyntaxError as exc:
-        return [Finding(
-            rule=SYNTAX_ERROR_RULE, severity=Severity.ERROR, path=relpath,
-            line=exc.lineno or 0, col=(exc.offset or 1) - 1,
-            message=f"file does not parse: {exc.msg}",
-        )]
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            return [_syntax_finding(relpath, exc)]
     ctx = ModuleContext(
         path=path if path is not None else Path(relpath),
         relpath=relpath, source=source, tree=tree, config=config,
+        project=project,
     )
     rules = _active_rules(config, relpath, rule_classes)
     if not rules:
@@ -181,17 +241,82 @@ def lint_source(source: str, relpath: str, config: LintConfig,
     return _apply_suppressions(ctx.findings, parse_suppressions(source))
 
 
+def _single_module_project(relpath: str, tree: ast.Module,
+                           config: LintConfig) -> ProjectContext:
+    graph = build_graph({relpath: scan_module(relpath, tree)})
+    return ProjectContext(graph, config)
+
+
+def lint_source(source: str, relpath: str, config: LintConfig,
+                *, path: Path | None = None,
+                rule_classes: Sequence[Type[Rule]] | None = None,
+                ) -> list[Finding]:
+    """Lint one module given as text; the unit every test fixture uses.
+
+    The module gets a one-file project graph, so the cross-module rule
+    families still run (with only intra-module edges to work with).
+    """
+    relpath = relpath.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [_syntax_finding(relpath, exc)]
+    project = _single_module_project(relpath, tree, config)
+    return _lint_module(source, relpath, config, tree=tree, path=path,
+                        project=project, rule_classes=rule_classes)
+
+
+def lint_sources(sources: Mapping[str, str],
+                 config: LintConfig | None = None,
+                 *, rule_classes: Sequence[Type[Rule]] | None = None,
+                 ) -> list[Finding]:
+    """Lint several in-memory modules as one project.
+
+    ``sources`` maps repo-relative paths to source text. This is the
+    cross-module fixture entry point: a coroutine in one file and the
+    blocking helper it reaches two files away are linked through the
+    same project graph a real tree run would build.
+    """
+    if config is None:
+        config = LintConfig()
+    modules = {}
+    parsed: dict[str, tuple[str, ast.Module]] = {}
+    findings: list[Finding] = []
+    for relpath, source in sources.items():
+        relpath = relpath.replace("\\", "/")
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            findings.append(_syntax_finding(relpath, exc))
+            continue
+        parsed[relpath] = (source, tree)
+        modules[relpath] = scan_module(relpath, tree)
+    project = ProjectContext(build_graph(modules), config)
+    for relpath, (source, tree) in parsed.items():
+        findings.extend(_lint_module(
+            source, relpath, config, tree=tree, project=project,
+            rule_classes=rule_classes,
+        ))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
 def lint_file(path: Path, config: LintConfig,
               *, rule_classes: Sequence[Type[Rule]] | None = None,
               ) -> list[Finding]:
     """Lint one file on disk, reporting paths relative to the config root."""
-    try:
-        relpath = str(path.resolve().relative_to(config.root))
-    except ValueError:
-        relpath = str(path)
+    relpath = _relpath_for(path, config)
     source = path.read_text(encoding="utf-8")
     return lint_source(source, relpath, config, path=path,
                        rule_classes=rule_classes)
+
+
+def _relpath_for(path: Path, config: LintConfig) -> str:
+    try:
+        return str(path.resolve().relative_to(config.root)).replace(
+            "\\", "/")
+    except ValueError:
+        return str(path).replace("\\", "/")
 
 
 def collect_files(paths: Sequence[Path]) -> list[Path]:
@@ -212,27 +337,138 @@ def collect_files(paths: Sequence[Path]) -> list[Path]:
     return unique
 
 
+def _config_signature(config: LintConfig) -> str:
+    scopes = sorted(
+        (family, tuple(scope.include), tuple(scope.exclude))
+        for family, scope in config.scopes.items()
+    )
+    return repr((tuple(config.paths), tuple(sorted(config.disable)), scopes))
+
+
+def _phase2_worker(items: list[tuple[str, str]], config: LintConfig,
+                   graph: ProjectGraph) -> list[tuple[str, list[Finding]]]:
+    """Lint a chunk of modules in a worker process (re-parses sources)."""
+    project = ProjectContext(graph, config)
+    return [
+        (relpath, _lint_module(source, relpath, config, project=project))
+        for relpath, source in items
+    ]
+
+
+def default_jobs() -> int:
+    """``SMITE_LINT_JOBS`` env override, else 1 (in-process)."""
+    raw = os.environ.get("SMITE_LINT_JOBS", "").strip()
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw)
+    return 1
+
+
 def lint_paths(paths: Sequence[Path], config: LintConfig,
                *, rule_classes: Sequence[Type[Rule]] | None = None,
+               jobs: int = 1, cache: ResultCache | None = None,
+               timings: dict[str, float] | None = None,
                ) -> tuple[list[Finding], int]:
-    """Lint every ``.py`` file under ``paths``; (findings, files checked)."""
-    findings: list[Finding] = []
+    """Lint every ``.py`` file under ``paths``; (findings, files checked).
+
+    Phase 1 always covers every file (the graph must be whole no matter
+    which modules' phase-2 results are cached); phase 2 consults
+    ``cache`` when given and fans out over ``jobs`` processes when > 1.
+    The cache is only used with the default rule set — a custom
+    ``rule_classes`` selection bypasses it.
+    """
+    t0 = time.perf_counter()
     files = collect_files(paths)
+    findings: list[Finding] = []
+    parsed: list[tuple[Path, str, str, ast.Module]] = []
+    modules = {}
     for file in files:
-        findings.extend(lint_file(file, config, rule_classes=rule_classes))
+        relpath = _relpath_for(file, config)
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            findings.append(_syntax_finding(relpath, exc))
+            continue
+        parsed.append((file, relpath, source, tree))
+        modules[relpath] = scan_module(relpath, tree)
+    graph = build_graph(modules)
+    project = ProjectContext(graph, config)
+    t1 = time.perf_counter()
+
+    use_cache = cache is not None and rule_classes is None
+    config_sig = _config_signature(config) if use_cache else ""
+    pending: list[tuple[Path, str, str, ast.Module, str]] = []
+    for file, relpath, source, tree in parsed:
+        key = ""
+        if use_cache:
+            key = ResultCache.key_for(
+                source, config_sig, graph.module_signature(relpath))
+            hit = cache.get(relpath, key)
+            if hit is not None:
+                findings.extend(hit)
+                continue
+        pending.append((file, relpath, source, tree, key))
+
+    if jobs > 1 and len(pending) > 1:
+        workers = min(jobs, len(pending))
+        chunks: list[list[tuple[str, str]]] = [[] for _ in range(workers)]
+        by_relpath = {relpath: key for _f, relpath, _s, _t, key in pending}
+        for index, (_file, relpath, source, _tree, _key) in \
+                enumerate(pending):
+            chunks[index % workers].append((relpath, source))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(_phase2_worker, chunk, config, graph)
+                for chunk in chunks if chunk
+            ]
+            for future in futures:
+                for relpath, file_findings in future.result():
+                    findings.extend(file_findings)
+                    if use_cache:
+                        cache.put(relpath, by_relpath[relpath],
+                                  file_findings)
+    else:
+        for file, relpath, source, tree, key in pending:
+            file_findings = _lint_module(
+                source, relpath, config, tree=tree, path=file,
+                project=project, rule_classes=rule_classes,
+            )
+            findings.extend(file_findings)
+            if use_cache:
+                cache.put(relpath, key, file_findings)
+
+    if use_cache:
+        cache.prune({relpath for _f, relpath, _s, _t in parsed})
+        cache.save()
+    t2 = time.perf_counter()
+    if timings is not None:
+        timings["phase1_s"] = t1 - t0
+        timings["phase2_s"] = t2 - t1
+        timings["total_s"] = t2 - t0
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings, len(files)
 
 
 def run(config: LintConfig, paths: Sequence[Path] | None = None,
-        *, use_baseline: bool = True) -> LintResult:
+        *, use_baseline: bool = True, jobs: int | None = None,
+        use_cache: bool = True) -> LintResult:
     """A full lint run: collect, suppress, subtract the baseline."""
     if paths is None:
         paths = [config.root / p for p in config.paths]
-    findings, files_checked = lint_paths(paths, config)
+    if jobs is None:
+        jobs = default_jobs()
+    cache = ResultCache(config.cache_file) if use_cache else None
+    timings: dict[str, float] = {}
+    findings, files_checked = lint_paths(
+        paths, config, jobs=jobs, cache=cache, timings=timings)
     stale: list[str] = []
     if use_baseline:
         baseline = Baseline.load(config.baseline_file)
         findings, stale = baseline.apply(findings)
-    return LintResult(findings=findings, stale_baseline=stale,
-                      files_checked=files_checked)
+    return LintResult(
+        findings=findings, stale_baseline=stale,
+        files_checked=files_checked, timings=timings,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        jobs=jobs,
+    )

@@ -440,7 +440,11 @@ class ApiServer:
                 self._in_flight = True
                 try:
                     with span("serve.api.batch"):
-                        self._run_batch(items)
+                        # Decide off the loop: begin_epoch can miss the
+                        # LRU and fall through to the disk cache, and a
+                        # cold solve would stall every open connection.
+                        await self._loop.run_in_executor(
+                            None, self._run_batch, items)
                 finally:
                     self._in_flight = False
                 counter("serve.api.batches").inc()
@@ -559,38 +563,48 @@ def run_api_shards(
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         shards = min(shards, jobs)
     workers = []
-    for _ in range(shards):
-        parent_conn, child_conn = multiprocessing.Pipe()
-        process = multiprocessing.Process(
-            target=_api_shard_worker,
-            args=(decider, host, child_conn, dict(server_options)),
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        workers.append((process, parent_conn))
-    addresses: list[tuple[str, int]] = []
-    for _process, parent_conn in workers:
-        kind, payload = parent_conn.recv()
-        if kind != "ready":  # pragma: no cover - defensive
-            raise ReproError(f"api shard worker sent {kind!r} before ready")
-        addresses.append((payload[0], payload[1]))
-    counter("serve.api.shard_workers").inc(len(workers))
-    if ready_callback is not None:
-        ready_callback(list(addresses))
-    summaries: list[dict[str, Any]] = []
-    for (process, parent_conn), (bound_host, port) in zip(workers,
-                                                          addresses):
-        try:
+    try:
+        for _ in range(shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            try:
+                process = multiprocessing.Process(
+                    target=_api_shard_worker,
+                    args=(decider, host, child_conn, dict(server_options)),
+                    daemon=True,
+                )
+                process.start()
+                workers.append((process, parent_conn))
+            finally:
+                # The worker dup'ed its end on start; the parent's copy
+                # must close or the pipe never reports EOF — including
+                # when start() itself fails.
+                child_conn.close()
+        addresses: list[tuple[str, int]] = []
+        for _process, parent_conn in workers:
             kind, payload = parent_conn.recv()
-        except EOFError:  # pragma: no cover - crashed worker
-            process.join()
+            if kind != "ready":  # pragma: no cover - defensive
+                raise ReproError(
+                    f"api shard worker sent {kind!r} before ready")
+            addresses.append((payload[0], payload[1]))
+        counter("serve.api.shard_workers").inc(len(workers))
+        if ready_callback is not None:
+            ready_callback(list(addresses))
+        summaries: list[dict[str, Any]] = []
+        for (process, parent_conn), (bound_host, port) in zip(workers,
+                                                              addresses):
+            try:
+                kind, payload = parent_conn.recv()
+            except EOFError:  # pragma: no cover - crashed worker
+                process.join()
+                summaries.append({"host": bound_host, "port": port,
+                                  "requests": None})
+                continue
+            with span("serve.api.shard_merge"):
+                obs.merge(payload["obs"])
             summaries.append({"host": bound_host, "port": port,
-                              "requests": None})
-            continue
-        with span("serve.api.shard_merge"):
-            obs.merge(payload["obs"])
-        summaries.append({"host": bound_host, "port": port,
-                          "requests": payload["requests"]})
-        process.join()
-    return summaries
+                              "requests": payload["requests"]})
+            process.join()
+        return summaries
+    finally:
+        for _process, parent_conn in workers:
+            parent_conn.close()

@@ -112,4 +112,31 @@ def test_missing_path_is_a_usage_error(tmp_path):
 # The repository's own source
 
 def test_tree_lints_clean():
-    assert main(["--root", str(REPO), str(REPO / "src")]) == 0
+    # No explicit paths: lint everything [tool.smite-lint] configures
+    # (src, benchmarks, scripts) with all rule families, including the
+    # cross-module SMT6xx/SMT7xx ones. --no-cache keeps the test from
+    # writing the result cache into the working tree.
+    assert main(["--root", str(REPO), "--no-cache"]) == 0
+
+
+def test_stats_prints_per_rule_counts(tmp_path, capsys):
+    _mini_repo(tmp_path, """\
+        def f(a, b):
+            return a / b  # smite: noqa[SMT302]: b is a validated knob
+    """)
+    assert main(["--root", str(tmp_path), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "SMT302" in out
+    assert "phase1" in out and "phase2" in out
+
+
+def test_json_report_carries_timings_and_cache_counters(tmp_path, capsys):
+    _mini_repo(tmp_path, "X = 1\n")
+    assert main(["--root", str(tmp_path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["timings"]) == {"phase1_s", "phase2_s", "total_s"}
+    assert payload["cache"]["misses"] == 1
+    # Warm rerun: same bytes, same graph slice -> served from cache.
+    assert main(["--root", str(tmp_path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"]["hits"] == 1

@@ -30,12 +30,14 @@ def _lint(source: str, **kwargs):
 # ----------------------------------------------------------------------
 # Registry sanity
 
-def test_all_twelve_rules_register_with_unique_ids():
+def test_all_eighteen_rules_register_with_unique_ids():
     ids = [rule.id for rule in all_rules()]
     assert len(ids) == len(set(ids))
     assert {"SMT101", "SMT102", "SMT103", "SMT201", "SMT202", "SMT301",
-            "SMT302", "SMT401", "SMT402", "SMT403", "SMT501",
-            "SMT502"} <= set(ids)
+            "SMT302", "SMT401", "SMT402", "SMT403", "SMT501", "SMT502",
+            "SMT601", "SMT602", "SMT603", "SMT701", "SMT702",
+            "SMT703"} <= set(ids)
+    assert len(ids) == 18
 
 
 # ----------------------------------------------------------------------

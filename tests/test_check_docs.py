@@ -112,6 +112,24 @@ def test_anchored_link_to_existing_file_resolves(tmp_path, monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Lint-rule reference coverage
+
+def test_rule_row_regex_matches_tables_not_code_fences():
+    text = (
+        "| SMT101 | error | something |\n"
+        "```python\n"
+        "    id = \"SMT901\"\n"
+        "```\n"
+        "prose mentioning SMT302 without a table row\n"
+    )
+    assert check_docs._RULE_ROW.findall(text) == ["SMT101"]
+
+
+def test_repo_rule_reference_is_two_way_complete():
+    assert check_docs.check_rule_coverage() == []
+
+
+# ----------------------------------------------------------------------
 # The repository's real documentation
 
 def test_repo_docs_have_no_dead_links():
