@@ -1,0 +1,162 @@
+"""Throughput benchmark of the online-recalibration hot path.
+
+Two costs matter when :mod:`repro.adapt` rides along with serving:
+
+1. **Observation folding** (gated as ``refit_updates_per_sec`` by
+   ``scripts/bench_regress.py``): every audited comparison flows through
+   :meth:`OnlineRefitter.observe` — a feature-vector lookup plus a
+   rank-one recursive-least-squares update per instance count. This is
+   per-placement work on the replay loop, so it must stay cheap.
+2. **Coefficient swap latency**: :meth:`ModelRegistry.install` swaps a
+   candidate set into a live :class:`PredictionService` and invalidates
+   the prediction-derived caches. Swaps land at epoch boundaries, so
+   the absolute latency budget is generous; the benchmark records the
+   mean so a pathological regression (say, a deep copy sneaking into
+   the swap path) is still visible in the committed numbers.
+
+The session writes ``BENCH_adapt.json`` (override with
+``SMITE_BENCH_ADAPT_OUT``); ``scripts/bench_regress.py`` gates
+``refit_updates_per_sec`` against the committed copy (``--skip-adapt``
+skips the whole phase).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.adapt import ModelRegistry, OnlineRefitter
+from repro.analysis.linreg import LinearModel
+from repro.core.predictor import SMiTe
+from repro.scheduler.qos import QosTarget
+from repro.serve.service import PredictionService
+from repro.smt.params import SANDY_BRIDGE_EN
+from repro.smt.simulator import Simulator
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+pytestmark = pytest.mark.bench_regress
+
+_RESULTS: dict[str, object] = {}
+
+_OBSERVATIONS = 20_000
+_SWAPS = 2_000
+_INSTANCE_COUNTS = (1, 3, 6)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    """Dump everything the module measured once its benchmarks finish."""
+    yield
+    if not _RESULTS:
+        return
+    report = {
+        "machine": SANDY_BRIDGE_EN.name,
+        "ops_per_sec": {
+            "refit_updates_per_sec": _RESULTS["refit_updates_per_sec"],
+            "swaps_per_sec": _RESULTS["swaps_per_sec"],
+        },
+        "refit": _RESULTS["refit"],
+        "swap": _RESULTS["swap"],
+    }
+    out = os.environ.get("SMITE_BENCH_ADAPT_OUT", "BENCH_adapt.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    simulator = Simulator(SANDY_BRIDGE_EN)
+    fitted = SMiTe(simulator).fit(spec_odd()[:6], mode="smt")
+    fitted.fit_server(spec_odd()[:6], instance_counts=_INSTANCE_COUNTS)
+    return fitted
+
+
+def test_perf_refit_observation_throughput(predictor):
+    """Gated: audited-comparison folding rate through the RLS stream."""
+    apps = cloudsuite_apps()[:2]
+    profiles = spec_even()[:4]
+    combos = [(app, profile, instances)
+              for app in apps for profile in profiles
+              for instances in _INSTANCE_COUNTS]
+    # Warm the characterization caches: on the serving path every
+    # feature vector is already cached by the time an audit lands, so
+    # the timed rounds measure the fold, not first-touch solver work.
+    warm = OnlineRefitter(predictor, window=64)
+    for app, profile, instances in combos:
+        warm.features_for(app, profile, instances)
+    rng = np.random.default_rng(42)
+    actuals = rng.uniform(0.0, 0.4, size=_OBSERVATIONS)
+
+    best = None
+    for _ in range(3):
+        refitter = OnlineRefitter(predictor, window=64, holdout_every=4,
+                                  min_samples=8)
+        started = time.perf_counter()
+        for i in range(_OBSERVATIONS):
+            app, profile, instances = combos[i % len(combos)]
+            refitter.observe(app, profile, instances,
+                             predicted=0.1, actual=actuals[i], count=2)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+        candidate = refitter.candidate()
+
+    assert candidate, "the folded stream must yield an RLS candidate"
+    assert refitter.observations == _OBSERVATIONS
+    _RESULTS["refit_updates_per_sec"] = _OBSERVATIONS / best
+    _RESULTS["refit"] = {
+        "observations": _OBSERVATIONS,
+        "seconds": best,
+        "features": len(predictor.model.dimensions),
+        "counts": list(_INSTANCE_COUNTS),
+    }
+
+
+def test_perf_swap_latency(predictor):
+    """Hot-swap a candidate set into a live service, repeatedly."""
+    service = PredictionService(predictor, QosTarget.average(0.90))
+    registry = ModelRegistry(service, predictor)
+    apps = cloudsuite_apps()[:2]
+    profiles = spec_even()[:4]
+    n_features = len(predictor.model.dimensions)
+    models = {
+        count: LinearModel(coefficients=np.full(n_features, 0.01),
+                           intercept=0.0, r_squared=float("nan"))
+        for count in _INSTANCE_COUNTS
+    }
+
+    candidates = [(app, profile, 6) for app in apps for profile in profiles]
+
+    def prime() -> None:
+        """Fill the decision LRU so each swap invalidates real entries."""
+        service.begin_epoch(candidates)
+        for app, profile, max_instances in candidates:
+            service.decide(app, profile, max_instances=max_instances)
+
+    prime()
+    started = time.perf_counter()
+    for index in range(_SWAPS):
+        entry = registry.install(models, origin="rls",
+                                 epoch_s=300.0 * index)
+    elapsed = time.perf_counter() - started
+
+    assert entry.version == _SWAPS
+    assert service.model_version == _SWAPS
+    # A swap must drop the prediction-derived caches: the first decision
+    # after it re-predicts instead of serving a stale coefficient set.
+    prime()
+    invalidated = service.set_model_override(
+        None, version=_SWAPS + 1, model_hash=None)
+    assert invalidated > 0
+    _RESULTS["swaps_per_sec"] = _SWAPS / elapsed
+    _RESULTS["swap"] = {
+        "swaps": _SWAPS,
+        "seconds": elapsed,
+        "mean_us": 1e6 * elapsed / _SWAPS,
+        "invalidated_entries": invalidated,
+    }

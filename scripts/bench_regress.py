@@ -17,7 +17,10 @@ committed baselines. Two phases are gated, each allowed to drop at most
 - **api** (``BENCH_api.json``): sustained pipelined QPS through the
   network-facing prediction API (``benchmarks/bench_api.py``), whose
   open-loop sweep also proves overload sheds to the baseline instead of
-  collapsing (skippable with ``--skip-api``).
+  collapsing (skippable with ``--skip-api``);
+- **adapt** (``BENCH_adapt.json``): audited-observation folding rate of
+  the online recalibration stream (``benchmarks/bench_adapt.py``) plus
+  the coefficient hot-swap latency (skippable with ``--skip-adapt``).
 
 The benchmark session also emits a ``repro.obs`` run report
 (``SMITE_METRICS_OUT``), from which this gate derives *phase* numbers —
@@ -59,9 +62,11 @@ from repro.obs.diffs import format_phase_deltas  # noqa: E402
 BASELINE = REPO / "BENCH_solver.json"
 SERVE_BASELINE = REPO / "BENCH_serve.json"
 API_BASELINE = REPO / "BENCH_api.json"
+ADAPT_BASELINE = REPO / "BENCH_adapt.json"
 GATED_METRIC = "pair_grid_batch"
 SERVE_GATED_METRIC = "replay_events"
 API_GATED_METRIC = "api_qps"
+ADAPT_GATED_METRIC = "refit_updates_per_sec"
 #: The 100k-server/1M-arrival scenario's in-process throughput; gated
 #: like the others but skippable (``--skip-scale``) on small runners.
 SERVE_SCALE_METRIC = "replay_events_scale"
@@ -73,13 +78,15 @@ TRACE_OVERHEAD_ALLOWED = 0.05
 
 
 def _run_benchmarks(out_path: Path, serve_out_path: Path,
-                    api_out_path: Path, metrics_path: Path, *,
-                    skip_scale: bool,
-                    skip_api: bool) -> tuple[dict, dict, dict, dict]:
+                    api_out_path: Path, adapt_out_path: Path,
+                    metrics_path: Path, *,
+                    skip_scale: bool, skip_api: bool,
+                    skip_adapt: bool) -> tuple[dict, dict, dict, dict, dict]:
     env = dict(os.environ)
     env["SMITE_BENCH_OUT"] = str(out_path)
     env["SMITE_BENCH_SERVE_OUT"] = str(serve_out_path)
     env["SMITE_BENCH_API_OUT"] = str(api_out_path)
+    env["SMITE_BENCH_ADAPT_OUT"] = str(adapt_out_path)
     env["SMITE_METRICS_OUT"] = str(metrics_path)
     if skip_scale:
         env["SMITE_BENCH_SKIP_SCALE"] = "1"
@@ -92,6 +99,8 @@ def _run_benchmarks(out_path: Path, serve_out_path: Path,
     ]
     if not skip_api:
         files.append(str(REPO / "benchmarks" / "bench_api.py"))
+    if not skip_adapt:
+        files.append(str(REPO / "benchmarks" / "bench_adapt.py"))
     command = [
         sys.executable, "-m", "pytest", *files,
         "-m", "bench_regress", "-q", "-p", "no:cacheprovider",
@@ -105,11 +114,15 @@ def _run_benchmarks(out_path: Path, serve_out_path: Path,
     if api_out_path.exists():
         with api_out_path.open(encoding="utf-8") as fh:
             fresh_api = json.load(fh)
+    fresh_adapt: dict = {}
+    if adapt_out_path.exists():
+        with adapt_out_path.open(encoding="utf-8") as fh:
+            fresh_adapt = json.load(fh)
     metrics: dict = {}
     if metrics_path.exists():
         with metrics_path.open(encoding="utf-8") as fh:
             metrics = json.load(fh).get("metrics", {})
-    return fresh, fresh_serve, fresh_api, metrics
+    return fresh, fresh_serve, fresh_api, fresh_adapt, metrics
 
 
 def _phases(metrics: dict) -> dict[str, float]:
@@ -185,6 +198,23 @@ def _api_phases(metrics: dict) -> dict[str, float]:
     if requests:
         phases["api_shed_rate"] = (
             counters.get("serve.api.sheds", 0) / requests)
+    return phases
+
+
+def _adapt_phases(metrics: dict) -> dict[str, float]:
+    """Recalibration-path phase costs derived from the obs report."""
+    phases: dict[str, float] = {}
+    for path, hist in metrics.get("spans", {}).items():
+        leaf = path.rsplit("/", 1)[-1]
+        if leaf in ("serve.adapt.refit", "serve.adapt.swap") \
+                and hist.get("count"):
+            phases[leaf.replace(".", "_") + "_mean_s"] = (
+                hist["sum"] / hist["count"])
+    counters = metrics.get("counters", {})
+    swaps = counters.get("serve.adapt.swaps", 0)
+    if swaps:
+        phases["invalidations_per_swap"] = (
+            counters.get("serve.adapt.invalidations", 0) / swaps)
     return phases
 
 
@@ -308,6 +338,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-api", action="store_true",
                         help="skip the network-facing prediction API "
                              "benchmark and its QPS gate")
+    parser.add_argument("--skip-adapt", action="store_true",
+                        help="skip the online-recalibration benchmark "
+                             "and its refit-throughput gate")
     args = parser.parse_args(argv)
 
     if not args.skip_lint and _lint_preflight() != 0:
@@ -318,14 +351,17 @@ def main(argv: list[str] | None = None) -> int:
 
     trace_failed = False
     with tempfile.TemporaryDirectory() as tmp:
-        fresh, fresh_serve, fresh_api, metrics = _run_benchmarks(
-            Path(tmp) / "BENCH_solver.json",
-            Path(tmp) / "BENCH_serve.json",
-            Path(tmp) / "BENCH_api.json",
-            Path(tmp) / "BENCH_metrics.json",
-            skip_scale=args.skip_scale,
-            skip_api=args.skip_api,
-        )
+        fresh, fresh_serve, fresh_api, fresh_adapt, metrics = \
+            _run_benchmarks(
+                Path(tmp) / "BENCH_solver.json",
+                Path(tmp) / "BENCH_serve.json",
+                Path(tmp) / "BENCH_api.json",
+                Path(tmp) / "BENCH_adapt.json",
+                Path(tmp) / "BENCH_metrics.json",
+                skip_scale=args.skip_scale,
+                skip_api=args.skip_api,
+                skip_adapt=args.skip_adapt,
+            )
         if not args.skip_trace_gate and not args.update:
             trace_path = Path(tmp) / "BENCH_serve.trace.json"
             traced_serve = _run_traced_serve(
@@ -363,11 +399,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"api overload ({overload['load_multiplier']:.1f}x "
                   f"capacity): shed rate {overload['shed_rate']:.0%}, "
                   f"served p99 {overload['p99_ms']:.0f} ms")
+    if fresh_adapt:
+        print(f"adapt: "
+              f"{fresh_adapt['ops_per_sec'][ADAPT_GATED_METRIC]:.0f} "
+              f"observations/s folded into the refit stream "
+              f"(hot-swap {fresh_adapt['swap']['mean_us']:.0f} us)")
 
     fresh["phases"] = _phases(metrics)
     fresh_serve["phases"] = _serve_phases(metrics)
     if fresh_api:
         fresh_api["phases"] = _api_phases(metrics)
+    if fresh_adapt:
+        fresh_adapt["phases"] = _adapt_phases(metrics)
 
     gates = [
         ("solver", fresh, BASELINE, GATED_METRIC, "pairs/s"),
@@ -381,6 +424,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         gates.append(("api", fresh_api, API_BASELINE, API_GATED_METRIC,
                       "req/s"))
+    if args.skip_adapt or not fresh_adapt:
+        print("\nadapt: skipped (--skip-adapt)")
+    else:
+        gates.append(("adapt", fresh_adapt, ADAPT_BASELINE,
+                      ADAPT_GATED_METRIC, "updates/s"))
 
     failed = trace_failed
     for name, fresh_report, baseline_path, metric, unit in gates:

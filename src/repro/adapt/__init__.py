@@ -1,0 +1,24 @@
+"""Drift-triggered online model recalibration (docs/ADAPTATION.md).
+
+The control loop closing PR 5's audit signal: the refitter
+(:mod:`repro.adapt.refit`) learns per-count regressions from streamed
+(predicted, actual) pairs, the drift policy (:mod:`repro.adapt.decider`)
+decides when a closed SLO window's calibration drift justifies acting,
+and the registry (:mod:`repro.adapt.swap`) hot-swaps validated
+coefficient sets into the serving stack atomically, version by version.
+"""
+
+from repro.adapt.decider import AdaptationController, DriftPolicy
+from repro.adapt.refit import HoldoutSample, OnlineRefitter, RlsState
+from repro.adapt.swap import AdaptedModel, CoefficientSet, ModelRegistry
+
+__all__ = [
+    "AdaptationController",
+    "AdaptedModel",
+    "CoefficientSet",
+    "DriftPolicy",
+    "HoldoutSample",
+    "ModelRegistry",
+    "OnlineRefitter",
+    "RlsState",
+]

@@ -1,0 +1,186 @@
+"""Versioned coefficient sets and atomic hot-swap into the service.
+
+A swap replaces the regression the :class:`PredictionService` serves
+without rebuilding the service: the :class:`ModelRegistry` wraps the
+candidate per-count :class:`LinearModel` set in an :class:`AdaptedModel`
+(which reuses the base predictor's cached characterizations for feature
+extraction) and installs it through
+``PredictionService.set_model_override``, which bumps the model version
+and invalidates exactly the prediction-derived caches — the decision LRU
+and the prediction memo. Ground-truth stores (the simulator memo and the
+persistent ``smt.diskcache``) hold measured degradations that do not
+depend on regression coefficients, so a swap deliberately leaves them
+alone.
+
+Every install — including the shed-to-static :meth:`ModelRegistry.revert`
+— is a new version with a content hash, so sharded workers and the
+``serve.api`` stats op can attribute any prediction to the coefficient
+set that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.linreg import LinearModel
+from repro.core.predictor import SMiTe
+from repro.obs import counter, gauge, span
+from repro.serve.service import PredictionService
+from repro.workloads.profile import WorkloadProfile
+
+__all__ = ["AdaptedModel", "CoefficientSet", "ModelRegistry"]
+
+#: The content hash of the static (no-override) coefficient set.
+STATIC_HASH = "static"
+
+
+def _hash_models(models: Mapping[int, LinearModel]) -> str:
+    """A short content hash over the coefficient bytes, count-ordered."""
+    digest = hashlib.sha256()
+    for count in sorted(models):
+        model = models[count]
+        digest.update(count.to_bytes(4, "little"))
+        digest.update(model.coefficients.astype(float).tobytes())
+        digest.update(repr(model.intercept).encode())
+    return digest.hexdigest()[:12]
+
+
+class AdaptedModel:
+    """Per-count refit models behind the predictor's feature pipeline.
+
+    Duck-types ``SMiTe.predict_server`` so the service's prediction path
+    is swapped wholesale: features come from the same cached
+    characterizations the base predictor uses, the linear map comes from
+    the refit. The nearest calibrated count stands in for a missing one
+    (ties to the smaller count), mirroring ``SMiTe._server_model_for``.
+    """
+
+    def __init__(
+        self, predictor: SMiTe, models: Mapping[int, LinearModel]
+    ) -> None:
+        if not models:
+            raise ValueError("an adapted model needs >= 1 count model")
+        self._predictor = predictor
+        self._models = dict(models)
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        return tuple(sorted(self._models))
+
+    def predict_server(
+        self,
+        latency_profile: WorkloadProfile,
+        batch_profile: WorkloadProfile,
+        *,
+        instances: int,
+    ) -> float:
+        if instances == 0:
+            return 0.0
+        model = self._models.get(instances)
+        if model is None:
+            nearest = min(sorted(self._models),
+                          key=lambda k: abs(k - instances))
+            model = self._models[nearest]
+        server_char = self._predictor.characterize_server(
+            latency_profile, instances=instances,
+        )
+        batch_char = self._predictor.characterization(batch_profile)
+        features = self._predictor.model.features(server_char, batch_char)
+        # Refit targets are measured degradations, which are >= 0; tiny
+        # negative outputs are regression noise around zero.
+        return max(0.0, model.predict(features))
+
+
+@dataclass(frozen=True)
+class CoefficientSet:
+    """One installed model version: what served, from when, from where."""
+
+    version: int
+    content_hash: str
+    #: "rls" (incremental estimate), "batch" (mini-batch full refit), or
+    #: "static" (shed back to the offline-trained coefficients).
+    origin: str
+    #: Simulated time of the install (None outside a replay).
+    swapped_epoch_s: float | None
+    counts: tuple[int, ...]
+
+
+class ModelRegistry:
+    """Version ledger plus the atomic swap path into one service."""
+
+    def __init__(self, service: PredictionService, predictor: SMiTe) -> None:
+        self.service = service
+        self.predictor = predictor
+        self.history: list[CoefficientSet] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> CoefficientSet | None:
+        return self.history[-1] if self.history else None
+
+    @property
+    def version(self) -> int:
+        return self.history[-1].version if self.history else 0
+
+    def install(
+        self,
+        models: Mapping[int, LinearModel],
+        *,
+        origin: str,
+        epoch_s: float | None = None,
+    ) -> CoefficientSet:
+        """Atomically swap a candidate coefficient set into the service."""
+        adapted = AdaptedModel(self.predictor, models)
+        entry = CoefficientSet(
+            version=self.version + 1,
+            content_hash=_hash_models(models),
+            origin=origin,
+            swapped_epoch_s=epoch_s,
+            counts=adapted.counts,
+        )
+        self._swap(adapted, entry)
+        return entry
+
+    def revert(self, *, epoch_s: float | None = None) -> CoefficientSet:
+        """Shed back to the static offline coefficients (a new version)."""
+        entry = CoefficientSet(
+            version=self.version + 1,
+            content_hash=STATIC_HASH,
+            origin="static",
+            swapped_epoch_s=epoch_s,
+            counts=(),
+        )
+        self._swap(None, entry)
+        counter("serve.adapt.reverts").inc()
+        return entry
+
+    def _swap(self, adapted: AdaptedModel | None,
+              entry: CoefficientSet) -> None:
+        with span("serve.adapt.swap"):
+            self.service.set_model_override(
+                adapted,
+                version=entry.version,
+                model_hash=entry.content_hash,
+                epoch_s=entry.swapped_epoch_s,
+            )
+            self.history.append(entry)
+            counter("serve.adapt.swaps").inc()
+            gauge("serve.adapt.model_version").set(float(entry.version))
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able summary for stats ops and run reports."""
+        current = self.current
+        return {
+            "model_version": self.version,
+            "model_hash": (current.content_hash if current
+                           else STATIC_HASH),
+            "origin": current.origin if current else "static",
+            "last_swap_epoch_s": (current.swapped_epoch_s if current
+                                  else None),
+            "swaps": len(self.history),
+        }

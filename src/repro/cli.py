@@ -25,6 +25,12 @@ import json
 import sys
 from pathlib import Path
 
+from repro.adapt import (
+    AdaptationController,
+    DriftPolicy,
+    ModelRegistry,
+    OnlineRefitter,
+)
 from repro.analysis.tables import format_table
 from repro.core.predictor import SMiTe
 from repro.errors import ReproError
@@ -35,6 +41,7 @@ from repro.obs.report import (
     build_report,
     load_report,
     maybe_write_env_report,
+    render_adapt,
     render_audit,
     render_report,
     write_report,
@@ -171,6 +178,9 @@ def _parse_qos(spec: str) -> QosTarget:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.adapt and args.policy != "smite":
+        raise ReproError("--adapt recalibrates the SMiTe regression; it "
+                         "requires --policy smite")
     simulator = Simulator(SANDY_BRIDGE_EN, disk_cache=default_cache())
     training = spec_odd()[:8] if args.fast else spec_odd()
     counts = (1, 3, 6) if args.fast else (1, 2, 4, 6)
@@ -206,10 +216,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     audit = PredictionAudit()
     slo = WindowedSlo(args.window, target, tail_models=tail_models,
                       audit=audit)
+    registry = None
+    controller = None
+    if args.adapt:
+        refitter = OnlineRefitter(predictor, window=args.refit_window)
+        registry = ModelRegistry(decider, predictor)
+        controller = AdaptationController(
+            refitter, registry, slo,
+            policy=DriftPolicy(drift_bound=args.drift_bound),
+        )
     engine = ServingEngine(
         simulator, apps, decider,
         servers_per_app=args.servers, epoch_s=args.epoch,
         window_s=args.window, slo=slo, audit=audit,
+        adaptation=controller,
     )
     tracer = obs_trace.install() if args.trace_out else None
     outcome = engine.replay(trace, strategy=args.engine,
@@ -249,10 +269,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if audit.samples:
         print()
         print(render_audit(audit.snapshot()))
+    if registry is not None:
+        print("  " + render_adapt(registry.snapshot()))
     if args.metrics_out:
         path = write_report(args.metrics_out, build_report(
             command=["repro.cli", "serve"], metrics=metrics,
             audit=audit.snapshot() if audit.samples else None,
+            adapt=registry.snapshot() if registry is not None else None,
         ))
         print(f"  metrics report written to {path}")
     return 0
@@ -288,7 +311,20 @@ def _cmd_serve_api(args: argparse.Namespace) -> int:
             "--port only applies to the in-process server; sharded "
             "workers each listen on an ephemeral port (printed at start)"
         )
+    if args.adapt and args.policy != "smite":
+        raise ReproError("--adapt recalibrates the SMiTe regression; it "
+                         "requires --policy smite")
     decider = _api_decider(args)
+    registry = None
+    if args.adapt:
+        # The API path answers hypothetical placement queries and never
+        # observes measured degradations, so drift cannot trigger here:
+        # --adapt runs in standby. The registry gives the `stats` op its
+        # model-version surface (and an operator a hot-swap handle).
+        registry = ModelRegistry(decider, decider.predictor)
+        print("adaptation standby: serving static coefficients (v0); "
+              "the API path carries no measured degradations, so no "
+              "drift-triggered swaps occur here")
     options = dict(
         max_batch=args.max_batch,
         queue_bound=args.queue_bound,
@@ -341,6 +377,7 @@ def _cmd_serve_api(args: argparse.Namespace) -> int:
     if args.metrics_out:
         path = write_report(args.metrics_out, build_report(
             command=["repro.cli", "serve-api"], metrics=metrics,
+            adapt=registry.snapshot() if registry is not None else None,
         ))
         print(f"  metrics report written to {path}")
     return 0
@@ -444,6 +481,20 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=None,
                        help="max worker processes for --shards"
                             " (default: one per shard)")
+    serve.add_argument("--adapt", action="store_true",
+                       help="drift-triggered online recalibration: refit "
+                            "the Sen x Con regression from audited "
+                            "residuals and hot-swap coefficients at epoch "
+                            "boundaries (requires --policy smite; see "
+                            "docs/ADAPTATION.md)")
+    serve.add_argument("--drift-bound", type=float, default=0.05,
+                       help="mean |residual| per SLO window that counts "
+                            "as calibration drift for --adapt "
+                            "(default 0.05)")
+    serve.add_argument("--refit-window", type=int, default=256,
+                       help="residual observations retained for the "
+                            "mini-batch refit fallback under --adapt "
+                            "(default 256)")
     serve.add_argument("--fast", action="store_true",
                        help="CI-sized run: smaller training set and pools")
     serve.add_argument("--metrics-out", default=None,
@@ -495,6 +546,18 @@ def _parser() -> argparse.ArgumentParser:
     serve_api.add_argument("--jobs", type=int, default=None,
                            help="max worker processes for --shards "
                                 "(default: one per shard)")
+    serve_api.add_argument("--adapt", action="store_true",
+                           help="standby adaptation: expose the model "
+                                "registry and version surface in the "
+                                "stats op (the API path has no measured "
+                                "degradations, so no swaps trigger; "
+                                "requires --policy smite)")
+    serve_api.add_argument("--drift-bound", type=float, default=0.05,
+                           help="reserved drift bound for --adapt "
+                                "standby mode (default 0.05)")
+    serve_api.add_argument("--refit-window", type=int, default=256,
+                           help="reserved refit window for --adapt "
+                                "standby mode (default 256)")
     serve_api.add_argument("--fast", action="store_true",
                            help="CI-sized run: smaller training set and "
                                 "tail-model fits")

@@ -68,6 +68,26 @@ class SMiTe:
             self._characterizations[key] = cached
         return cached
 
+    def seed_characterization(
+        self,
+        profile: WorkloadProfile,
+        characterization: Characterization,
+        *,
+        mode: PairMode | None = None,
+    ) -> None:
+        """Pre-populate the characterization cache for one workload.
+
+        Models a stale profile database: the serving stack looks
+        workloads up by name, so seeding a profile with *another*
+        workload's characterization makes every downstream prediction
+        systematically wrong while the simulator (the ground truth)
+        still measures the real behavior. The adaptive-serving
+        experiment uses this to create recoverable mispredictions; it
+        is also the import hook for characterizations measured offline.
+        """
+        mode = mode or self._mode
+        self._characterizations[(profile.name, mode)] = characterization
+
     def characterize_server(
         self,
         latency_profile: WorkloadProfile,

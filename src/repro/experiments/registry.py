@@ -18,6 +18,7 @@ from repro.experiments import (
     fig12_cloudsuite,
     fig13_tail_latency,
     fig18_tco,
+    figs_adaptive,
     figS_online_scaleout,
     table1,
 )
@@ -53,6 +54,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "fig17": run_fig17,
     "fig18": fig18_tco.run,
     "figs_online": figS_online_scaleout.run,
+    "figs_adaptive": figs_adaptive.run,
 }
 
 
@@ -67,6 +69,7 @@ EXPERIMENT_FAMILIES: tuple[tuple[str, ...], ...] = (
     ("fig14", "fig15", "fig18"),   # average-performance scale-out study
     ("fig16", "fig17"),            # tail-latency scale-out study
     ("figs_online",),              # online serving replay (own predictor)
+    ("figs_adaptive",),            # drift/recalibration replay (own predictor)
     ("fig12", "fig13"),            # CloudSuite predictor + tail models
     ("fig10", "fig11"),            # SPEC accuracy predictors
     ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9"),

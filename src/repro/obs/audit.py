@@ -139,11 +139,18 @@ class PredictionAudit:
     # -- aggregation ----------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """The audit section of a run report: JSON-able and mergeable."""
+        """The audit section of a run report: JSON-able and mergeable.
+
+        The ``window`` entry carries the still-open drift window so a
+        worker snapshot folded back mid-window contributes to the
+        parent's next :meth:`close_window` — without it, shard residuals
+        would count toward attribution but vanish from the drift signal.
+        """
         with self._lock:
             return {
                 "samples": self.overall.count,
                 "overall": self.overall.snapshot(),
+                "window": self._window.snapshot(),
                 "pools": {name: stats.snapshot()
                           for name, stats in sorted(self.pools.items())},
                 "pairs": {name: stats.snapshot()
@@ -151,9 +158,17 @@ class PredictionAudit:
             }
 
     def merge(self, snap: Mapping[str, Any]) -> None:
-        """Fold a snapshot (e.g. from a worker process) into this audit."""
+        """Fold a snapshot (e.g. from a worker process) into this audit.
+
+        Tolerates partial snapshots: any absent table (including
+        ``overall`` and the pre-PR-9 snapshots without a ``window``
+        entry) merges as empty rather than raising.
+        """
         with self._lock:
-            self.overall.merge_snapshot(snap["overall"])
+            if "overall" in snap:
+                self.overall.merge_snapshot(snap["overall"])
+            if "window" in snap:
+                self._window.merge_snapshot(snap["window"])
             for table, own in (("pools", self.pools), ("pairs", self.pairs)):
                 for name, stats_snap in snap.get(table, {}).items():
                     own.setdefault(name, ResidualStats()).merge_snapshot(

@@ -194,6 +194,27 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("gauge", "serve.audit.drift", "fraction",
                "mean absolute prediction residual of the most recently "
                "closed SLO window (calibration drift)"),
+    # -- online model recalibration (adapt/, fed by serve/engine.py) -----
+    MetricSpec("counter", "serve.adapt.observations", "comparisons",
+               "audited comparisons streamed into the online refitter "
+               "(training and holdout together)"),
+    MetricSpec("counter", "serve.adapt.refits", "refits",
+               "mini-batch full refits run over the observation window"),
+    MetricSpec("counter", "serve.adapt.swaps", "swaps",
+               "coefficient sets hot-swapped into the prediction "
+               "service (reverts to static included)"),
+    MetricSpec("counter", "serve.adapt.reverts", "swaps",
+               "swaps that shed back to the static offline-trained "
+               "coefficients after candidates failed the holdout check"),
+    MetricSpec("counter", "serve.adapt.rejected", "candidates",
+               "candidate coefficient sets rejected by the holdout "
+               "sanity check"),
+    MetricSpec("counter", "serve.adapt.invalidations", "entries",
+               "prediction-derived cache entries (decision LRU plus "
+               "prediction memo) dropped by coefficient swaps"),
+    MetricSpec("gauge", "serve.adapt.model_version", "version",
+               "monotone version of the serving coefficients (0 = the "
+               "static offline-trained model)"),
     # -- experiment runner (experiments/runner.py) -----------------------
     MetricSpec("gauge", "runner.jobs", "processes",
                "worker processes the runner used"),
@@ -229,6 +250,12 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("span", "serve.shard.merge", "seconds",
                "folding shard workers' results and metric snapshots "
                "back into the parent"),
+    MetricSpec("span", "serve.adapt.refit", "seconds",
+               "one candidate coefficient set assembled (RLS readout or "
+               "mini-batch full refit over the window)"),
+    MetricSpec("span", "serve.adapt.swap", "seconds",
+               "one coefficient hot-swap: override install plus cache "
+               "invalidation"),
     MetricSpec("span", "serve.api.batch", "seconds",
                "one decision micro-batch: epoch prefetch plus per-request "
                "decisions through the decider"),

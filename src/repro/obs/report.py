@@ -35,6 +35,7 @@ __all__ = [
     "load_report",
     "maybe_write_env_report",
     "provenance",
+    "render_adapt",
     "render_audit",
     "render_report",
     "render_summary",
@@ -77,6 +78,7 @@ def build_report(
     workers: Sequence[Mapping[str, Any]] | None = None,
     metrics: Mapping[str, Any] | None = None,
     audit: Mapping[str, Any] | None = None,
+    adapt: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a run report around the (already merged) metrics snapshot.
 
@@ -84,7 +86,9 @@ def build_report(
     least ``experiments`` and ``metrics`` keys); the top-level
     ``metrics`` must already contain their merged totals. ``audit`` is a
     :meth:`~repro.obs.audit.PredictionAudit.snapshot` when the run kept
-    prediction-accuracy books (``repro.cli serve`` does).
+    prediction-accuracy books (``repro.cli serve`` does). ``adapt`` is a
+    :meth:`~repro.adapt.swap.ModelRegistry.snapshot` when the run served
+    with online recalibration enabled.
     """
     return {
         "schema": SCHEMA_VERSION,
@@ -96,6 +100,7 @@ def build_report(
         "workers": [dict(w) for w in (workers or [])],
         "metrics": dict(metrics) if metrics is not None else snapshot(),
         "audit": dict(audit) if audit is not None else None,
+        "adapt": dict(adapt) if adapt is not None else None,
     }
 
 
@@ -117,6 +122,7 @@ def load_report(path: str | Path) -> dict[str, Any]:
         )
     report.setdefault("provenance", {})
     report.setdefault("audit", None)
+    report.setdefault("adapt", None)
     report.setdefault("experiments", {})
     report.setdefault("workers", [])
     report.setdefault("metrics", {})
@@ -204,6 +210,19 @@ def render_audit(audit: Mapping[str, Any]) -> str:
     return "\n\n".join(parts)
 
 
+def render_adapt(adapt: Mapping[str, Any]) -> str:
+    """One line: which coefficient set ended up serving, and since when."""
+    version = adapt.get("model_version", 0)
+    origin = adapt.get("origin", "static")
+    model_hash = adapt.get("model_hash", "static")
+    swaps = adapt.get("swaps", 0)
+    swapped = adapt.get("last_swap_epoch_s")
+    when = (f", last swap at t={swapped:.0f}s" if swapped is not None
+            else "")
+    return (f"adaptation: serving model v{version} ({origin}, "
+            f"hash {model_hash}), {swaps} swap(s){when}")
+
+
 def render_report(report: Mapping[str, Any], *, limit: int = 8) -> str:
     """The ``repro.cli obs view`` rendering of one full run report."""
     parts: list[str] = []
@@ -235,6 +254,9 @@ def render_report(report: Mapping[str, Any], *, limit: int = 8) -> str:
     audit = report.get("audit")
     if audit:
         parts.append(render_audit(audit))
+    adapt = report.get("adapt")
+    if adapt:
+        parts.append(render_adapt(adapt))
     workers = report.get("workers") or []
     if len(workers) > 1:
         parts.append(f"({len(workers)} worker snapshots merged)")

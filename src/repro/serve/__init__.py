@@ -44,7 +44,13 @@ from repro.serve.service import (
 )
 from repro.serve.shard import PoolReplay, run_pool_shards
 from repro.serve.slo import SloWindow, WindowedSlo, window_violation_stats
-from repro.serve.traffic import Trace, TraceJob, diurnal_trace, poisson_trace
+from repro.serve.traffic import (
+    Trace,
+    TraceJob,
+    diurnal_trace,
+    phase_shift_trace,
+    poisson_trace,
+)
 
 __all__ = [
     "AdmissionControl",
@@ -70,6 +76,7 @@ __all__ = [
     "TraceJob",
     "WindowedSlo",
     "diurnal_trace",
+    "phase_shift_trace",
     "poisson_trace",
     "run_api_shards",
     "run_pool_shards",

@@ -509,6 +509,14 @@ class ApiServer:
             "max_batch": self.max_batch,
             "connections": self._connections,
             "draining": self._draining,
+            # Hot-swap surface (repro.adapt): which coefficient set is
+            # serving. Deciders without the surface report the static
+            # version 0.
+            "model_version": getattr(self.decider, "model_version", 0),
+            "model_hash": getattr(self.decider, "model_hash", None),
+            "last_swap_epoch_s": getattr(
+                self.decider, "last_swap_epoch_s", None,
+            ),
         }
 
 

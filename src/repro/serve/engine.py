@@ -32,7 +32,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -41,12 +41,21 @@ from repro.obs import PredictionAudit, counter, gauge, span
 from repro.obs import trace as obs_trace
 from repro.serve.events import EventRecord, EventTable
 from repro.serve.service import Candidate, CandidateStream, Decider
-from repro.serve.shard import PoolReplay, replay_pool_events, run_pool_shards
+from repro.serve.shard import (
+    EpochShardPool,
+    PoolKernel,
+    PoolReplay,
+    replay_pool_events,
+    run_pool_shards,
+)
 from repro.serve.slo import SloWindow, WindowedSlo
 from repro.serve.traffic import Trace, TraceJob
 from repro.smt.simulator import Simulator
 from repro.workloads.cloudsuite import LatencySensitiveWorkload
 from repro.workloads.profile import WorkloadProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.adapt.decider import AdaptationController
 
 __all__ = [
     "EventRecord",
@@ -169,6 +178,7 @@ class ServingEngine:
         window_s: float = 3_600.0,
         slo: WindowedSlo | None = None,
         audit: PredictionAudit | None = None,
+        adaptation: "AdaptationController | None" = None,
     ) -> None:
         apps = tuple(apps)
         if not apps:
@@ -193,6 +203,17 @@ class ServingEngine:
         #: the same instance to the SLO tracker so window closes drain
         #: its drift accumulator.
         self.audit = audit
+        if adaptation is not None and (slo is None or audit is None):
+            raise ConfigurationError(
+                "adaptation needs both an SLO tracker (drift windows) "
+                "and a prediction audit (residual stream)"
+            )
+        #: Drift-triggered recalibration controller (repro.adapt). Fed
+        #: every audited comparison and stepped at each epoch boundary;
+        #: when it swaps coefficients the engine drops its prediction
+        #: memo (measured-degradation caches are coefficient-free and
+        #: survive).
+        self.adaptation = adaptation
         #: idle SMT contexts per server = one sibling per core
         self.threads_per_server = simulator.machine.cores
         self.n_servers = servers_per_app * len(apps)
@@ -294,6 +315,7 @@ class ServingEngine:
                 deg_idx[(a, p, inst)] = degradation
         scored: list[tuple[str, float, int, int]] = []
         audit = self.audit
+        adaptation = self.adaptation
         pred_idx = self._pred_idx
         for a, p, inst, count in groups:
             key = (a, p, inst)
@@ -316,6 +338,12 @@ class ServingEngine:
                         predicted=predicted, actual=degradation,
                         count=count,
                     )
+                    if adaptation is not None:
+                        adaptation.observe(
+                            app, pool[p], inst,
+                            predicted=predicted, actual=degradation,
+                            count=count,
+                        )
         if self.slo is not None:
             self.slo.observe_groups(
                 time_s, scored,
@@ -354,6 +382,13 @@ class ServingEngine:
         with span("serve.replay"):
             if strategy == "scalar":
                 return self._replay_scalar(trace)
+            if self.adaptation is not None:
+                # Decisions are no longer a pure function of the arrival
+                # stream — coefficient swaps feed back — so the replay
+                # interleaves decide/place/score per epoch.
+                return self._replay_vector_adaptive(
+                    trace, shards=shards, jobs=jobs,
+                )
             return self._replay_vector(trace, shards=shards, jobs=jobs)
 
     # -- vectorized strategy -------------------------------------------
@@ -536,6 +571,258 @@ class ServingEngine:
                         in pool_outputs[p].groups_per_epoch[e]
                     )
                 self._score_fleet(end, groups, trace.pool)
+
+        events = EventTable(
+            time_s=ev_time,
+            kind=ev_kind,
+            job_id=trace.job_id[ev_jobpos],
+            profile_idx=trace.profile_idx[ev_jobpos],
+            app_idx=ev_app,
+            server=server_col,
+            placement=placement_col,
+            instances_after=instances_col,
+            profiles=[p.name for p in trace.pool],
+            apps=[a.name for a in self.apps],
+        )
+        windows = self.slo.finish() if self.slo is not None else ()
+        return ReplayOutcome(
+            policy=self.decider.name,
+            trace_kind=trace.kind,
+            seed=trace.seed,
+            horizon_s=trace.horizon_s,
+            arrivals=n_arrivals,
+            departures=n_departures,
+            still_placed=n_arrivals - n_departures,
+            colocated_placed=colocated_placed,
+            baseline_placed=n_arrivals - colocated_placed,
+            shed=shed_total,
+            events=events,
+            windows=tuple(windows),
+        )
+
+    # -- adaptive vectorized strategy ----------------------------------
+
+    def _replay_vector_adaptive(
+        self, trace: Trace, *, shards: int = 0, jobs: int | None = None,
+    ) -> ReplayOutcome:
+        """Vectorized replay with per-epoch decide/place/score interleave.
+
+        Identical in outputs to :meth:`_replay_vector` except the decide
+        phase cannot be hoisted out of the epoch loop: the adaptation
+        controller may hot-swap the decider's coefficients at any epoch
+        boundary, so epoch ``e + 1``'s decisions depend on epoch ``e``'s
+        scoring. Decisions still never depend on placement, so the
+        per-pool kernels are unchanged — they just step one epoch at a
+        time, optionally resident in persistent worker processes
+        (:class:`EpochShardPool`) when ``shards > 1``.
+        """
+        adaptation = self.adaptation
+        assert adaptation is not None
+        n_apps = len(self.apps)
+        threads = self.threads_per_server
+        n_jobs = len(trace)
+        n_epochs, ends = self._epoch_grid(trace.horizon_s)
+        app_of_job = (trace.job_id % n_apps).astype(np.intp)
+        arr_order, arr_epoch = self._arrival_plan(trace, ends)
+        n_arrivals = int(arr_order.size)
+
+        # The candidate stream is decision-independent, so its unique-
+        # pair classification is still one up-front numpy pass exactly
+        # as in _replay_vector; only the decide calls move into the loop.
+        epoch_starts_arr = np.searchsorted(arr_epoch,
+                                           np.arange(n_epochs + 1))
+        epoch_starts = epoch_starts_arr.tolist()
+        app_c = app_of_job[arr_order]
+        prof_c = trace.profile_idx[arr_order]
+        n_pool = len(trace.pool)
+        n_pairs = n_apps * n_pool
+        key_table = [
+            (app.name, profile.name, threads)
+            for app in self.apps for profile in trace.pool
+        ]
+        pair_c = app_c * n_pool + prof_c
+        combo = arr_epoch * n_pairs + pair_c
+        uid_combo, first_pos, inv_g = np.unique(
+            combo, return_index=True, return_inverse=True,
+        )
+        uid_epoch = uid_combo // n_pairs
+        uid_off = np.searchsorted(uid_epoch, np.arange(n_epochs + 1))
+        uid_pair = (uid_combo % n_pairs).tolist()
+        uid_offs = uid_off.tolist()
+        inv_local = (inv_g - uid_off[arr_epoch]).tolist()
+        firsts_local = (first_pos - epoch_starts_arr[uid_epoch]).tolist()
+        stream = CandidateStream(
+            self.apps, trace.pool, app_c, prof_c, pair_c, threads,
+            key_table, epoch_starts, uid_offs, uid_pair,
+            inv_local, firsts_local,
+        )
+
+        # Merged event table, identical to _replay_vector; per-epoch
+        # slices are contiguous because ev_epoch is nondecreasing.
+        dep_t = trace.departure_s[arr_order]
+        dep_pos = arr_order[dep_t < trace.horizon_s]
+        n_departures = int(dep_pos.size)
+        ev_time = np.concatenate(
+            (trace.arrival_s[arr_order], trace.departure_s[dep_pos])
+        )
+        ev_kind = np.concatenate((
+            np.full(n_arrivals, _ARRIVE, dtype=np.int8),
+            np.full(n_departures, _DEPART, dtype=np.int8),
+        ))
+        ev_jobpos = np.concatenate((arr_order, dep_pos))
+        order = np.lexsort((trace.job_id[ev_jobpos], ev_kind, ev_time))
+        ev_time = ev_time[order]
+        ev_kind = ev_kind[order]
+        ev_jobpos = ev_jobpos[order]
+        ev_epoch = np.searchsorted(ends, ev_time, side="right")
+        ev_app = app_of_job[ev_jobpos]
+        n_events = int(ev_time.size)
+        ev_splits = np.searchsorted(ev_epoch,
+                                    np.arange(n_epochs + 1)).tolist()
+
+        shed_all = np.zeros(n_arrivals, dtype=bool)
+        cap_of_job = np.zeros(n_jobs, dtype=np.int64)
+        shed_of_job = np.zeros(n_jobs, dtype=bool)
+
+        # Caps never exceed the context supply, so one state bound
+        # serves every pool; kernel outputs are bound-independent.
+        n_states = threads + 2
+        pool: EpochShardPool | None = None
+        kernels: list[PoolKernel] = []
+        if shards > 1:
+            pool = EpochShardPool(
+                [(self.servers_per_app, n_states)] * n_apps,
+                shards=shards, jobs=jobs,
+            )
+        else:
+            kernels = [
+                PoolKernel(self.servers_per_app, n_states)
+                for _ in range(n_apps)
+            ]
+
+        # Arrival/departure totals are decision-independent (a shed job
+        # still departs from the baseline pool), so the running-jobs
+        # series is precomputable.
+        is_arrival_ev = ev_kind == _ARRIVE
+        arr_per_epoch = np.bincount(arr_epoch, minlength=n_epochs)
+        dep_per_epoch = np.bincount(
+            ev_epoch[~is_arrival_ev], minlength=n_epochs
+        )
+        running = np.cumsum(arr_per_epoch - dep_per_epoch)
+        running_gauge = gauge("serve.engine.running")
+
+        profile_of_job = trace.profile_idx
+        pool_positions: list[list[np.ndarray]] = [[] for _ in range(n_apps)]
+        for e in range(n_epochs):
+            end = float(ends[e])
+            s0, s1 = epoch_starts[e], epoch_starts[e + 1]
+            with span("serve.decide"):
+                batch = stream.batch(e)
+                self.decider.begin_epoch_batch(batch)
+                decisions = self.decider.decide_batch(batch)
+            shed_all[s0:s1] = decisions.shed
+            cap_e = np.minimum(decisions.max_safe_instances, threads)
+            cap_e[decisions.shed] = 0
+            jobpos_e = arr_order[s0:s1]
+            cap_of_job[jobpos_e] = cap_e
+            shed_of_job[jobpos_e] = decisions.shed
+            e0, e1 = ev_splits[e], ev_splits[e + 1]
+            jp = ev_jobpos[e0:e1]
+            interesting = cap_of_job[jp] >= 1
+            app_e = ev_app[e0:e1]
+            kind_e = ev_kind[e0:e1]
+            epoch_inputs = []
+            for p in range(n_apps):
+                local = np.flatnonzero(interesting & (app_e == p))
+                pool_positions[p].append(local + e0)
+                jp_p = jp[local]
+                epoch_inputs.append((
+                    (kind_e[local] == _ARRIVE).tolist(),
+                    jp_p.tolist(),
+                    profile_of_job[jp_p].tolist(),
+                    cap_of_job[jp_p].tolist(),
+                ))
+            with span("serve.place"):
+                if pool is not None:
+                    epoch_groups = pool.step(epoch_inputs)
+                else:
+                    epoch_groups = [
+                        kernels[p].step(
+                            *epoch_inputs[p], 0, len(epoch_inputs[p][0]),
+                        )
+                        for p in range(n_apps)
+                    ]
+            running_gauge.set(float(running[e]))
+            obs_trace.counter_value(
+                "serve.engine.running", float(running[e]), sim_time_s=end,
+            )
+            with span("serve.score"):
+                groups: list[_Group] = [
+                    (p, prof, inst, count)
+                    for p in range(n_apps)
+                    for prof, inst, count in epoch_groups[p]
+                ]
+                self._score_fleet(end, groups, trace.pool)
+            # The epoch boundary is the only legal swap point: scoring
+            # above fed this epoch's residuals, decisions below see the
+            # (possibly) new coefficients — matching the scalar loop
+            # event for event.
+            if adaptation.end_epoch(end):
+                self._pred_idx = {}
+
+        if pool is not None:
+            pool_outputs = pool.finish()
+        else:
+            pool_outputs = [kernel.result() for kernel in kernels]
+
+        # Scatter, count, and assemble exactly as _replay_vector does.
+        server_col = np.full(n_events, -1, dtype=np.int64)
+        placement_col = np.ones(n_events, dtype=np.int8)
+        placement_col[shed_of_job[ev_jobpos] & is_arrival_ev] = 2
+        instances_col = np.zeros(n_events, dtype=np.int64)
+        for p in range(n_apps):
+            idx = np.concatenate(pool_positions[p])
+            out = pool_outputs[p]
+            base = p * self.servers_per_app
+            server_col[idx] = np.where(
+                out.server >= 0, out.server + base, -1
+            )
+            placement_col[idx] = out.placement
+            instances_col[idx] = out.instances_after
+
+        colocated_ev = is_arrival_ev & (placement_col == 0)
+        colocated_placed = int(np.count_nonzero(colocated_ev))
+        shed_total = int(np.count_nonzero(shed_all))
+        counter("serve.engine.epochs").inc(n_epochs)
+        counter("serve.engine.events").inc(n_events)
+        counter("serve.engine.arrivals").inc(n_arrivals)
+        counter("serve.engine.departures").inc(n_departures)
+        counter("serve.engine.colocated").inc(colocated_placed)
+        counter("serve.engine.baseline_placed").inc(
+            n_arrivals - colocated_placed
+        )
+        if obs_trace.is_active():
+            colocated_per_epoch = np.bincount(
+                ev_epoch[colocated_ev], minlength=n_epochs
+            )
+            shed_per_epoch = np.bincount(
+                arr_epoch[shed_all], minlength=n_epochs
+            )
+            for e in range(n_epochs):
+                obs_trace.instant(
+                    "serve.decision",
+                    {
+                        "epoch": e,
+                        "arrivals": int(arr_per_epoch[e]),
+                        "colocated": int(colocated_per_epoch[e]),
+                        "baseline": int(
+                            arr_per_epoch[e] - colocated_per_epoch[e]
+                            - shed_per_epoch[e]
+                        ),
+                        "shed": int(shed_per_epoch[e]),
+                    },
+                    sim_time_s=float(ends[e]),
+                )
 
         events = EventTable(
             time_s=ev_time,
@@ -763,6 +1050,14 @@ class ServingEngine:
                         )]
                     else:
                         server.actual_degradation = 0.0
+                # Adaptation steps at the epoch boundary — after this
+                # epoch's scoring, before the next epoch's decisions —
+                # so scalar and vectorized replays swap at identical
+                # points. A swap drops the prediction memo (measured
+                # degradations are coefficient-free and survive).
+                if (self.adaptation is not None
+                        and self.adaptation.end_epoch(epoch_end)):
+                    self._pred_idx = {}
 
         still_placed = len(placed_on)
         windows = self.slo.finish() if self.slo is not None else ()

@@ -476,6 +476,16 @@ class PredictionService(Decider):
         ] | None = None
         self._epoch_counts_batch: CandidateBatch | None = None
         self._epoch_counts: list[int | None] = []
+        # Hot-swappable coefficient override (repro.adapt): any object
+        # duck-typing SMiTe.predict_server. None serves the static
+        # offline-trained predictor.
+        self._override = None
+        #: Monotone version of the serving coefficients; 0 = the static
+        #: model the service was constructed with.
+        self.model_version = 0
+        self.model_hash: str | None = None
+        #: Simulated time of the last hot-swap (None before any swap).
+        self.last_swap_epoch_s: float | None = None
 
     # ------------------------------------------------------------------
 
@@ -483,6 +493,43 @@ class PredictionService(Decider):
     def cache_len(self) -> int:
         """Number of decisions currently held in the LRU."""
         return len(self._lru)
+
+    @property
+    def model_override(self):
+        """The live coefficient override, or None when serving static."""
+        return self._override
+
+    def set_model_override(
+        self,
+        override,
+        *,
+        version: int,
+        model_hash: str | None = None,
+        epoch_s: float | None = None,
+    ) -> int:
+        """Atomically swap the serving coefficients (hot-swap entry point).
+
+        ``override`` is any object duck-typing ``SMiTe.predict_server``
+        (see :class:`repro.adapt.swap.AdaptedModel`), or None to shed
+        back to the static predictor. Invalidates exactly the
+        prediction-derived caches — the decision LRU and the prediction
+        memo — and returns how many entries that dropped. Ground-truth
+        stores (the simulator memo, ``smt.diskcache``) hold measured
+        degradations independent of regression coefficients, so a swap
+        leaves them untouched.
+        """
+        invalidated = len(self._lru) + len(self._predicted)
+        self._override = override
+        self.model_version = version
+        self.model_hash = model_hash
+        self.last_swap_epoch_s = epoch_s
+        self._lru.clear()
+        self._predicted.clear()
+        # Any in-flight epoch memo of LRU counts is stale now; swaps
+        # land on epoch boundaries, but drop it defensively regardless.
+        self._epoch_counts_batch = None
+        counter("serve.adapt.invalidations").inc(invalidated)
+        return invalidated
 
     def _key(
         self,
@@ -974,7 +1021,9 @@ class PredictionService(Decider):
         key = (latency_app.name, batch_profile.name, instances)
         predicted = self._predicted.get(key)
         if predicted is None:
-            predicted = self.predictor.predict_server(
+            model = (self._override if self._override is not None
+                     else self.predictor)
+            predicted = model.predict_server(
                 latency_app.profile, batch_profile, instances=instances,
             )
             self._predicted[key] = predicted

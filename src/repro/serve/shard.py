@@ -3,9 +3,10 @@
 The vectorized replay splits each epoch's work into three phases; this
 module owns phase two — *placement* — which is the only phase whose state
 is per server pool and therefore shards cleanly. The kernel
-(:func:`replay_pool_events`) consumes one pool's pre-decided event
-stream (columnar, already filtered to events that can touch pool state)
-and replays it with O(1) free-list structures:
+(:class:`PoolKernel`, driven by :func:`replay_pool_events`) consumes one
+pool's pre-decided event stream (columnar, already filtered to events
+that can touch pool state) and replays it with O(1) free-list
+structures:
 
 - ``prof_of`` / ``cnt_of``: the batch profile and instance count of
   every server (``-1`` / ``0`` when idle);
@@ -23,14 +24,26 @@ fans contiguous pool ranges out to worker processes and folds the
 workers' metrics back in through the existing obs snapshot/merge
 machinery. The kernel is deterministic, so sharded and in-process
 replays produce byte-identical event logs.
+
+The *adaptive* replay (``repro.adapt``) cannot pre-decide the whole
+trace — coefficients may hot-swap between epochs — so it steps the same
+kernels one epoch at a time instead. :class:`EpochShardPool` keeps the
+kernels resident in persistent worker processes for that mode: one
+message per epoch carries each pool's freshly decided events out, the
+epoch's occupancy groups come back for scoring, and the final fold-back
+reuses the same obs snapshot/merge path. The workers hold no
+model-derived state at all, which is what lets a parent-side coefficient
+swap propagate by construction: the next epoch's caps already reflect
+it.
 """
 
 from __future__ import annotations
 
 import heapq
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -39,6 +52,8 @@ from repro.errors import ConfigurationError
 from repro.obs import counter, span
 
 __all__ = [
+    "EpochShardPool",
+    "PoolKernel",
     "PoolReplay",
     "replay_pool_events",
     "run_pool_shards",
@@ -60,17 +75,8 @@ class PoolReplay:
     groups_per_epoch: list[list[tuple[int, int, int]]]
 
 
-def replay_pool_events(
-    *,
-    is_arrival: np.ndarray,
-    job_pos: np.ndarray,
-    profile_idx: np.ndarray,
-    cap: np.ndarray,
-    epoch: np.ndarray,
-    n_epochs: int,
-    n_servers: int,
-) -> PoolReplay:
-    """Replay one pool's interesting events with O(1) placement.
+class PoolKernel:
+    """One pool's placement state, steppable one epoch at a time.
 
     Events arrive pre-sorted in global processing order and pre-filtered
     to this pool's *interesting* stream: arrivals whose decision allows
@@ -80,32 +86,58 @@ def replay_pool_events(
     same-profile server strictly below it, lowest index on ties, else
     the lowest-index idle server, else the baseline pool — the same rule
     as the scalar engine's ``_pick_server`` scan.
+
+    ``n_states`` bounds the per-server instance count from above; bucket
+    keys are dense ints ``profile * n_states + count`` (cheaper to hash
+    than tuples, and sorting them sorts (profile, count)
+    lexicographically). The outputs never depend on its exact value as
+    long as every cap stays below it.
     """
-    m = int(is_arrival.size)
-    out_srv = [-1] * m
-    out_plc = [1] * m
-    out_inst = [0] * m
-    splits = np.searchsorted(epoch, np.arange(n_epochs + 1)).tolist()
-    is_arr = is_arrival.tolist()
-    jobs = job_pos.tolist()
-    profs = profile_idx.tolist()
-    caps = cap.tolist()
-    # Bucket keys are dense ints p * n_states + c: cheaper to hash than
-    # tuples, and sorting them sorts (profile, count) lexicographically.
-    n_states = (int(cap.max()) if m else 0) + 2
-    prof_of = [-1] * n_servers
-    cnt_of = [0] * n_servers
-    idle = list(range(n_servers))  # ascending == already a valid min-heap
-    buckets: dict[int, list[int]] = {}
-    n_at: dict[int, int] = {}
-    placed: dict[int, int] = {}
-    groups: list[list[tuple[int, int, int]]] = []
-    hpush, hpop = heapq.heappush, heapq.heappop
-    n_at_get = n_at.get
-    i = 0
-    for e in range(n_epochs):
-        end = splits[e + 1]
-        while i < end:
+
+    __slots__ = (
+        "n_servers", "n_states", "prof_of", "cnt_of", "idle", "buckets",
+        "n_at", "placed", "out_srv", "out_plc", "out_inst",
+        "groups_per_epoch",
+    )
+
+    def __init__(self, n_servers: int, n_states: int) -> None:
+        self.n_servers = n_servers
+        self.n_states = n_states
+        self.prof_of = [-1] * n_servers
+        self.cnt_of = [0] * n_servers
+        # ascending == already a valid min-heap
+        self.idle = list(range(n_servers))
+        self.buckets: dict[int, list[int]] = {}
+        self.n_at: dict[int, int] = {}
+        self.placed: dict[int, int] = {}
+        self.out_srv: list[int] = []
+        self.out_plc: list[int] = []
+        self.out_inst: list[int] = []
+        self.groups_per_epoch: list[list[tuple[int, int, int]]] = []
+
+    def step(
+        self,
+        is_arr: Sequence[bool],
+        jobs: Sequence[int],
+        profs: Sequence[int],
+        caps: Sequence[int],
+        lo: int,
+        hi: int,
+    ) -> list[tuple[int, int, int]]:
+        """Replay events ``[lo, hi)`` of one epoch; returns its groups."""
+        n_states = self.n_states
+        prof_of = self.prof_of
+        cnt_of = self.cnt_of
+        idle = self.idle
+        buckets = self.buckets
+        n_at = self.n_at
+        placed = self.placed
+        out_srv = self.out_srv
+        out_plc = self.out_plc
+        out_inst = self.out_inst
+        hpush, hpop = heapq.heappush, heapq.heappop
+        n_at_get = n_at.get
+        for i in range(lo, hi):
             j = jobs[i]
             if is_arr[i]:
                 p = profs[i]
@@ -149,9 +181,13 @@ def replay_pool_events(
                     n_at[key] = n_at_get(key, 0) + 1
                     hpush(buckets.setdefault(key, []), best)
                     placed[j] = best
-                    out_srv[i] = best
-                    out_plc[i] = 0
-                    out_inst[i] = new
+                    out_srv.append(best)
+                    out_plc.append(0)
+                    out_inst.append(new)
+                else:
+                    out_srv.append(-1)
+                    out_plc.append(1)
+                    out_inst.append(0)
             else:
                 s = placed.pop(j, -1)
                 if s >= 0:
@@ -172,19 +208,55 @@ def replay_pool_events(
                     else:
                         prof_of[s] = -1
                         hpush(idle, s)
-                    out_srv[i] = s
-                    out_plc[i] = 0
-                    out_inst[i] = nc
-            i += 1
-        groups.append([
+                    out_srv.append(s)
+                    out_plc.append(0)
+                    out_inst.append(nc)
+                else:
+                    out_srv.append(-1)
+                    out_plc.append(1)
+                    out_inst.append(0)
+        groups = [
             (*divmod(key, n_states), n) for key, n in sorted(n_at.items())
-        ])
-    return PoolReplay(
-        server=np.array(out_srv, dtype=np.int64),
-        placement=np.array(out_plc, dtype=np.int8),
-        instances_after=np.array(out_inst, dtype=np.int64),
-        groups_per_epoch=groups,
-    )
+        ]
+        self.groups_per_epoch.append(groups)
+        return groups
+
+    def result(self) -> PoolReplay:
+        """The accumulated :class:`PoolReplay` over every step so far."""
+        return PoolReplay(
+            server=np.array(self.out_srv, dtype=np.int64),
+            placement=np.array(self.out_plc, dtype=np.int8),
+            instances_after=np.array(self.out_inst, dtype=np.int64),
+            groups_per_epoch=self.groups_per_epoch,
+        )
+
+
+def replay_pool_events(
+    *,
+    is_arrival: np.ndarray,
+    job_pos: np.ndarray,
+    profile_idx: np.ndarray,
+    cap: np.ndarray,
+    epoch: np.ndarray,
+    n_epochs: int,
+    n_servers: int,
+) -> PoolReplay:
+    """Replay one pool's full interesting event stream with O(1) placement.
+
+    The whole-trace entry point: runs a :class:`PoolKernel` over every
+    epoch's slice in one pass. See the kernel for the placement rule.
+    """
+    m = int(is_arrival.size)
+    n_states = (int(cap.max()) if m else 0) + 2
+    kernel = PoolKernel(n_servers, n_states)
+    splits = np.searchsorted(epoch, np.arange(n_epochs + 1)).tolist()
+    is_arr = is_arrival.tolist()
+    jobs = job_pos.tolist()
+    profs = profile_idx.tolist()
+    caps = cap.tolist()
+    for e in range(n_epochs):
+        kernel.step(is_arr, jobs, profs, caps, splits[e], splits[e + 1])
+    return kernel.result()
 
 
 def _shard_worker(pools: list[dict[str, Any]]) -> dict[str, Any]:
@@ -237,3 +309,116 @@ def run_pool_shards(
             obs.merge(output["obs"])
             results.extend(output["results"])
     return results
+
+
+# -- persistent epoch-stepped sharding (adaptive replay) ----------------
+
+
+def _epoch_shard_worker(
+    conn, specs: list[tuple[int, int]],
+) -> None:
+    """Own a contiguous range of pool kernels for a whole replay.
+
+    Protocol: each ``step`` message carries one epoch's event columns
+    per owned pool; the reply is that epoch's occupancy groups. ``None``
+    closes the stream, answered with the final :class:`PoolReplay`
+    results plus the worker's obs snapshot for the parent to merge.
+    The worker never sees coefficients or predictions — placement is
+    decision-driven — so parent-side model swaps need no propagation
+    beyond the caps already embedded in the next epoch's events.
+    """
+    obs.reset()
+    kernels = [PoolKernel(n_servers, n_states)
+               for n_servers, n_states in specs]
+    with span("serve.shard.replay"):
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            groups = []
+            for kernel, (is_arr, jobs, profs, caps) in zip(kernels, message):
+                groups.append(
+                    kernel.step(is_arr, jobs, profs, caps, 0, len(is_arr))
+                )
+            conn.send(groups)
+    counter("serve.shard.events").inc(
+        sum(len(kernel.out_srv) for kernel in kernels)
+    )
+    conn.send({
+        "results": [kernel.result() for kernel in kernels],
+        "obs": obs.snapshot(),
+    })
+    conn.close()
+
+
+class EpochShardPool:
+    """Persistent placement workers, stepped one epoch at a time.
+
+    ``specs`` holds one ``(n_servers, n_states)`` pair per pool; pools
+    are partitioned into contiguous ranges exactly like
+    :func:`run_pool_shards`, except each range's kernels live in a
+    long-running worker process for the whole replay (placement state
+    must persist across epochs once decisions interleave with scoring).
+    ``jobs`` caps the worker-process count directly.
+    """
+
+    def __init__(
+        self,
+        specs: list[tuple[int, int]],
+        *,
+        shards: int,
+        jobs: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        shards = min(shards, len(specs))
+        if jobs is not None:
+            shards = min(shards, jobs)
+        shards = max(shards, 1)
+        n = len(specs)
+        self._bounds = [(k * n) // shards for k in range(shards + 1)]
+        counter("serve.shard.workers").inc(shards)
+        context = multiprocessing.get_context()
+        self._conns = []
+        self._procs = []
+        for k in range(shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_epoch_shard_worker,
+                args=(child_conn, specs[self._bounds[k]:self._bounds[k + 1]]),
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    def step(
+        self,
+        epoch_inputs: list[tuple[
+            Sequence[bool], Sequence[int], Sequence[int], Sequence[int]
+        ]],
+    ) -> list[list[tuple[int, int, int]]]:
+        """Place one epoch's events; returns per-pool occupancy groups."""
+        for k, conn in enumerate(self._conns):
+            conn.send(epoch_inputs[self._bounds[k]:self._bounds[k + 1]])
+        groups: list[list[tuple[int, int, int]]] = []
+        for conn in self._conns:
+            groups.extend(conn.recv())
+        return groups
+
+    def finish(self) -> list[PoolReplay]:
+        """Drain final results, fold worker obs back, reap the workers."""
+        for conn in self._conns:
+            conn.send(None)
+        results: list[PoolReplay] = []
+        with span("serve.shard.merge"):
+            for conn in self._conns:
+                payload = conn.recv()
+                obs.merge(payload["obs"])
+                results.extend(payload["results"])
+                conn.close()
+        for process in self._procs:
+            process.join()
+        return results

@@ -134,6 +134,15 @@ class WindowedSlo:
 
     # ------------------------------------------------------------------
 
+    @property
+    def closed_windows(self) -> tuple[SloWindow, ...]:
+        """Windows closed so far (the still-open window excluded).
+
+        The adaptation controller polls this at epoch boundaries to
+        detect newly closed windows and their calibration drift.
+        """
+        return tuple(self._windows)
+
     def observe(
         self, time_s: float, servers: Sequence,
         *, threads_per_server: int,

@@ -1,0 +1,206 @@
+"""Drift policy: threshold, hysteresis, cooldown, and shed-to-static."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapt.decider import AdaptationController, DriftPolicy
+from repro.errors import ConfigurationError
+from repro.scheduler.metrics import ViolationStats
+from repro.serve.slo import SloWindow
+
+
+def _window(index: int, drift: float | None) -> SloWindow:
+    return SloWindow(
+        index=index,
+        start_s=index * 600.0,
+        end_s=(index + 1) * 600.0,
+        samples=2,
+        mean_utilization_gain=0.1,
+        violations=ViolationStats(
+            colocated_servers=2, violated_servers=0,
+            worst_magnitude=0.0, mean_magnitude=0.0,
+        ),
+        per_app_violations=(),
+        calibration_drift=drift,
+    )
+
+
+class StubRefitter:
+    """Scripted candidate/holdout answers for the controller."""
+
+    def __init__(self, *, incumbent, rls=None, rls_error=None,
+                 batch=None, batch_error=None):
+        self.incumbent = incumbent
+        self.rls = rls
+        self.rls_error = rls_error
+        self.batch = batch
+        self.batch_error = batch_error
+        self.observed = []
+
+    def observe(self, *args, **kwargs):
+        self.observed.append((args, kwargs))
+
+    def candidate(self):
+        return self.rls
+
+    def refit_candidate(self):
+        return self.batch
+
+    def holdout_error(self, models):
+        if models is None:
+            return self.incumbent
+        if models is self.rls:
+            return self.rls_error
+        return self.batch_error
+
+
+class StubService:
+    model_override = None
+
+
+class StubRegistry:
+    def __init__(self):
+        self.service = StubService()
+        self.installs: list[tuple[str, float | None]] = []
+        self.reverts = 0
+
+    def install(self, models, *, origin, epoch_s=None):
+        self.installs.append((origin, epoch_s))
+        self.service.model_override = models
+
+    def revert(self, *, epoch_s=None):
+        self.reverts += 1
+        self.service.model_override = None
+
+
+class StubSlo:
+    def __init__(self):
+        self.closed_windows: tuple[SloWindow, ...] = ()
+
+
+def _controller(refitter, policy=None):
+    registry = StubRegistry()
+    slo = StubSlo()
+    controller = AdaptationController(refitter, registry, slo,
+                                      policy=policy)
+    return controller, registry, slo
+
+
+class TestDriftPolicy:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            DriftPolicy(drift_bound=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftPolicy(hysteresis=0)
+        with pytest.raises(ConfigurationError):
+            DriftPolicy(cooldown=-1)
+
+
+class TestAdaptationController:
+    def test_below_bound_never_swaps(self):
+        refitter = StubRefitter(incumbent=0.2, rls={"m": 1}, rls_error=0.0)
+        controller, registry, slo = _controller(
+            refitter, DriftPolicy(drift_bound=0.05, hysteresis=1,
+                                  cooldown=0),
+        )
+        slo.closed_windows = tuple(
+            _window(i, 0.01) for i in range(5)
+        )
+        assert controller.end_epoch(3_000.0) is False
+        assert registry.installs == []
+
+    def test_hysteresis_requires_consecutive_windows(self):
+        refitter = StubRefitter(incumbent=0.2, rls={"m": 1}, rls_error=0.0)
+        policy = DriftPolicy(drift_bound=0.05, hysteresis=2, cooldown=0)
+        controller, registry, slo = _controller(refitter, policy)
+        # over, under, over: the streak resets, so no swap yet.
+        slo.closed_windows = (
+            _window(0, 0.1), _window(1, 0.01), _window(2, 0.1),
+        )
+        assert controller.end_epoch(1_800.0) is False
+        assert registry.installs == []
+        # A second consecutive over-bound window triggers the swap.
+        slo.closed_windows += (_window(3, 0.1),)
+        assert controller.end_epoch(2_400.0) is True
+        assert registry.installs == [("rls", 2_400.0)]
+
+    def test_falls_back_to_batch_refit(self):
+        refitter = StubRefitter(
+            incumbent=0.2, rls={"m": 1}, rls_error=0.5,
+            batch={"m": 2}, batch_error=0.1,
+        )
+        controller, registry, slo = _controller(
+            refitter, DriftPolicy(drift_bound=0.05, hysteresis=1,
+                                  cooldown=0),
+        )
+        slo.closed_windows = (_window(0, 0.1),)
+        assert controller.end_epoch(600.0) is True
+        assert registry.installs == [("batch", 600.0)]
+
+    def test_sheds_to_static_when_candidates_fail(self):
+        refitter = StubRefitter(
+            incumbent=0.2, rls={"m": 1}, rls_error=0.5,
+            batch={"m": 2}, batch_error=0.5,
+        )
+        controller, registry, slo = _controller(
+            refitter, DriftPolicy(drift_bound=0.05, hysteresis=1,
+                                  cooldown=0),
+        )
+        # With no override live there is nothing to shed: no-op.
+        slo.closed_windows = (_window(0, 0.1),)
+        assert controller.end_epoch(600.0) is False
+        assert registry.reverts == 0
+        # With an override live, failing both candidates reverts.
+        registry.service.model_override = object()
+        slo.closed_windows += (_window(1, 0.1),)
+        assert controller.end_epoch(1_200.0) is True
+        assert registry.reverts == 1
+        assert registry.service.model_override is None
+
+    def test_cooldown_ignores_windows_after_a_swap(self):
+        refitter = StubRefitter(incumbent=0.2, rls={"m": 1}, rls_error=0.0)
+        controller, registry, slo = _controller(
+            refitter, DriftPolicy(drift_bound=0.05, hysteresis=1,
+                                  cooldown=2),
+        )
+        slo.closed_windows = (_window(0, 0.1),)
+        assert controller.end_epoch(600.0) is True
+        assert len(registry.installs) == 1
+        # The next two over-bound windows fall inside the cooldown.
+        slo.closed_windows += (_window(1, 0.1), _window(2, 0.1))
+        assert controller.end_epoch(1_800.0) is False
+        assert len(registry.installs) == 1
+        # The third one counts again.
+        slo.closed_windows += (_window(3, 0.1),)
+        assert controller.end_epoch(2_400.0) is True
+        assert len(registry.installs) == 2
+
+    def test_windows_without_drift_are_ignored(self):
+        refitter = StubRefitter(incumbent=0.2, rls={"m": 1}, rls_error=0.0)
+        controller, registry, slo = _controller(
+            refitter, DriftPolicy(drift_bound=0.05, hysteresis=1,
+                                  cooldown=0),
+        )
+        slo.closed_windows = (_window(0, None), _window(1, None))
+        assert controller.end_epoch(1_200.0) is False
+        assert registry.installs == []
+
+    def test_no_holdout_blocks_swaps(self):
+        refitter = StubRefitter(incumbent=None, rls={"m": 1},
+                                rls_error=0.0)
+        controller, registry, slo = _controller(
+            refitter, DriftPolicy(drift_bound=0.05, hysteresis=1,
+                                  cooldown=0),
+        )
+        slo.closed_windows = (_window(0, 0.1),)
+        assert controller.end_epoch(600.0) is False
+        assert registry.installs == []
+
+    def test_observe_forwards_to_refitter(self):
+        refitter = StubRefitter(incumbent=0.1)
+        controller, _registry, _slo = _controller(refitter)
+        controller.observe("app", "profile", 2,
+                           predicted=0.1, actual=0.2, count=3)
+        assert len(refitter.observed) == 1
+        assert refitter.observed[0][1]["count"] == 3

@@ -1,0 +1,189 @@
+"""Online refitting: RLS correctness, windows, and the holdout split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapt.refit import OnlineRefitter, RlsState, _nearest_model
+from repro.analysis.linreg import fit_least_squares
+from repro.core.predictor import SMiTe
+from repro.errors import ConfigurationError
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+
+@pytest.fixture(scope="module")
+def predictor(snb_sim):
+    return SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return cloudsuite_apps()[0]
+
+
+@pytest.fixture(scope="module")
+def batch_profiles():
+    return spec_even()[:3]
+
+
+class TestRlsState:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            RlsState(0)
+        with pytest.raises(ConfigurationError):
+            RlsState(3, forgetting=0.0)
+        with pytest.raises(ConfigurationError):
+            RlsState(3, forgetting=1.5)
+        with pytest.raises(ConfigurationError):
+            RlsState(3, init_variance=0.0)
+
+    def test_matches_batch_least_squares(self):
+        # With no forgetting and a diffuse prior, RLS converges to the
+        # ordinary least-squares fit of the same rows — the incremental
+        # estimator and analysis.linreg are the same regression.
+        rng = np.random.default_rng(7)
+        n, k = 80, 7
+        matrix = rng.random((n, k))
+        beta = rng.uniform(-1.0, 2.0, size=k)
+        response = matrix @ beta + 0.3 + rng.normal(0.0, 0.01, size=n)
+        rls = RlsState(k, forgetting=1.0)
+        for row, y in zip(matrix, response):
+            rls.update(row, float(y))
+        batch = fit_least_squares(matrix, response)
+        model = rls.model()
+        assert model.coefficients == pytest.approx(
+            batch.coefficients, abs=1e-4
+        )
+        assert model.intercept == pytest.approx(batch.intercept, abs=1e-4)
+
+    def test_weighted_updates_equal_repeats(self):
+        rng = np.random.default_rng(3)
+        rows = rng.random((10, 4))
+        targets = rng.random(10)
+        once = RlsState(4)
+        thrice = RlsState(4)
+        for row, y in zip(rows, targets):
+            thrice.update(row, float(y), count=3)
+            for _ in range(3):
+                once.update(row, float(y))
+        assert thrice.samples == once.samples == 30
+        np.testing.assert_allclose(thrice.coefficients, once.coefficients)
+
+    def test_forgetting_tracks_a_regime_shift(self):
+        # After a coefficient shift, the forgetting estimator lands near
+        # the new regime while the non-forgetting one stays blended.
+        rng = np.random.default_rng(11)
+        rows = rng.random((400, 3))
+        forgetful = RlsState(3, forgetting=0.95)
+        sticky = RlsState(3, forgetting=1.0)
+        for i, row in enumerate(rows):
+            target = float(row @ ([1.0, 1.0, 1.0] if i < 200
+                                  else [3.0, 3.0, 3.0]))
+            forgetful.update(row, target)
+            sticky.update(row, target)
+        new = np.array([3.0, 3.0, 3.0])
+        assert np.abs(forgetful.coefficients - new).max() < 0.1
+        assert np.abs(sticky.coefficients - new).max() > 0.5
+
+
+class TestOnlineRefitter:
+    def _feed(self, refitter, app, profiles, n, *, count=1,
+              target=lambda i: 0.1):
+        for i in range(n):
+            profile = profiles[i % len(profiles)]
+            refitter.observe(
+                app, profile, 1 + i % 2,
+                predicted=0.05, actual=target(i), count=count,
+            )
+
+    def test_rejects_bad_configuration(self, predictor):
+        with pytest.raises(ConfigurationError):
+            OnlineRefitter(predictor, window=4)
+        with pytest.raises(ConfigurationError):
+            OnlineRefitter(predictor, holdout_every=1)
+        with pytest.raises(ConfigurationError):
+            OnlineRefitter(predictor, min_samples=1)
+
+    def test_holdout_split_is_deterministic(self, predictor, app,
+                                            batch_profiles):
+        refitter = OnlineRefitter(predictor, window=16, holdout_every=4,
+                                  min_samples=2)
+        self._feed(refitter, app, batch_profiles, 12)
+        # Observations 3, 7, 11 (0-based) are reserved.
+        assert refitter.observations == 12
+        assert len(refitter.holdout) == 3
+
+    def test_candidate_needs_min_samples(self, predictor, app,
+                                         batch_profiles):
+        refitter = OnlineRefitter(predictor, window=32, holdout_every=8,
+                                  min_samples=10)
+        assert refitter.candidate() is None
+        assert refitter.refit_candidate() is None
+        self._feed(refitter, app, batch_profiles, 30)
+        candidate = refitter.candidate()
+        assert candidate is not None
+        assert sorted(candidate) == [1, 2]
+
+    def test_candidate_learns_measured_degradations(self, predictor, app,
+                                                    batch_profiles):
+        # Stream comparisons whose actuals follow a fixed linear map of
+        # the features; the candidate must predict them better than the
+        # recorded (wrong) incumbent predictions do.
+        refitter = OnlineRefitter(predictor, window=64, holdout_every=4,
+                                  min_samples=8, forgetting=1.0)
+        for i in range(64):
+            profile = batch_profiles[i % len(batch_profiles)]
+            instances = 1 + i % 2
+            features = refitter.features_for(app, profile, instances)
+            actual = 0.02 + 0.5 * float(features.sum())
+            refitter.observe(app, profile, instances,
+                             predicted=0.01, actual=actual)
+        candidate = refitter.candidate()
+        incumbent_error = refitter.holdout_error(None)
+        candidate_error = refitter.holdout_error(candidate)
+        assert candidate_error < incumbent_error
+        assert candidate_error == pytest.approx(0.0, abs=1e-3)
+
+    def test_refit_candidate_matches_offline_fit(self, predictor, app,
+                                                 batch_profiles):
+        refitter = OnlineRefitter(predictor, window=64, holdout_every=16,
+                                  min_samples=8)
+        rows: list[np.ndarray] = []
+        targets: list[float] = []
+        for i in range(30):
+            profile = batch_profiles[i % len(batch_profiles)]
+            features = refitter.features_for(app, profile, 1)
+            actual = 0.05 + 0.2 * float(features[0])
+            refitter.observe(app, profile, 1,
+                             predicted=0.0, actual=actual)
+            if i % 16 != 15:  # skip the holdout rows
+                rows.append(features)
+                targets.append(actual)
+        offline = fit_least_squares(np.vstack(rows), np.asarray(targets))
+        batch = refitter.refit_candidate()[1]
+        assert batch.coefficients == pytest.approx(
+            offline.coefficients, abs=1e-6
+        )
+        assert batch.intercept == pytest.approx(offline.intercept, abs=1e-6)
+
+    def test_ignores_degenerate_observations(self, predictor, app,
+                                             batch_profiles):
+        refitter = OnlineRefitter(predictor, min_samples=2)
+        refitter.observe(app, batch_profiles[0], 0,
+                         predicted=0.1, actual=0.1)
+        refitter.observe(app, batch_profiles[0], 1,
+                         predicted=0.1, actual=0.1, count=0)
+        assert refitter.observations == 0
+
+    def test_holdout_error_empty_is_none(self, predictor):
+        refitter = OnlineRefitter(predictor)
+        assert refitter.holdout_error(None) is None
+
+    def test_nearest_model_ties_to_smaller_count(self):
+        models = {1: "one", 3: "three"}
+        assert _nearest_model(models, 2) == "one"
+        assert _nearest_model(models, 3) == "three"
+        assert _nearest_model(models, 9) == "three"
+        assert _nearest_model({}, 1) is None

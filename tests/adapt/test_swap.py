@@ -1,0 +1,155 @@
+"""Versioned hot-swap: registry ledger, cache invalidation, revert."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.adapt.swap import AdaptedModel, ModelRegistry, STATIC_HASH
+from repro.analysis.linreg import LinearModel
+from repro.core.predictor import SMiTe
+from repro.scheduler.qos import QosTarget
+from repro.serve.service import PredictionService
+from repro.workloads.cloudsuite import cloudsuite_apps
+from repro.workloads.spec import spec_even, spec_odd
+
+TARGET = QosTarget.average(0.90)
+
+
+@pytest.fixture(scope="module")
+def predictor(snb_sim):
+    return SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return cloudsuite_apps()[0]
+
+
+@pytest.fixture(scope="module")
+def batch_profile():
+    return spec_even()[0]
+
+
+def _flat_model(n_features: int, value: float) -> LinearModel:
+    """A constant-output model: all-zero coefficients, fixed intercept."""
+    return LinearModel(
+        coefficients=np.zeros(n_features),
+        intercept=value,
+        r_squared=float("nan"),
+    )
+
+
+def _n_features(predictor, app, batch_profile) -> int:
+    server = predictor.characterize_server(app.profile, instances=1)
+    batch = predictor.characterization(batch_profile)
+    return int(predictor.model.features(server, batch).size)
+
+
+class TestAdaptedModel:
+    def test_rejects_empty_model_set(self, predictor):
+        with pytest.raises(ValueError):
+            AdaptedModel(predictor, {})
+
+    def test_predicts_through_cached_features(self, predictor, app,
+                                              batch_profile):
+        k = _n_features(predictor, app, batch_profile)
+        adapted = AdaptedModel(predictor, {1: _flat_model(k, 0.25)})
+        predicted = adapted.predict_server(
+            app.profile, batch_profile, instances=1,
+        )
+        assert predicted == pytest.approx(0.25)
+        assert adapted.predict_server(
+            app.profile, batch_profile, instances=0,
+        ) == 0.0
+
+    def test_nearest_count_and_nonnegative_clamp(self, predictor, app,
+                                                 batch_profile):
+        k = _n_features(predictor, app, batch_profile)
+        adapted = AdaptedModel(predictor, {
+            1: _flat_model(k, -0.5),  # regression noise below zero
+            4: _flat_model(k, 0.4),
+        })
+        assert adapted.counts == (1, 4)
+        # 2 ties 1 vs 3: the smaller calibrated count (1) wins.
+        assert adapted.predict_server(
+            app.profile, batch_profile, instances=2,
+        ) == 0.0
+        assert adapted.predict_server(
+            app.profile, batch_profile, instances=3,
+        ) == pytest.approx(0.4)
+
+
+class TestModelRegistry:
+    def _service(self, predictor):
+        return PredictionService(predictor, TARGET)
+
+    def test_install_bumps_version_and_invalidates(self, predictor, app,
+                                                   batch_profile):
+        obs.reset()
+        service = self._service(predictor)
+        registry = ModelRegistry(service, predictor)
+        before = service.predicted_degradation(app, batch_profile, 1)
+        assert service._predicted  # the memo is warm
+        assert registry.version == 0 and service.model_version == 0
+
+        k = _n_features(predictor, app, batch_profile)
+        entry = registry.install({1: _flat_model(k, 0.33)}, origin="rls",
+                                 epoch_s=600.0)
+        assert entry.version == 1
+        assert entry.origin == "rls"
+        assert entry.counts == (1,)
+        assert service.model_version == 1
+        assert service.model_hash == entry.content_hash
+        assert service.last_swap_epoch_s == 600.0
+        assert not service._lru and not service._predicted
+        after = service.predicted_degradation(app, batch_profile, 1)
+        assert after == pytest.approx(0.33)
+        assert after != before
+        metrics = obs.snapshot()
+        assert metrics["counters"]["serve.adapt.swaps"] == 1
+        assert metrics["counters"]["serve.adapt.invalidations"] >= 1
+        assert metrics["gauges"]["serve.adapt.model_version"] == 1.0
+
+    def test_content_hash_is_deterministic(self, predictor, app,
+                                           batch_profile):
+        k = _n_features(predictor, app, batch_profile)
+        registry_a = ModelRegistry(self._service(predictor), predictor)
+        registry_b = ModelRegistry(self._service(predictor), predictor)
+        entry_a = registry_a.install({1: _flat_model(k, 0.2)}, origin="rls")
+        entry_b = registry_b.install({1: _flat_model(k, 0.2)}, origin="rls")
+        entry_c = registry_b.install({1: _flat_model(k, 0.3)}, origin="rls")
+        assert entry_a.content_hash == entry_b.content_hash
+        assert entry_c.content_hash != entry_a.content_hash
+
+    def test_revert_serves_static_again(self, predictor, app,
+                                        batch_profile):
+        service = self._service(predictor)
+        registry = ModelRegistry(service, predictor)
+        static = service.predicted_degradation(app, batch_profile, 1)
+        k = _n_features(predictor, app, batch_profile)
+        registry.install({1: _flat_model(k, 0.9)}, origin="batch")
+        entry = registry.revert(epoch_s=1_200.0)
+        assert entry.version == 2
+        assert entry.content_hash == STATIC_HASH
+        assert service.model_override is None
+        assert service.predicted_degradation(
+            app, batch_profile, 1,
+        ) == pytest.approx(static)
+        snapshot = registry.snapshot()
+        assert snapshot["model_version"] == 2
+        assert snapshot["origin"] == "static"
+        assert snapshot["last_swap_epoch_s"] == 1_200.0
+        assert snapshot["swaps"] == 2
+
+    def test_empty_registry_snapshot(self, predictor):
+        registry = ModelRegistry(self._service(predictor), predictor)
+        assert registry.current is None
+        assert registry.snapshot() == {
+            "model_version": 0,
+            "model_hash": STATIC_HASH,
+            "origin": "static",
+            "last_swap_epoch_s": None,
+            "swaps": 0,
+        }

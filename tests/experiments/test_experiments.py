@@ -134,3 +134,20 @@ class TestRunnerCli:
         data = json.loads(path.read_text())
         assert "table1" in data
         assert data["table1"]["metrics"]["machines"] == 2.0
+
+
+class TestAdaptiveExperiment:
+    """The headline claim of the recalibration study (ISSUE 9)."""
+
+    def test_adaptive_beats_static_across_phase_change(self):
+        result = run_experiment("figs_adaptive", FAST)
+        m = result.metrics
+        # Drift was detected and coefficients actually hot-swapped.
+        assert m["adaptive_swaps"] >= 1
+        assert m["adaptive_model_version"] >= 1
+        # The acceptance bar: strictly fewer violated server-windows at
+        # equal-or-better utilization gain than the static run.
+        assert m["adaptive_violations"] < m["static_violations"]
+        assert m["adaptive_gain"] >= m["static_gain"]
+        policies = [row[0] for row in result.rows]
+        assert policies == ["static", "adaptive"]

@@ -78,6 +78,46 @@ class TestPredictionAudit:
         audit.record("web-search", "470.lbm", predicted=0.10, actual=0.05)
         assert audit.close_window() == pytest.approx(0.05)
 
+    def test_merge_disjoint_pools_keeps_attribution(self):
+        # Shard foldback where each pool appears in exactly one worker
+        # snapshot: per-pool and per-pair stats must survive untouched.
+        worker_a, worker_b = PredictionAudit(), PredictionAudit()
+        worker_a.record("web-search", "470.lbm", predicted=0.10, actual=0.06)
+        worker_a.record("web-search", "429.mcf", predicted=0.02, actual=0.05)
+        worker_b.record("data-caching", "433.milc", predicted=0.07,
+                        actual=0.07)
+        merged = PredictionAudit()
+        merged.merge(worker_a.snapshot())
+        merged.merge(worker_b.snapshot())
+        snap = merged.snapshot()
+        assert set(snap["pools"]) == {"data-caching", "web-search"}
+        assert snap["pools"]["web-search"] == \
+            worker_a.snapshot()["pools"]["web-search"]
+        assert snap["pools"]["data-caching"] == \
+            worker_b.snapshot()["pools"]["data-caching"]
+        assert snap["pairs"]["data-caching|433.milc"]["count"] == 1
+        assert snap["pairs"]["web-search|470.lbm"]["mean_signed"] == \
+            pytest.approx(0.04)
+
+    def test_merge_carries_open_window_into_drift(self):
+        # Worker residuals folded back mid-window must contribute to the
+        # parent's next close_window(), not just the cumulative tables.
+        worker = PredictionAudit()
+        worker.record("web-search", "470.lbm", predicted=0.10, actual=0.06)
+        parent = PredictionAudit()
+        parent.merge(worker.snapshot())
+        assert parent.close_window() == pytest.approx(0.04)
+        # A worker that already closed its window ships an empty one.
+        worker.close_window()
+        parent.merge(worker.snapshot())
+        assert parent.close_window() == 0.0
+
+    def test_merge_tolerates_empty_snapshot(self):
+        parent = PredictionAudit()
+        parent.record("web-search", "470.lbm", predicted=0.1, actual=0.2)
+        parent.merge({})
+        assert parent.samples == 1
+
     def test_merge_folds_worker_snapshots(self):
         worker_a, worker_b = PredictionAudit(), PredictionAudit()
         worker_a.record("web-search", "470.lbm", predicted=0.1, actual=0.2)

@@ -5,8 +5,11 @@ import socket
 import threading
 import time
 
+import numpy as np
 import pytest
 
+from repro.adapt.swap import ModelRegistry
+from repro.analysis.linreg import LinearModel
 from repro.core.predictor import SMiTe
 from repro.errors import ConfigurationError
 from repro.obs import snapshot
@@ -76,6 +79,11 @@ class TestRoundTrip:
                 stats = client.stats()
                 assert stats["policy"] == "baseline"
                 assert stats["requests"] == 4
+                # Deciders without a hot-swap surface report the
+                # static model.
+                assert stats["model_version"] == 0
+                assert stats["model_hash"] is None
+                assert stats["last_swap_epoch_s"] is None
 
     def test_pipelined_requests_answered_by_id(self):
         server = ApiServer(RecordingDecider(), batch_window_s=0.05)
@@ -307,6 +315,29 @@ class TestPredictionServiceIntegration:
         assert again["cached"]  # second ask hit the prediction LRU
         assert again["max_safe_instances"] == first["max_safe_instances"]
         assert predicted["predicted_degradation"] is not None
+
+    def test_stats_surface_tracks_hot_swaps(self, snb_sim):
+        predictor = SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")
+        service = PredictionService(predictor, QosTarget.average(0.90))
+        registry = ModelRegistry(service, predictor)
+        n_features = len(predictor.model.dimensions)
+        server = ApiServer(service)
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                static = client.stats()
+                entry = registry.install(
+                    {1: LinearModel(coefficients=np.zeros(n_features),
+                                    intercept=0.1,
+                                    r_squared=float("nan"))},
+                    origin="rls", epoch_s=600.0,
+                )
+                swapped = client.stats()
+        assert static["model_version"] == 0
+        assert static["model_hash"] is None
+        assert static["last_swap_epoch_s"] is None
+        assert swapped["model_version"] == 1
+        assert swapped["model_hash"] == entry.content_hash
+        assert swapped["last_swap_epoch_s"] == 600.0
 
     def test_admission_budget_sheds_within_accepted_batch(self, snb_sim):
         predictor = SMiTe(snb_sim).fit(spec_odd()[:4], mode="smt")

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.serve.traffic import Trace, TraceJob, diurnal_trace, poisson_trace
+from repro.serve.traffic import (
+    Trace,
+    TraceJob,
+    diurnal_trace,
+    phase_shift_trace,
+    poisson_trace,
+)
 from repro.workloads.spec import spec_even
 
 
@@ -99,6 +105,41 @@ class TestChunkedGeneration:
         with pytest.raises(ConfigurationError):
             poisson_trace(pool, rate_per_s=0.1, horizon_s=1_000.0,
                           seed=0, chunk_gaps=0)
+
+
+class TestPhaseShift:
+    def test_remaps_only_post_shift_arrivals(self, pool):
+        base = poisson_trace(pool[:2], rate_per_s=0.05, horizon_s=2_000.0,
+                             seed=9)
+        variant = pool[2]
+        shifted = phase_shift_trace(
+            base, {pool[0].name: variant}, shift_s=1_000.0,
+        )
+        assert shifted.pool == base.pool + (variant,)
+        assert len(shifted) == len(base)
+        assert (shifted.arrival_s == base.arrival_s).all()
+        assert (shifted.job_id == base.job_id).all()
+        variant_i = len(base.pool)
+        pre = base.arrival_s < 1_000.0
+        assert (shifted.profile_idx[pre] == base.profile_idx[pre]).all()
+        post_target = base.profile_idx[~pre] == 0
+        assert (shifted.profile_idx[~pre][post_target] == variant_i).all()
+        assert (shifted.profile_idx[~pre][~post_target]
+                == base.profile_idx[~pre][~post_target]).all()
+        assert shifted.kind == "poisson+shift"
+
+    def test_rejects_shift_outside_horizon(self, pool):
+        base = poisson_trace(pool[:2], rate_per_s=0.05, horizon_s=500.0,
+                             seed=0)
+        with pytest.raises(ConfigurationError):
+            phase_shift_trace(base, {}, shift_s=500.0)
+
+    def test_rejects_unknown_variant_name(self, pool):
+        base = poisson_trace(pool[:2], rate_per_s=0.05, horizon_s=500.0,
+                             seed=0)
+        with pytest.raises(ConfigurationError):
+            phase_shift_trace(base, {"no-such-profile": pool[2]},
+                              shift_s=100.0)
 
 
 class TestValidation:

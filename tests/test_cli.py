@@ -97,6 +97,27 @@ class TestServe:
         assert main(["obs", "trace", str(trace_path), "--top", "3"]) == 0
         assert "longest events" in capsys.readouterr().out
 
+    @pytest.mark.slow
+    def test_smoke_adaptive_serve(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("SMITE_CACHE_DIR", str(tmp_path / "cache"))
+        out_path = tmp_path / "adapt_metrics.json"
+        assert main(["serve", "--fast", "--trace", "poisson",
+                     "--duration", "7200", "--rate", "0.02",
+                     "--seed", "3", "--servers", "2", "--adapt",
+                     "--drift-bound", "0.5", "--refit-window", "64",
+                     "--metrics-out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "adaptation: serving model v" in out
+        report = json.loads(out_path.read_text(encoding="utf-8"))
+        assert report["adapt"]["model_version"] >= 0
+        assert report["adapt"]["origin"] in ("static", "rls", "batch")
+        assert main(["obs", "view", str(out_path)]) == 0
+        assert "adaptation: serving model v" in capsys.readouterr().out
+
+    def test_adapt_requires_smite_policy(self, capsys):
+        assert main(["serve", "--policy", "baseline", "--adapt"]) == 1
+        assert "requires --policy smite" in capsys.readouterr().err
+
 
 def _report_with(tmp_path, name, *, counters=None, audit=None,
                  wall_seconds=1.0):
@@ -116,6 +137,10 @@ class TestServeApi:
         assert main(["serve-api", "--policy", "baseline",
                      "--shards", "2", "--port", "7000"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_adapt_requires_smite_policy(self, capsys):
+        assert main(["serve-api", "--policy", "baseline", "--adapt"]) == 1
+        assert "requires --policy smite" in capsys.readouterr().err
 
     def test_serves_over_a_real_socket(self, tmp_path):
         import os
@@ -181,6 +206,19 @@ class TestObs:
         assert "serve.engine.arrivals" in out
         assert "prediction audit: 2 comparisons" in out
         assert "web-search" in out
+
+    def test_view_renders_adapt_section(self, capsys, tmp_path):
+        report = build_report(command=["unit-test", "adapt"], metrics={},
+                              adapt={"model_version": 2,
+                                     "model_hash": "abc123",
+                                     "origin": "rls",
+                                     "last_swap_epoch_s": 1_200.0,
+                                     "swaps": 2})
+        path = write_report(tmp_path / "adapt.json", report)
+        assert main(["obs", "view", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "adaptation: serving model v2 (rls, hash abc123)" in out
+        assert "last swap at t=1200s" in out
 
     def test_diff_attributes_counter_movement(self, capsys, tmp_path):
         before = _report_with(tmp_path, "before",
