@@ -28,6 +28,9 @@ import time
 import pytest
 
 from repro.core.predictor import SMiTe
+from repro.obs import timeseries
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TelemetrySeries
 from repro.scheduler.qos import QosTarget
 from repro.serve.engine import ServingEngine
 from repro.serve.service import PredictionService
@@ -62,12 +65,13 @@ def _write_report():
             name: rate for name, rate in sorted(_RESULTS.items())
             if not name.startswith("_")
         },
-        "replay": {
+    }
+    if "_replay_events" in _RESULTS:
+        report["replay"] = {
             "events": int(_RESULTS["_replay_events"]),
             "arrivals": int(_RESULTS["_replay_arrivals"]),
             "seconds": _RESULTS["_replay_seconds"],
-        },
-    }
+        }
     if "_scale_events" in _RESULTS:
         report["replay_scale"] = {
             "events": int(_RESULTS["_scale_events"]),
@@ -81,6 +85,20 @@ def _write_report():
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _env_telemetry():
+    """Arm the telemetry sampler from ``SMITE_TELEMETRY_OUT`` when set.
+
+    ``scripts/bench_regress.py``'s telemetry-overhead gate re-runs this
+    module with the variable armed and compares replay throughput
+    against the unsampled session; the export at teardown proves the
+    sampler actually recorded frames.
+    """
+    timeseries.maybe_install_env_sampler()
+    yield
+    timeseries.maybe_write_env_telemetry()
 
 
 @pytest.fixture(scope="module")
@@ -121,6 +139,52 @@ def test_perf_replay_diurnal_day(benchmark, predictor):
     _RESULTS["_replay_events"] = float(events)
     _RESULTS["_replay_arrivals"] = float(outcome.arrivals)
     _RESULTS["replay_events"] = events / _RESULTS["_replay_seconds"]
+
+
+def test_perf_telemetry_sampler(benchmark):
+    """Raw frame-sampling throughput of the telemetry recorder.
+
+    Measures :meth:`TelemetrySeries.sample` reading a representative
+    serving channel selection out of a warm registry — the per-grid-
+    point cost the cadence gate amortizes over a replay. Recorded as
+    ``telemetry_samples_per_sec``.
+    """
+    registry = MetricsRegistry()
+    series = TelemetrySeries(1.0, capacity=4_096, registry=registry)
+    for name in ("serve.engine.arrivals", "serve.engine.departures",
+                 "serve.engine.sheds", "serve.slo.windows"):
+        series.track_counter(name)  # smite: noqa[SMT201]: the literal cataloged names are the tuple above
+        registry.counter(name).inc(1_000)  # smite: noqa[SMT201]: same literal tuple
+    for name in ("serve.slo.violation_rate", "serve.audit.drift",
+                 "serve.adapt.model_version", "serve.alert.active"):
+        series.track_gauge(name)  # smite: noqa[SMT201]: the literal cataloged names are the tuple above
+        registry.gauge(name).set(0.5)  # smite: noqa[SMT201]: same literal tuple
+    occupancy = registry.histogram("serve.api.batch_occupancy")
+    for value in range(1, 9):
+        occupancy.record(float(value))
+    series.track_percentile("serve.api.batch_occupancy", 95.0)
+
+    samples_per_round = 2_048
+    clock = {"t": 0.0}
+
+    def sample_block():
+        t = clock["t"]
+        started = time.perf_counter()
+        for _ in range(samples_per_round):
+            t += 1.0
+            series.sample(t)
+        elapsed = time.perf_counter() - started
+        clock["t"] = t
+        _RESULTS["_sampler_seconds"] = min(
+            elapsed, _RESULTS.get("_sampler_seconds", elapsed),
+        )
+
+    benchmark.pedantic(sample_block, rounds=3, iterations=1,
+                       warmup_rounds=1)
+    assert series.emitted == 4 * samples_per_round  # warmup + 3 rounds
+    assert len(series.frames) == 4_096  # the ring stayed bounded
+    _RESULTS["telemetry_samples_per_sec"] = (
+        samples_per_round / _RESULTS["_sampler_seconds"])
 
 
 @pytest.mark.skipif(bool(os.environ.get("SMITE_BENCH_SKIP_SCALE")),

@@ -33,7 +33,10 @@ baseline for future comparisons.
 A third gate re-runs the serve benchmark with ``SMITE_TRACE_OUT`` armed
 and requires the traced replay to stay within 5% of the untraced one —
 tracing is only useful if it is cheap enough to leave on (skip with
-``--skip-trace-gate``).
+``--skip-trace-gate``). A fourth does the same for the telemetry
+sampler (``SMITE_TELEMETRY_OUT``): a sampled replay must stay within 5%
+of the unsampled one, or leaving ``--telemetry-out`` on in production
+would itself be the regression (skip with ``--skip-telemetry-gate``).
 
 Usage::
 
@@ -75,6 +78,10 @@ ALLOWED_REGRESSION = 0.20
 #: the trace-enabled serve replay may run at most this much below the
 #: untraced replay measured in the same session.
 TRACE_OVERHEAD_ALLOWED = 0.05
+#: Same bar for the telemetry sampler: a replay with the time-series
+#: recorder armed may run at most this much below the unsampled replay
+#: measured in the same session.
+TELEMETRY_OVERHEAD_ALLOWED = 0.05
 
 
 def _run_benchmarks(out_path: Path, serve_out_path: Path,
@@ -250,6 +257,53 @@ def _run_traced_serve(serve_out_path: Path, trace_path: Path) -> dict:
         return json.load(fh)
 
 
+def _run_sampled_serve(serve_out_path: Path, telemetry_path: Path) -> dict:
+    """Re-run the serve benchmark with the env telemetry sampler armed."""
+    env = dict(os.environ)
+    env["SMITE_BENCH_SERVE_OUT"] = str(serve_out_path)
+    env["SMITE_TELEMETRY_OUT"] = str(telemetry_path)
+    # Isolate the sampler's own cost: no tracer, no metrics report, and
+    # (as for the trace gate) no scale scenario on the re-run.
+    env["SMITE_BENCH_SKIP_SCALE"] = "1"
+    env.pop("SMITE_METRICS_OUT", None)
+    env.pop("SMITE_TRACE_OUT", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        str(REPO / "benchmarks" / "bench_serve.py"),
+        "-m", "bench_regress", "-q", "-p", "no:cacheprovider",
+    ]
+    subprocess.run(command, cwd=REPO, env=env, check=True)
+    with serve_out_path.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _telemetry_overhead_gate(unsampled: dict, sampled: dict,
+                             telemetry_path: Path) -> bool:
+    """Gate the cost of the telemetry sampler; True when it fails."""
+    if not telemetry_path.exists():
+        print("FAIL: sampled benchmark run wrote no telemetry file "
+              "(SMITE_TELEMETRY_OUT plumbing is broken)", file=sys.stderr)
+        return True
+    reference = unsampled["ops_per_sec"][SERVE_GATED_METRIC]
+    measured = sampled["ops_per_sec"][SERVE_GATED_METRIC]
+    floor = (1.0 - TELEMETRY_OVERHEAD_ALLOWED) * reference
+    print(f"\ntelemetry overhead: {reference:.0f} events/s unsampled -> "
+          f"{measured:.0f} events/s sampled "
+          f"(floor {floor:.0f} events/s)")
+    if measured < floor:
+        print(f"FAIL: telemetry sampling costs "
+              f"{1.0 - measured / reference:.1%} of serve throughput "
+              f"(> {TELEMETRY_OVERHEAD_ALLOWED:.0%} allowed)",
+              file=sys.stderr)
+        return True
+    print(f"OK: telemetry overhead within "
+          f"{TELEMETRY_OVERHEAD_ALLOWED:.0%}")
+    return False
+
+
 def _trace_overhead_gate(untraced: dict, traced: dict,
                          trace_path: Path) -> bool:
     """Gate the cost of tracing itself; True when it fails."""
@@ -332,6 +386,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-trace-gate", action="store_true",
                         help="skip the tracing-overhead re-run of the "
                              "serve benchmark")
+    parser.add_argument("--skip-telemetry-gate", action="store_true",
+                        help="skip the telemetry-sampler-overhead re-run "
+                             "of the serve benchmark")
     parser.add_argument("--skip-scale", action="store_true",
                         help="skip the 100k-server/1M-arrival scale "
                              "scenario (constrained runners)")
@@ -350,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     trace_failed = False
+    telemetry_failed = False
     with tempfile.TemporaryDirectory() as tmp:
         fresh, fresh_serve, fresh_api, fresh_adapt, metrics = \
             _run_benchmarks(
@@ -369,6 +427,14 @@ def main(argv: list[str] | None = None) -> int:
             )
             trace_failed = _trace_overhead_gate(
                 fresh_serve, traced_serve, trace_path,
+            )
+        if not args.skip_telemetry_gate and not args.update:
+            telemetry_path = Path(tmp) / "BENCH_serve.telemetry.jsonl"
+            sampled_serve = _run_sampled_serve(
+                Path(tmp) / "BENCH_serve_sampled.json", telemetry_path,
+            )
+            telemetry_failed = _telemetry_overhead_gate(
+                fresh_serve, sampled_serve, telemetry_path,
             )
 
     grid = fresh.get("pair_grid", {})
@@ -430,7 +496,7 @@ def main(argv: list[str] | None = None) -> int:
         gates.append(("adapt", fresh_adapt, ADAPT_BASELINE,
                       ADAPT_GATED_METRIC, "updates/s"))
 
-    failed = trace_failed
+    failed = trace_failed or telemetry_failed
     for name, fresh_report, baseline_path, metric, unit in gates:
         if args.update or not baseline_path.exists():
             if metric is SERVE_SCALE_METRIC:

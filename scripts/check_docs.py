@@ -13,10 +13,12 @@ docs/*.md) and
    subcommand must be mentioned (as ``repro.cli <name>``) somewhere in
    the user-facing docs, every metric in the observability catalog
    (``repro.obs.catalog``) must have a reference row in
-   ``docs/OBSERVABILITY.md``, and every registered lint rule id must
-   have a table row in ``docs/STATIC_ANALYSIS.md`` (and vice versa —
-   a doc row for an unregistered id is equally fatal). Adding a
-   subcommand, metric, or rule without documenting it fails CI.
+   ``docs/OBSERVABILITY.md``, every registered lint rule id must
+   have a table row in ``docs/STATIC_ANALYSIS.md``, and every cataloged
+   alert rule must have a table row in ``docs/TELEMETRY.md`` (each in
+   both directions — a doc row for an unregistered id is equally
+   fatal). Adding a subcommand, metric, rule, or alert without
+   documenting it fails CI.
 
 Snippet policy, controlled by an HTML comment on the line above the
 fence:
@@ -128,6 +130,7 @@ def run_snippet(snippet: Snippet, workdir: Path) -> str | None:
     )
     env.pop("SMITE_METRICS_OUT", None)
     env.pop("SMITE_TRACE_OUT", None)
+    env.pop("SMITE_TELEMETRY_OUT", None)
     if snippet.lang == "python":
         command = [sys.executable, "-c", snippet.code]
     else:
@@ -255,6 +258,36 @@ def check_rule_coverage() -> list[str]:
     return errors
 
 
+#: A docs/TELEMETRY.md alert-rule table row: the first cell is the rule
+#: name. Only table rows count — a rule cited in prose is not coverage.
+_ALERT_ROW = re.compile(r"^\|\s*`(serve\.alert\.[a-z_]+)`\s*\|",
+                        re.MULTILINE)
+
+
+def check_alert_rule_coverage() -> list[str]:
+    """Cataloged alert rules and docs/TELEMETRY.md rows must match."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.catalog import specs_of_kind
+
+    reference = REPO / "docs" / "TELEMETRY.md"
+    if not reference.exists():
+        return ["alert coverage: docs/TELEMETRY.md is missing"]
+    documented = set(_ALERT_ROW.findall(
+        reference.read_text(encoding="utf-8")))
+    registered = {spec.name for spec in specs_of_kind("alert")}
+    errors = [
+        f"alert coverage: rule '{name}' is cataloged but has no "
+        f"table row in docs/TELEMETRY.md"
+        for name in sorted(registered - documented)
+    ]
+    errors += [
+        f"alert coverage: docs/TELEMETRY.md documents '{name}' but no "
+        f"such alert rule is cataloged"
+        for name in sorted(documented - registered)
+    ]
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--links-only", action="store_true",
@@ -265,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     errors += check_cli_coverage()
     errors += check_metric_coverage()
     errors += check_rule_coverage()
+    errors += check_alert_rule_coverage()
     if not args.links_only:
         errors += check_snippets()
     for error in errors:

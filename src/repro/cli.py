@@ -11,6 +11,7 @@ A thin operational wrapper over the library for quick questions:
     python -m repro.cli obs view run.json
     python -m repro.cli obs diff before.json after.json
     python -m repro.cli obs trace t.trace.json --top 15
+    python -m repro.cli obs top serve.telemetry.jsonl --once
 
 The predictor is trained on the machine-appropriate SPEC half on first
 use (even-numbered for Ivy Bridge pair predictions, odd-numbered for
@@ -22,7 +23,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import re
 import sys
+import time
 from pathlib import Path
 
 from repro.adapt import (
@@ -35,7 +38,9 @@ from repro.analysis.tables import format_table
 from repro.core.predictor import SMiTe
 from repro.errors import ReproError
 from repro.obs import PredictionAudit, snapshot
+from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
+from repro.obs.alerts import AlertEngine, default_rules, render_alerts
 from repro.obs.diffs import render_diff
 from repro.obs.report import (
     build_report,
@@ -214,8 +219,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         decider = BaselineDecider()
 
     audit = PredictionAudit()
+    alerts = AlertEngine(default_rules(drift_bound=args.drift_bound))
     slo = WindowedSlo(args.window, target, tail_models=tail_models,
-                      audit=audit)
+                      audit=audit, alerts=alerts)
     registry = None
     controller = None
     if args.adapt:
@@ -232,6 +238,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         adaptation=controller,
     )
     tracer = obs_trace.install() if args.trace_out else None
+    series = (obs_timeseries.install(args.telemetry_interval)
+              if args.telemetry_out else None)
     outcome = engine.replay(trace, strategy=args.engine,
                             shards=args.shards, jobs=args.jobs)
     if tracer is not None:
@@ -239,6 +247,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_path = obs_trace.write_chrome_trace(args.trace_out, tracer)
         print(f"trace written to {trace_path} "
               f"(load in Perfetto or chrome://tracing)")
+    if series is not None:
+        obs_timeseries.uninstall()
+        telemetry_path = obs_timeseries.write_telemetry(
+            args.telemetry_out, series)
+        print(f"telemetry written to {telemetry_path} "
+              f"({len(series.frames)} frames; tail with "
+              f"`repro.cli obs top`)")
 
     print(f"{args.trace} trace, {outcome.arrivals} arrivals over "
           f"{trace.horizon_s / 3600:.1f} h, policy {outcome.policy}, "
@@ -271,11 +286,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(render_audit(audit.snapshot()))
     if registry is not None:
         print("  " + render_adapt(registry.snapshot()))
+    if alerts.events:
+        print()
+        print(render_alerts(alerts.snapshot()))
     if args.metrics_out:
         path = write_report(args.metrics_out, build_report(
             command=["repro.cli", "serve"], metrics=metrics,
             audit=audit.snapshot() if audit.samples else None,
             adapt=registry.snapshot() if registry is not None else None,
+            alerts=alerts.snapshot(),
         ))
         print(f"  metrics report written to {path}")
     return 0
@@ -332,6 +351,8 @@ def _cmd_serve_api(args: argparse.Namespace) -> int:
         retry_after_ms=args.retry_after,
         max_requests=args.max_requests,
     )
+    series = (obs_timeseries.install(args.telemetry_interval)
+              if args.telemetry_out else None)
     drained = True
     if args.shards > 1:
         def _announce(addresses: list[tuple[str, int]]) -> None:
@@ -374,6 +395,12 @@ def _cmd_serve_api(args: argparse.Namespace) -> int:
     if batches:
         print(f"  {requests} requests answered in {batches} "
               f"micro-batches, {sheds} shed to the baseline")
+    if series is not None:
+        obs_timeseries.uninstall()
+        telemetry_path = obs_timeseries.write_telemetry(
+            args.telemetry_out, series)
+        print(f"  telemetry written to {telemetry_path} "
+              f"({len(series.frames)} frames)")
     if args.metrics_out:
         path = write_report(args.metrics_out, build_report(
             command=["repro.cli", "serve-api"], metrics=metrics,
@@ -383,8 +410,51 @@ def _cmd_serve_api(args: argparse.Namespace) -> int:
     return 0
 
 
+_HOST_PORT = re.compile(r"^(?P<host>[^/:]+):(?P<port>\d+)$")
+
+
+def _top_snapshot(source: str) -> dict:
+    """One renderable telemetry snapshot from a file or a live server."""
+    match = _HOST_PORT.match(source)
+    if match and not Path(source).exists():
+        from repro.serve.api import ApiClient
+
+        with ApiClient(match["host"], int(match["port"])) as client:
+            payload = client.metrics()
+        if not payload.get("enabled"):
+            raise ReproError(
+                f"server at {source} is not recording telemetry; start "
+                f"it with --telemetry-out (or SMITE_TELEMETRY_OUT)"
+            )
+        frames = list(payload.get("frames", []))
+        live = payload.get("frame")
+        if live is not None and (
+            not frames or live["t"] > frames[-1]["t"]
+        ):
+            frames.append(live)
+        return {"interval_s": payload["interval_s"],
+                "emitted": len(frames), "dropped": 0, "frames": frames}
+    return obs_timeseries.load_jsonl(source)
+
+
+def _obs_top(args: argparse.Namespace) -> int:
+    """Terminal top-style view: tail a telemetry series, re-rendering."""
+    while True:
+        snapshot_view = _top_snapshot(args.source)
+        print(obs_timeseries.render_top(snapshot_view, width=args.width))
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        print()
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     try:
+        if args.obs_command == "top":
+            return _obs_top(args)
         if args.obs_command == "view":
             print(render_report(load_report(args.report),
                                 limit=args.limit))
@@ -503,6 +573,15 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", default=None,
                        help="write a Chrome trace-event JSON timeline "
                             "here (SMITE_TRACE_OUT is honored too)")
+    serve.add_argument("--telemetry-out", default=None,
+                       help="record the streaming telemetry time-series "
+                            "and write it here: .jsonl for `obs top`, or "
+                            ".prom/.om/.openmetrics for OpenMetrics "
+                            "(SMITE_TELEMETRY_OUT is honored too)")
+    serve.add_argument("--telemetry-interval", type=float,
+                       default=obs_timeseries.DEFAULT_INTERVAL_S,
+                       help="telemetry sampling cadence in simulated "
+                            "seconds (default 300)")
 
     serve_api = sub.add_parser(
         "serve-api",
@@ -564,6 +643,16 @@ def _parser() -> argparse.ArgumentParser:
     serve_api.add_argument("--metrics-out", default=None,
                            help="write the JSON run report here after the "
                                 "drain (SMITE_METRICS_OUT is honored too)")
+    serve_api.add_argument("--telemetry-out", default=None,
+                           help="record the streaming telemetry "
+                                "time-series and write it here after the "
+                                "drain; also enables the live `metrics` "
+                                "wire op (SMITE_TELEMETRY_OUT is honored "
+                                "too)")
+    serve_api.add_argument("--telemetry-interval", type=float,
+                           default=obs_timeseries.DEFAULT_INTERVAL_S,
+                           help="telemetry sampling cadence in wall "
+                                "seconds (default 300)")
 
     obs = sub.add_parser(
         "obs", help="inspect run reports and trace files")
@@ -584,6 +673,18 @@ def _parser() -> argparse.ArgumentParser:
     trace.add_argument("trace_file")
     trace.add_argument("--top", type=int, default=10,
                        help="events to show (default 10)")
+    top = obs_sub.add_parser(
+        "top", help="live terminal view of a telemetry time-series")
+    top.add_argument("source",
+                     help="telemetry JSONL path, or HOST:PORT of a "
+                          "serve-api instance recording telemetry")
+    top.add_argument("--once", action="store_true",
+                     help="render one snapshot and exit instead of "
+                          "tailing")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in wall seconds (default 2)")
+    top.add_argument("--width", type=int, default=24,
+                     help="sparkline width in characters (default 24)")
     return parser
 
 
@@ -600,6 +701,7 @@ def main(argv: list[str] | None = None) -> int:
         "obs": _cmd_obs,
     }
     obs_trace.maybe_install_env_tracer()
+    obs_timeseries.maybe_install_env_sampler()
     try:
         return handlers[args.command](args)
     except ReproError as exc:
@@ -609,10 +711,11 @@ def main(argv: list[str] | None = None) -> int:
         # Output was piped into something like `head`; not an error.
         return 0
     finally:
-        # One-off commands honor SMITE_METRICS_OUT and SMITE_TRACE_OUT
-        # like the runner does.
+        # One-off commands honor SMITE_METRICS_OUT, SMITE_TRACE_OUT,
+        # and SMITE_TELEMETRY_OUT like the runner does.
         maybe_write_env_report()
         obs_trace.maybe_write_env_trace()
+        obs_timeseries.maybe_write_env_telemetry()
 
 
 if __name__ == "__main__":

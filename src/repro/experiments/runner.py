@@ -44,6 +44,7 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.obs import report as obs_report
+from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
 
 __all__ = ["main"]
@@ -152,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
 
     config = ExperimentConfig(fast=args.fast, seed=args.seed)
     tracer = obs_trace.install() if args.trace_out else None
+    obs_timeseries.maybe_install_env_sampler()
     jobs = max(1, args.jobs)
     groups = group_by_family(ids)
     obs.get_registry().gauge("runner.jobs").set(jobs)
@@ -210,6 +212,9 @@ def main(argv: list[str] | None = None) -> int:
         obs_trace.uninstall()
         trace_path = obs_trace.write_chrome_trace(args.trace_out, tracer)
         print(f"wrote {trace_path}")
+    telemetry_path = obs_timeseries.maybe_write_env_telemetry()
+    if telemetry_path is not None:
+        print(f"wrote {telemetry_path}")
     return 0
 
 

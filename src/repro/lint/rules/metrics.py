@@ -33,6 +33,16 @@ _RECORDERS: dict[str, str] = {
     # cataloged under the dedicated "trace" kind.
     "instant": "trace",
     "counter_value": "trace",
+    # Telemetry tracking registrations reuse the registry kinds.
+    "track_counter": "counter",
+    "track_gauge": "gauge",
+    "track_percentile": "histogram",
+    # Alert-rule factories; call sites that keep the default rule name
+    # pass no name argument and are skipped.
+    "burn_rate_rule": "alert",
+    "drift_rule": "alert",
+    "shed_rate_rule": "alert",
+    "queue_saturation_rule": "alert",
 }
 
 #: Placeholder substituted for f-string interpolations when matching the

@@ -21,7 +21,12 @@ pipeline reports through. It provides
 - a prediction-accuracy audit (:mod:`repro.obs.audit`): per-decision
   predicted-vs-realized degradation residuals with per-pool/per-pair
   attribution, exported in the run report's ``audit`` section;
-- report tooling on the CLI: ``repro.cli obs view|diff|trace``.
+- streaming telemetry (:mod:`repro.obs.timeseries`): a bounded,
+  mergeable time-series sampler over registry channels, exported as
+  JSONL or OpenMetrics text (``--telemetry-out`` /
+  ``SMITE_TELEMETRY_OUT``), plus declarative SLO burn-rate alerting
+  (:mod:`repro.obs.alerts`);
+- report tooling on the CLI: ``repro.cli obs view|diff|trace|top``.
 
 Instrumentation must be cheap enough to leave on: everything here is
 incremented per *operation* (a solve, a cache probe, an experiment), never
@@ -49,6 +54,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     counter,
+    diff_snapshots,
     gauge,
     get_registry,
     histogram,
@@ -67,6 +73,7 @@ __all__ = [
     "ResidualStats",
     "counter",
     "current_span_path",
+    "diff_snapshots",
     "gauge",
     "get_registry",
     "histogram",

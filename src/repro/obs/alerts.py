@@ -1,0 +1,328 @@
+"""Declarative alerting over the serving SLO window stream.
+
+Rules are evaluated deterministically at window close — the only place
+the serving stack produces new aggregate signals — so alert firing and
+resolution are byte-reproducible properties of a replay, not of wall
+time. Each rule watches one window-level signal through a fast/slow
+window pair (the SRE burn-rate idiom): it fires when both the mean over
+the last ``fast_windows`` closed windows *and* the mean over the last
+``slow_windows`` exceed the threshold, and resolves once the fast mean
+drops back under. The slow window keeps one noisy sample from paging;
+the fast window makes resolution quick once the condition clears.
+
+Built-in rule factories (each name is declared in
+:mod:`repro.obs.catalog` under the ``alert`` kind, and smite-lint checks
+call sites the same way it checks metric recorders):
+
+- :func:`burn_rate_rule` — SLO burn: window violation rate against a
+  multiple of the allowed violation budget;
+- :func:`drift_rule` — mean absolute calibration residual per window
+  against the adaptation drift bound;
+- :func:`shed_rate_rule` — fraction of the window's placement requests
+  shed to baseline;
+- :func:`queue_saturation_rule` — API queue depth against its bound
+  (fed by the API server's wall-clock sampler).
+
+State transitions increment ``serve.alert.firings`` /
+``serve.alert.resolves``, set the ``serve.alert.active`` gauge, emit
+``serve.alert.fired`` / ``serve.alert.resolved`` trace instants, and
+append :class:`AlertEvent` rows to the engine's own event log (rendered
+into the run report's ``alerts`` section).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs import trace
+from repro.obs.registry import counter, gauge
+
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "burn_rate_rule",
+    "default_rules",
+    "drift_rule",
+    "queue_saturation_rule",
+    "render_alerts",
+    "shed_rate_rule",
+]
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alert: a signal, a threshold, a window pair."""
+
+    name: str        #: cataloged ``serve.alert.*`` rule name
+    signal: str      #: key into the per-window signal mapping
+    threshold: float
+    fast_windows: int = 1
+    slow_windows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fast_windows < 1 or self.slow_windows < self.fast_windows:
+            raise ValueError(
+                "alert windows must satisfy 1 <= fast <= slow, got "
+                f"fast={self.fast_windows} slow={self.slow_windows}"
+            )
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One firing or resolve transition, on the simulated clock."""
+
+    time_s: float
+    name: str
+    state: str  # "firing" | "resolved"
+    value: float
+    threshold: float
+
+    def as_line(self) -> str:
+        """Render as one stable, byte-comparable event-log line."""
+        return (
+            f"alert {self.state} {self.name} t={self.time_s:.1f} "
+            f"value={self.value:.6f} threshold={self.threshold:.6f}"
+        )
+
+
+def burn_rate_rule(
+    name: str = "serve.alert.slo_burn_rate",
+    *,
+    budget: float = 0.05,
+    factor: float = 2.0,
+    fast_windows: int = 1,
+    slow_windows: int = 3,
+) -> AlertRule:
+    """SLO burn-rate: fires when the violation rate burns the allowed
+    violation ``budget`` at more than ``factor``x over both windows."""
+    return AlertRule(
+        name=name,
+        signal="violation_rate",
+        threshold=budget * factor,
+        fast_windows=fast_windows,
+        slow_windows=slow_windows,
+    )
+
+
+def drift_rule(
+    name: str = "serve.alert.calibration_drift",
+    *,
+    bound: float = 0.05,
+    fast_windows: int = 1,
+    slow_windows: int = 1,
+) -> AlertRule:
+    """Calibration drift: the window's mean absolute prediction residual
+    exceeds the (adaptation) drift bound."""
+    return AlertRule(
+        name=name,
+        signal="calibration_drift",
+        threshold=bound,
+        fast_windows=fast_windows,
+        slow_windows=slow_windows,
+    )
+
+
+def shed_rate_rule(
+    name: str = "serve.alert.shed_rate",
+    *,
+    threshold: float = 0.10,
+    fast_windows: int = 1,
+    slow_windows: int = 3,
+) -> AlertRule:
+    """Shed rate: the fraction of the window's placement requests shed
+    to baseline exceeds ``threshold``."""
+    return AlertRule(
+        name=name,
+        signal="shed_rate",
+        threshold=threshold,
+        fast_windows=fast_windows,
+        slow_windows=slow_windows,
+    )
+
+
+def queue_saturation_rule(
+    name: str = "serve.alert.queue_saturation",
+    *,
+    threshold: float = 0.90,
+    fast_windows: int = 1,
+    slow_windows: int = 1,
+) -> AlertRule:
+    """Queue saturation: API queue depth over its bound (wall clock)."""
+    return AlertRule(
+        name=name,
+        signal="queue_saturation",
+        threshold=threshold,
+        fast_windows=fast_windows,
+        slow_windows=slow_windows,
+    )
+
+
+def default_rules(
+    *,
+    budget: float = 0.05,
+    burn_factor: float = 2.0,
+    drift_bound: float = 0.05,
+    shed_threshold: float = 0.10,
+    queue_threshold: float = 0.90,
+) -> tuple[AlertRule, ...]:
+    """The standard serving rule set, one of each built-in kind."""
+    return (
+        burn_rate_rule(budget=budget, factor=burn_factor),
+        drift_rule(bound=drift_bound),
+        shed_rate_rule(threshold=shed_threshold),
+        queue_saturation_rule(threshold=queue_threshold),
+    )
+
+
+class AlertEngine:
+    """Evaluates a rule set against the closing-window signal stream."""
+
+    def __init__(self, rules: tuple[AlertRule, ...] | None = None) -> None:
+        self.rules: tuple[AlertRule, ...] = (
+            tuple(rules) if rules is not None else default_rules()
+        )
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert rule names in {names}")
+        self._history: dict[str, deque[float]] = {
+            rule.name: deque(maxlen=rule.slow_windows)
+            for rule in self.rules
+        }
+        self._firing: dict[str, bool] = {
+            rule.name: False for rule in self.rules
+        }
+        self.events: list[AlertEvent] = []
+        self.firings = 0
+        self.resolves = 0
+
+    # ------------------------------------------------------------------
+
+    def observe_window(
+        self, time_s: float, signals: Mapping[str, float],
+    ) -> list[AlertEvent]:
+        """Feed one closed window's signals; returns new transitions.
+
+        Rules whose signal is absent from ``signals`` (e.g. no
+        calibration audit is attached) skip the window entirely — their
+        history neither grows nor decays.
+        """
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            value = signals.get(rule.signal)
+            if value is None:
+                continue
+            history = self._history[rule.name]
+            history.append(float(value))
+            fast = list(history)[-rule.fast_windows:]
+            fast_mean = sum(fast) / len(fast)
+            slow_mean = sum(history) / len(history)
+            if not self._firing[rule.name]:
+                if fast_mean > rule.threshold and slow_mean > rule.threshold:
+                    self._firing[rule.name] = True
+                    self.firings += 1
+                    transitions.append(AlertEvent(
+                        time_s=time_s, name=rule.name, state="firing",
+                        value=fast_mean, threshold=rule.threshold,
+                    ))
+            elif fast_mean <= rule.threshold:
+                self._firing[rule.name] = False
+                self.resolves += 1
+                transitions.append(AlertEvent(
+                    time_s=time_s, name=rule.name, state="resolved",
+                    value=fast_mean, threshold=rule.threshold,
+                ))
+        if transitions:
+            self.events.extend(transitions)
+            for event in transitions:
+                if event.state == "firing":
+                    counter("serve.alert.firings").inc()
+                    trace.instant(
+                        "serve.alert.fired",
+                        {"rule": event.name, "value": event.value,
+                         "threshold": event.threshold},
+                        sim_time_s=time_s,
+                    )
+                else:
+                    counter("serve.alert.resolves").inc()
+                    trace.instant(
+                        "serve.alert.resolved",
+                        {"rule": event.name, "value": event.value,
+                         "threshold": event.threshold},
+                        sim_time_s=time_s,
+                    )
+        gauge("serve.alert.active").set(float(self.active_count))
+        return transitions
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for firing in self._firing.values() if firing)
+
+    @property
+    def firing_rules(self) -> tuple[str, ...]:
+        return tuple(sorted(
+            name for name, firing in self._firing.items() if firing
+        ))
+
+    def states(self) -> dict[str, float]:
+        """Per-rule firing state (1.0/0.0) for telemetry frames."""
+        return {
+            name: 1.0 if firing else 0.0
+            for name, firing in sorted(self._firing.items())
+        }
+
+    def event_log(self) -> str:
+        """All transitions as one stable multi-line log."""
+        return "\n".join(event.as_line() for event in self.events)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The run report's ``alerts`` section."""
+        return {
+            "rules": [
+                {
+                    "name": rule.name,
+                    "signal": rule.signal,
+                    "threshold": rule.threshold,
+                    "fast_windows": rule.fast_windows,
+                    "slow_windows": rule.slow_windows,
+                }
+                for rule in self.rules
+            ],
+            "firing": list(self.firing_rules),
+            "firings": self.firings,
+            "resolves": self.resolves,
+            "events": [
+                {
+                    "time_s": event.time_s,
+                    "name": event.name,
+                    "state": event.state,
+                    "value": event.value,
+                    "threshold": event.threshold,
+                }
+                for event in self.events
+            ],
+        }
+
+
+def render_alerts(alerts: Mapping[str, Any], *, limit: int = 8) -> str:
+    """Human summary of a report ``alerts`` section (``obs view``)."""
+    events = alerts.get("events", [])
+    firing = alerts.get("firing", [])
+    lines = [
+        f"alerts: {alerts.get('firings', 0)} firing / "
+        f"{alerts.get('resolves', 0)} resolve transition(s); "
+        + (f"active: {', '.join(firing)}" if firing else "none active")
+    ]
+    for event in events[-limit:]:
+        lines.append(
+            f"  {event['state']:<8} {event['name']} "
+            f"t={event['time_s']:.1f} value={event['value']:.6f} "
+            f"threshold={event['threshold']:.6f}"
+        )
+    if len(events) > limit:
+        lines.append(f"  ... ({len(events) - limit} earlier transition(s))")
+    return "\n".join(lines)

@@ -15,9 +15,11 @@ must match a span leaf in the catalog. The ``{span_path}`` placeholder
 is special: it additionally matches ``/``, so names derived from full
 span paths (the ``<path>.errors`` failure counters) stay cataloged.
 
-Besides the four metric kinds there is a fifth, ``trace``: names of
-structured trace markers and counter samples (:mod:`repro.obs.trace`)
-that are not themselves registry metrics.
+Besides the four metric kinds there are two more: ``trace``, the names
+of structured trace markers and counter samples (:mod:`repro.obs.trace`)
+that are not themselves registry metrics, and ``alert``, the declarative
+alert rule names (:mod:`repro.obs.alerts`) whose firing state the
+telemetry pipeline exports.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ __all__ = ["CATALOG", "MetricSpec", "find_spec", "match_span_path",
 class MetricSpec:
     """One documented metric: its kind, name pattern, unit, and meaning."""
 
-    kind: str  # "counter" | "gauge" | "histogram" | "span" | "trace"
+    kind: str  # "counter"|"gauge"|"histogram"|"span"|"trace"|"alert"
     name: str  # exact name, or a pattern with {placeholder} segments
     unit: str
     description: str
@@ -138,6 +140,9 @@ CATALOG: tuple[MetricSpec, ...] = (
                "event epochs replayed (one micro-batched decider pass each)"),
     MetricSpec("counter", "serve.engine.events", "events",
                "discrete events processed (arrivals + departures)"),
+    MetricSpec("counter", "serve.engine.sheds", "jobs",
+               "arrivals answered with a shed decision (telemetry frame "
+               "channel; cumulative per epoch boundary)"),
     MetricSpec("gauge", "serve.engine.running", "jobs",
                "jobs resident in the fleet at the last epoch boundary"),
     MetricSpec("counter", "serve.service.requests", "decisions",
@@ -215,6 +220,35 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("gauge", "serve.adapt.model_version", "version",
                "monotone version of the serving coefficients (0 = the "
                "static offline-trained model)"),
+    # -- live telemetry pipeline (obs/timeseries.py) ---------------------
+    MetricSpec("counter", "serve.telemetry.samples", "frames",
+               "telemetry frames recorded by the installed time-series "
+               "sampler (epoch cadence for replays, wall cadence for "
+               "the API server)"),
+    MetricSpec("counter", "serve.telemetry.frames", "frames",
+               "in-flight snapshot frames streamed from shard/API "
+               "workers and merged incrementally into the parent"),
+    # -- alert engine (obs/alerts.py, fed at SLO window close) -----------
+    MetricSpec("counter", "serve.alert.firings", "alerts",
+               "alert rules that transitioned into the firing state"),
+    MetricSpec("counter", "serve.alert.resolves", "alerts",
+               "firing alert rules whose fast window dropped back under "
+               "the threshold"),
+    MetricSpec("gauge", "serve.alert.active", "alerts",
+               "alert rules currently in the firing state"),
+    MetricSpec("alert", "serve.alert.slo_burn_rate", "fraction",
+               "multi-window SLO burn-rate rule: the window violation "
+               "rate burns the allowed violation budget too fast over "
+               "both the fast and slow window"),
+    MetricSpec("alert", "serve.alert.calibration_drift", "fraction",
+               "calibration-drift rule: the window's mean absolute "
+               "prediction residual exceeds the drift bound"),
+    MetricSpec("alert", "serve.alert.shed_rate", "fraction",
+               "shed-rate rule: the fraction of the window's placement "
+               "requests shed to baseline exceeds the threshold"),
+    MetricSpec("alert", "serve.alert.queue_saturation", "fraction",
+               "queue-saturation rule: API queue depth over its bound "
+               "(evaluated on the wall clock by the API server)"),
     # -- experiment runner (experiments/runner.py) -----------------------
     MetricSpec("gauge", "runner.jobs", "processes",
                "worker processes the runner used"),
@@ -276,6 +310,10 @@ CATALOG: tuple[MetricSpec, ...] = (
                "violation-rate counter samples at window closes"),
     MetricSpec("trace", "serve.audit.drift", "fraction",
                "calibration-drift counter samples at window closes"),
+    MetricSpec("trace", "serve.alert.fired", "markers",
+               "one instant marker per alert rule firing transition"),
+    MetricSpec("trace", "serve.alert.resolved", "markers",
+               "one instant marker per alert rule resolve transition"),
 )
 
 

@@ -92,13 +92,25 @@ def diff_reports(
         ),
         key=lambda row: -abs(row[2] - row[1]),
     )
+    # Optional sections are read with .get() throughout: a report
+    # written before a section existed (schema 1/2, or a raw dict that
+    # never passed through load_report) must diff cleanly, rendering
+    # "n/a" on that side instead of raising.
     audit_a = (a.get("audit") or {}).get("overall", {})
     audit_b = (b.get("audit") or {}).get("overall", {})
+    adapt_a, adapt_b = a.get("adapt") or {}, b.get("adapt") or {}
+    alerts_a, alerts_b = a.get("alerts") or {}, b.get("alerts") or {}
     return {
         "wall_seconds": (a.get("wall_seconds"), b.get("wall_seconds")),
         "spans": span_rows[:limit],
         "counters": counter_rows[:limit],
         "audit_mean_abs": (audit_a.get("mean_abs"), audit_b.get("mean_abs")),
+        "adapt_swaps": (adapt_a.get("swaps"), adapt_b.get("swaps")),
+        "adapt_model_version": (adapt_a.get("model_version"),
+                                adapt_b.get("model_version")),
+        "alert_firings": (alerts_a.get("firings"), alerts_b.get("firings")),
+        "alert_resolves": (alerts_a.get("resolves"),
+                           alerts_b.get("resolves")),
         "provenance_changes": provenance_changes(a, b),
     }
 
@@ -127,6 +139,11 @@ def format_phase_deltas(
 
 def _ratio(before: float, after: float) -> str:
     return f"x{after / before:.2f}" if before else "new"
+
+
+def _na(value: Any) -> str:
+    """Render a possibly-absent section value ("n/a" when missing)."""
+    return "n/a" if value is None else str(value)
 
 
 def render_diff(
@@ -173,6 +190,22 @@ def render_diff(
             "prediction audit mean |residual|: "
             f"{'-' if mae_a is None else format(mae_a, '.4f')} -> "
             f"{'-' if mae_b is None else format(mae_b, '.4f')}"
+        )
+
+    swaps_a, swaps_b = delta["adapt_swaps"]
+    version_a, version_b = delta["adapt_model_version"]
+    if swaps_a is not None or swaps_b is not None:
+        parts.append(
+            f"adaptation: swaps {_na(swaps_a)} -> {_na(swaps_b)}, "
+            f"serving model v{_na(version_a)} -> v{_na(version_b)}"
+        )
+
+    firings_a, firings_b = delta["alert_firings"]
+    resolves_a, resolves_b = delta["alert_resolves"]
+    if firings_a is not None or firings_b is not None:
+        parts.append(
+            f"alerts: firings {_na(firings_a)} -> {_na(firings_b)}, "
+            f"resolves {_na(resolves_a)} -> {_na(resolves_b)}"
         )
     if not parts:
         return "reports are metric-identical"

@@ -31,6 +31,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "counter",
+    "diff_snapshots",
     "gauge",
     "get_registry",
     "histogram",
@@ -281,3 +282,60 @@ def merge(snap: Mapping[str, Any]) -> None:
 def reset() -> None:
     """Clear every instrument in the default registry."""
     _DEFAULT.reset()
+
+
+def _diff_hist(old: Mapping[str, Any], new: Mapping[str, Any]) -> dict:
+    buckets = {
+        index: count - int(old.get("buckets", {}).get(index, 0))
+        for index, count in new["buckets"].items()
+        if count - int(old.get("buckets", {}).get(index, 0))
+    }
+    return {
+        "count": int(new["count"]) - int(old.get("count", 0)),
+        "sum": float(new["sum"]) - float(old.get("sum", 0.0)),
+        # Cumulative extrema, not deltas: min only ever decreases and
+        # max only increases, so re-merging them is idempotent and the
+        # sum of shipped deltas folds to the same state as one final
+        # whole-run snapshot.
+        "min": new["min"],
+        "max": new["max"],
+        "buckets": buckets,
+    }
+
+
+def diff_snapshots(
+    old: Mapping[str, Any], new: Mapping[str, Any],
+) -> dict[str, Any]:
+    """The mergeable delta between two snapshots of one registry.
+
+    ``merge``-ing every delta a worker ships, in order, reproduces the
+    exact registry state of merging only its final snapshot — this is
+    what lets shard workers stream progress frames mid-run without
+    changing the byte-stable end-of-run totals. ``old`` must be an
+    earlier snapshot of the *same* registry as ``new``: counters and
+    histogram/span tallies subtract (zero deltas are dropped), gauges
+    pass through at their latest value (last-write-wins under merge).
+    """
+    counters = {
+        name: value - int(old.get("counters", {}).get(name, 0))
+        for name, value in new.get("counters", {}).items()
+        if value - int(old.get("counters", {}).get(name, 0))
+    }
+    histograms = {}
+    for name, hist_snap in new.get("histograms", {}).items():
+        delta = _diff_hist(
+            old.get("histograms", {}).get(name, {}), hist_snap
+        )
+        if delta["count"]:
+            histograms[name] = delta
+    spans = {}
+    for name, hist_snap in new.get("spans", {}).items():
+        delta = _diff_hist(old.get("spans", {}).get(name, {}), hist_snap)
+        if delta["count"]:
+            spans[name] = delta
+    return {
+        "counters": counters,
+        "gauges": dict(new.get("gauges", {})),
+        "histograms": histograms,
+        "spans": spans,
+    }

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.tables import format_table
+from repro.obs.alerts import render_alerts
 from repro.obs.registry import snapshot
 
 __all__ = [
@@ -45,9 +46,10 @@ __all__ = [
 ]
 
 #: Schema 2 added the ``provenance`` block and the optional ``audit``
-#: section; :func:`load_report` upgrades schema-1 documents in place.
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMAS = (1, 2)
+#: section; schema 3 the optional ``alerts`` section.
+#: :func:`load_report` upgrades older supported documents in place.
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMAS = (1, 2, 3)
 ENV_METRICS_OUT = "SMITE_METRICS_OUT"
 
 
@@ -79,6 +81,7 @@ def build_report(
     metrics: Mapping[str, Any] | None = None,
     audit: Mapping[str, Any] | None = None,
     adapt: Mapping[str, Any] | None = None,
+    alerts: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a run report around the (already merged) metrics snapshot.
 
@@ -88,7 +91,9 @@ def build_report(
     :meth:`~repro.obs.audit.PredictionAudit.snapshot` when the run kept
     prediction-accuracy books (``repro.cli serve`` does). ``adapt`` is a
     :meth:`~repro.adapt.swap.ModelRegistry.snapshot` when the run served
-    with online recalibration enabled.
+    with online recalibration enabled. ``alerts`` is an
+    :meth:`~repro.obs.alerts.AlertEngine.snapshot` when the run
+    evaluated alert rules.
     """
     return {
         "schema": SCHEMA_VERSION,
@@ -101,6 +106,7 @@ def build_report(
         "metrics": dict(metrics) if metrics is not None else snapshot(),
         "audit": dict(audit) if audit is not None else None,
         "adapt": dict(adapt) if adapt is not None else None,
+        "alerts": dict(alerts) if alerts is not None else None,
     }
 
 
@@ -123,6 +129,7 @@ def load_report(path: str | Path) -> dict[str, Any]:
     report.setdefault("provenance", {})
     report.setdefault("audit", None)
     report.setdefault("adapt", None)
+    report.setdefault("alerts", None)
     report.setdefault("experiments", {})
     report.setdefault("workers", [])
     report.setdefault("metrics", {})
@@ -257,6 +264,9 @@ def render_report(report: Mapping[str, Any], *, limit: int = 8) -> str:
     adapt = report.get("adapt")
     if adapt:
         parts.append(render_adapt(adapt))
+    alerts = report.get("alerts")
+    if alerts:
+        parts.append(render_alerts(alerts, limit=limit))
     workers = report.get("workers") or []
     if len(workers) > 1:
         parts.append(f"({len(workers)} worker snapshots merged)")

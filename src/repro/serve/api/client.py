@@ -169,6 +169,16 @@ class ApiClient:
         """Fetch the server's live serving counters."""
         return self.request({"op": "stats"})
 
+    def metrics(self) -> dict[str, Any]:
+        """Fetch the server's live telemetry frame and recent series.
+
+        ``enabled`` is False when the server has no telemetry sampler
+        installed; otherwise ``frame`` holds a fresh sample of the
+        serving channels and ``frames`` the recorded tail (what
+        ``repro.cli obs top`` polls when given ``host:port``).
+        """
+        return self.request({"op": "metrics"})
+
     def shutdown(self) -> dict[str, Any]:
         """Ask the server to drain gracefully and stop."""
         return self.request({"op": "shutdown"})

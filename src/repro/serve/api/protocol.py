@@ -63,8 +63,10 @@ MAX_FRAME_BYTES = 64 * 1024
 #: any real SMT context count, it only bounds attacker-supplied work.
 MAX_INSTANCES = 64
 
-#: The request operations the server understands.
-OPS = ("ping", "predict", "place", "stats", "shutdown")
+#: The request operations the server understands. ``metrics`` was added
+#: without a version bump: new fieldless ops are additive (old servers
+#: answer ``unknown_op``, which clients can treat as "not supported").
+OPS = ("ping", "predict", "place", "stats", "metrics", "shutdown")
 
 # Error codes (the ``error.code`` field of a failed response).
 E_BAD_FRAME = "bad_frame"  #: unparseable frame payload; connection closes

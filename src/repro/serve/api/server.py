@@ -42,13 +42,16 @@ import asyncio
 import multiprocessing
 import threading
 from collections import deque
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _pipe_wait
 from typing import Any, Callable, Iterator
 
 from repro import obs
 from repro.errors import ConfigurationError, ReproError
-from repro.obs import counter, gauge, histogram, span
+from repro.obs import counter, diff_snapshots, gauge, histogram, span
+from repro.obs import timeseries
+from repro.obs.alerts import AlertEngine, queue_saturation_rule
 from repro.serve.api.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -150,6 +153,13 @@ class ApiServer:
         self._sheds = 0
         self._batches = 0
         self._connections = 0
+        # Wall-clock telemetry: bound to the installed module-global
+        # series (if any) at start(); ticks are counted so the sample
+        # times land on the same interval grid in every shard worker.
+        self._telemetry: timeseries.TelemetrySeries | None = None
+        self._telemetry_task: "asyncio.Task[None] | None" = None
+        self._telemetry_tick = 0
+        self._alerts: AlertEngine | None = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -178,6 +188,12 @@ class ApiServer:
         sockname = self._server.sockets[0].getsockname()
         self._address = (sockname[0], sockname[1])
         self._batcher = self._loop.create_task(self._batch_loop())
+        self._telemetry = timeseries.active()
+        if self._telemetry is not None:
+            self._alerts = AlertEngine((queue_saturation_rule(),))
+            self._telemetry_task = self._loop.create_task(
+                self._telemetry_loop()
+            )
         return self._address
 
     async def serve_until_stopped(self) -> None:
@@ -214,6 +230,16 @@ class ApiServer:
                 await self._batcher
             except asyncio.CancelledError:
                 pass
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._telemetry_task
+            # One closing frame so a short-lived server still exports
+            # its totals even when it never reached a cadence boundary.
+            self._telemetry_tick += 1
+            self._sample_telemetry(
+                self._telemetry_tick * self._telemetry.interval_s
+            )
         for writer in list(self._writers):
             writer.close()
         if self._server is not None:
@@ -340,6 +366,9 @@ class ApiServer:
             ))
         elif op == "stats":
             await self._send(writer, ok_response(request_id, self._stats()))
+        elif op == "metrics":
+            await self._send(writer, ok_response(request_id,
+                                                 self._metrics()))
         elif op == "shutdown":
             await self._send(writer, ok_response(request_id,
                                                  {"stopping": True}))
@@ -497,6 +526,73 @@ class ApiServer:
             if not item.future.done():
                 item.future.set_result(response)
 
+    # -- wall-clock telemetry ------------------------------------------
+
+    async def _telemetry_loop(self) -> None:
+        """Sample the telemetry series once per interval (wall clock).
+
+        Sample times are ``tick * interval_s`` rather than raw clock
+        readings so frames from concurrently started shard workers land
+        on the same grid and fold into one merged frame per tick.
+        """
+        interval = self._telemetry.interval_s
+        while True:
+            await asyncio.sleep(interval)
+            self._telemetry_tick += 1
+            self._sample_telemetry(self._telemetry_tick * interval)
+
+    def _live_channels(self) -> tuple[dict[str, float], dict[str, float]]:
+        depth = float(len(self._pending))
+        return (
+            {
+                "serve.api.requests": float(self._requests),
+                "serve.api.sheds": float(self._sheds),
+                "serve.api.batches": float(self._batches),
+            },
+            {"serve.api.queue_depth": depth},
+        )
+
+    def _sample_telemetry(self, time_s: float) -> None:
+        series = self._telemetry
+        if series is None:
+            return
+        counters, gauges = self._live_channels()
+        depth = gauges["serve.api.queue_depth"]
+        gauge("serve.api.queue_depth").set(depth)
+        states = None
+        if self._alerts is not None:
+            self._alerts.observe_window(
+                time_s, {"queue_saturation": depth / self.queue_bound},
+            )
+            states = self._alerts.states()
+        series.sample(
+            time_s, counters=counters, gauges=gauges, alerts=states,
+        )
+
+    def _metrics(self) -> dict[str, Any]:
+        """The ``metrics`` op: the live frame plus the recent series.
+
+        ``frame`` is a fresh :meth:`TelemetrySeries.peek` over the
+        current request/queue state (stamped with the last cadence
+        boundary); ``frames`` is the recorded tail, so a poller can
+        render sparklines without tailing the JSONL export.
+        """
+        series = self._telemetry
+        if series is None:
+            return {"enabled": False, "frame": None, "frames": []}
+        counters, gauges = self._live_channels()
+        frame = series.peek(
+            self._telemetry_tick * series.interval_s,
+            counters=counters, gauges=gauges,
+            alerts=self._alerts.states() if self._alerts else None,
+        )
+        return {
+            "enabled": True,
+            "interval_s": series.interval_s,
+            "frame": frame,
+            "frames": series.tail(32),
+        }
+
     def _stats(self) -> dict[str, Any]:
         return {
             "protocol": PROTOCOL_VERSION,
@@ -527,18 +623,56 @@ def _api_shard_worker(decider: Decider, host: str, conn,
     The forked child inherits the parent's (fitted) decider and metric
     registry; it resets the registry first so the snapshot it ships back
     holds exactly this worker's serving metrics.
+
+    When the parent had a telemetry sampler installed, the worker
+    installs its own (same cadence) and streams ``("frame", ...)``
+    messages once per interval while serving: each carries the registry
+    delta since the previous frame plus the worker's freshly recorded
+    telemetry frames, so the parent's registry and series track the
+    fleet live instead of only at drain. The deltas sum to the worker's
+    whole-run snapshot, so streaming never changes the folded totals.
     """
     obs.reset()
+    inherited = timeseries.uninstall()
+    series = None
+    if inherited is not None:
+        series = timeseries.install(inherited.interval_s,
+                                    inherited.capacity)
     server = ApiServer(decider, host=host, port=0, **options)
+    state = {"last": obs.snapshot()}
+
+    async def _stream_loop() -> None:
+        while True:
+            await asyncio.sleep(series.interval_s)
+            current = obs.snapshot()
+            conn.send(("frame", {
+                "obs": diff_snapshots(state["last"], current),
+                "telemetry": series.drain_new(),
+            }))
+            state["last"] = current
 
     async def _main() -> None:
         bound = await server.start()
         conn.send(("ready", [bound[0], bound[1]]))
-        await server.serve_until_stopped()
+        streamer = None
+        if series is not None:
+            streamer = asyncio.create_task(_stream_loop())
+        try:
+            await server.serve_until_stopped()
+        finally:
+            if streamer is not None:
+                streamer.cancel()
+                with suppress(asyncio.CancelledError):
+                    await streamer
 
     asyncio.run(_main())
-    conn.send(("done", {"obs": obs.snapshot(),
-                        "requests": server.requests_served}))
+    done: dict[str, Any] = {"requests": server.requests_served}
+    if series is not None:
+        done["obs"] = diff_snapshots(state["last"], obs.snapshot())
+        done["telemetry"] = series.drain_new()
+    else:
+        done["obs"] = obs.snapshot()
+    conn.send(("done", done))
     conn.close()
 
 
@@ -597,21 +731,41 @@ def run_api_shards(
         counter("serve.api.shard_workers").inc(len(workers))
         if ready_callback is not None:
             ready_callback(list(addresses))
-        summaries: list[dict[str, Any]] = []
-        for (process, parent_conn), (bound_host, port) in zip(workers,
-                                                              addresses):
-            try:
-                kind, payload = parent_conn.recv()
-            except EOFError:  # pragma: no cover - crashed worker
+        parent_series = timeseries.active()
+        summaries: list[dict[str, Any] | None] = [None] * len(workers)
+        index_of = {parent_conn: k
+                    for k, (_process, parent_conn) in enumerate(workers)}
+        pending = list(index_of)
+        while pending:
+            for parent_conn in _pipe_wait(pending):
+                k = index_of[parent_conn]
+                process = workers[k][0]
+                bound_host, port = addresses[k]
+                try:
+                    kind, payload = parent_conn.recv()
+                except EOFError:  # pragma: no cover - crashed worker
+                    process.join()
+                    summaries[k] = {"host": bound_host, "port": port,
+                                    "requests": None}
+                    pending.remove(parent_conn)
+                    continue
+                if kind == "frame":
+                    obs.merge(payload["obs"])
+                    counter("serve.telemetry.frames").inc()
+                    if parent_series is not None:
+                        parent_series.merge(
+                            {"frames": payload["telemetry"]}
+                        )
+                    continue
+                with span("serve.api.shard_merge"):
+                    obs.merge(payload["obs"])
+                if parent_series is not None \
+                        and payload.get("telemetry"):
+                    parent_series.merge({"frames": payload["telemetry"]})
+                summaries[k] = {"host": bound_host, "port": port,
+                                "requests": payload["requests"]}
+                pending.remove(parent_conn)
                 process.join()
-                summaries.append({"host": bound_host, "port": port,
-                                  "requests": None})
-                continue
-            with span("serve.api.shard_merge"):
-                obs.merge(payload["obs"])
-            summaries.append({"host": bound_host, "port": port,
-                              "requests": payload["requests"]})
-            process.join()
         return summaries
     finally:
         for _process, parent_conn in workers:

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SchedulingError
 from repro.obs import PredictionAudit, counter, gauge, span
+from repro.obs import timeseries
 from repro.obs import trace as obs_trace
 from repro.serve.events import EventRecord, EventTable
 from repro.serve.service import Candidate, CandidateStream, Decider
@@ -283,6 +284,9 @@ class ServingEngine:
         time_s: float,
         groups: Sequence[_Group],
         pool: Sequence[WorkloadProfile],
+        *,
+        sheds: int = 0,
+        requests: int = 0,
     ) -> None:
         """Score one fleet sample from aggregated colocation groups.
 
@@ -349,7 +353,34 @@ class ServingEngine:
                 time_s, scored,
                 n_servers=self.n_servers,
                 threads_per_server=self.threads_per_server,
+                sheds=sheds,
+                requests=requests,
             )
+
+    def _telemetry_tick(
+        self, time_s: float, arrivals: int, departures: int, sheds: int,
+    ) -> None:
+        """Offer one telemetry frame at an epoch boundary.
+
+        The cumulative tallies are computed per strategy from the same
+        event plan (not read from the registry, whose counters batch at
+        different points per strategy), so sampled frames are identical
+        across scalar/vector/sharded replays. No-op unless a sampler is
+        installed.
+        """
+        series = timeseries.active()
+        if series is None:
+            return
+        alerts = self.slo.alerts if self.slo is not None else None
+        series.maybe_sample(
+            time_s,
+            counters={
+                "serve.engine.arrivals": float(arrivals),
+                "serve.engine.departures": float(departures),
+                "serve.engine.sheds": float(sheds),
+            },
+            alerts=alerts.states() if alerts is not None else None,
+        )
 
     # -- public entry point --------------------------------------------
 
@@ -540,6 +571,11 @@ class ServingEngine:
         )
         running_gauge = gauge("serve.engine.running")
         tracing = obs_trace.is_active()
+        sampling = timeseries.is_active()
+        if sampling:
+            cum_arr = np.cumsum(arr_per_epoch)
+            cum_dep = np.cumsum(dep_per_epoch)
+            cum_shed = np.cumsum(shed_per_epoch)
         with span("serve.score"):
             for e in range(n_epochs):
                 end = float(ends[e])
@@ -570,7 +606,16 @@ class ServingEngine:
                         for prof, inst, count
                         in pool_outputs[p].groups_per_epoch[e]
                     )
-                self._score_fleet(end, groups, trace.pool)
+                self._score_fleet(
+                    end, groups, trace.pool,
+                    sheds=int(shed_per_epoch[e]),
+                    requests=int(arr_per_epoch[e]),
+                )
+                if sampling:
+                    self._telemetry_tick(
+                        end, int(cum_arr[e]), int(cum_dep[e]),
+                        int(cum_shed[e]),
+                    )
 
         events = EventTable(
             time_s=ev_time,
@@ -690,9 +735,14 @@ class ServingEngine:
         pool: EpochShardPool | None = None
         kernels: list[PoolKernel] = []
         if shards > 1:
+            series = timeseries.active()
+            stream_every = (
+                max(1, round(series.interval_s / self.epoch_s))
+                if series is not None else 0
+            )
             pool = EpochShardPool(
                 [(self.servers_per_app, n_states)] * n_apps,
-                shards=shards, jobs=jobs,
+                shards=shards, jobs=jobs, stream_every=stream_every,
             )
         else:
             kernels = [
@@ -710,6 +760,9 @@ class ServingEngine:
         )
         running = np.cumsum(arr_per_epoch - dep_per_epoch)
         running_gauge = gauge("serve.engine.running")
+        cum_arr = np.cumsum(arr_per_epoch)
+        cum_dep = np.cumsum(dep_per_epoch)
+        shed_running = 0
 
         profile_of_job = trace.profile_idx
         pool_positions: list[list[np.ndarray]] = [[] for _ in range(n_apps)]
@@ -756,13 +809,21 @@ class ServingEngine:
             obs_trace.counter_value(
                 "serve.engine.running", float(running[e]), sim_time_s=end,
             )
+            epoch_sheds = int(np.count_nonzero(decisions.shed))
+            shed_running += epoch_sheds
             with span("serve.score"):
                 groups: list[_Group] = [
                     (p, prof, inst, count)
                     for p in range(n_apps)
                     for prof, inst, count in epoch_groups[p]
                 ]
-                self._score_fleet(end, groups, trace.pool)
+                self._score_fleet(
+                    end, groups, trace.pool,
+                    sheds=epoch_sheds, requests=s1 - s0,
+                )
+            self._telemetry_tick(
+                end, int(cum_arr[e]), int(cum_dep[e]), shed_running,
+            )
             # The epoch boundary is the only legal swap point: scoring
             # above fed this epoch's residuals, decisions below see the
             # (possibly) new coefficients — matching the scalar loop
@@ -949,6 +1010,7 @@ class ServingEngine:
                 epoch_departures = 0
                 epoch_colocated = 0
                 epoch_baseline = 0
+                epoch_sheds = 0
                 while heap and heap[0][0] < epoch_end:
                     time_s, kind, job_id, job = heapq.heappop(heap)
                     epoch_events += 1
@@ -979,6 +1041,7 @@ class ServingEngine:
                             placement = "shed" if decision.shed else "baseline"
                             if decision.shed:
                                 shed += 1
+                                epoch_sheds += 1
                         heapq.heappush(
                             heap,
                             (job.departure_s, _DEPART, job.job_id, job),
@@ -1039,7 +1102,10 @@ class ServingEngine:
                                         float(len(placed_on)),
                                         sim_time_s=epoch_end)
                 groups = self._scalar_groups(profile_index)
-                self._score_fleet(epoch_end, groups, trace.pool)
+                self._score_fleet(
+                    epoch_end, groups, trace.pool,
+                    sheds=epoch_sheds, requests=epoch_arrivals,
+                )
                 for server in self.servers:
                     if server.is_colocated:
                         assert server.batch_profile is not None
@@ -1050,6 +1116,7 @@ class ServingEngine:
                         )]
                     else:
                         server.actual_degradation = 0.0
+                self._telemetry_tick(epoch_end, arrivals, departures, shed)
                 # Adaptation steps at the epoch boundary — after this
                 # epoch's scoring, before the next epoch's decisions —
                 # so scalar and vectorized replays swap at identical

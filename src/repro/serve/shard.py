@@ -41,15 +41,17 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError
-from repro.obs import counter, span
+from repro.obs import counter, diff_snapshots, span
+from repro.obs import timeseries
 
 __all__ = [
     "EpochShardPool",
@@ -275,11 +277,102 @@ def _shard_worker(pools: list[dict[str, Any]]) -> dict[str, Any]:
     return {"results": results, "obs": obs.snapshot()}
 
 
+def _stream_shard_worker(conn, pools: list[dict[str, Any]]) -> None:
+    """Replay one shard's pools, streaming a metrics delta per pool.
+
+    The streaming twin of :func:`_shard_worker`: after every finished
+    pool the worker ships ``("frame", delta)`` — the registry change
+    since its previous frame (:func:`repro.obs.diff_snapshots`) — so the
+    parent can merge progress mid-run. The final ``("done", ...)``
+    message carries the results plus the residual delta; the sum of all
+    shipped deltas equals the worker's whole-run snapshot, which is what
+    keeps streamed and end-of-run fold-backs byte-identical.
+    """
+    obs.reset()
+    try:
+        last = obs.snapshot()
+        results = []
+        with span("serve.shard.replay"):
+            for kwargs in pools:
+                replay = replay_pool_events(**kwargs)
+                results.append(replay)
+                counter("serve.shard.events").inc(int(replay.server.size))
+                current = obs.snapshot()
+                conn.send(("frame", diff_snapshots(last, current)))
+                last = current
+        conn.send(("done", {
+            "results": results,
+            "obs": diff_snapshots(last, obs.snapshot()),
+        }))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        raise
+    finally:
+        conn.close()
+
+
+def _run_streamed_shards(
+    chunks: list[list[dict[str, Any]]],
+    workers: int,
+    on_frame: Callable[[dict[str, Any]], None] | None,
+) -> list[PoolReplay]:
+    """Drive :func:`_stream_shard_worker` processes, merging in order.
+
+    At most ``workers`` processes run at once; the parent drains shard
+    ``k`` completely before shard ``k + 1``, so frames merge in a fixed
+    order and the fold is deterministic no matter how the workers race.
+    """
+    context = multiprocessing.get_context()
+    conns: list[Any] = [None] * len(chunks)
+    procs: list[Any] = [None] * len(chunks)
+    started = 0
+
+    def _start(k: int) -> None:
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_stream_shard_worker, args=(child_conn, chunks[k]),
+        )
+        process.start()
+        child_conn.close()
+        conns[k] = parent_conn
+        procs[k] = process
+
+    while started < min(workers, len(chunks)):
+        _start(started)
+        started += 1
+    results: list[PoolReplay] = []
+    with span("serve.shard.merge"):
+        for k in range(len(chunks)):
+            conn = conns[k]
+            while True:
+                kind, payload = conn.recv()
+                if kind == "frame":
+                    obs.merge(payload)
+                    counter("serve.telemetry.frames").inc()
+                    if on_frame is not None:
+                        on_frame(payload)
+                elif kind == "done":
+                    obs.merge(payload["obs"])
+                    results.extend(payload["results"])
+                    break
+                else:
+                    raise RuntimeError(
+                        f"shard worker failed:\n{payload}"
+                    )
+            conn.close()
+            procs[k].join()
+            if started < len(chunks):
+                _start(started)
+                started += 1
+    return results
+
+
 def run_pool_shards(
     pool_inputs: list[dict[str, Any]],
     *,
     shards: int,
     jobs: int | None = None,
+    on_frame: Callable[[dict[str, Any]], None] | None = None,
 ) -> list[PoolReplay]:
     """Fan the per-pool placement kernels out across worker processes.
 
@@ -287,6 +380,12 @@ def run_pool_shards(
     per server pool at most) and executed on ``jobs`` workers; results
     come back in pool order, so the parent's merge is deterministic.
     Worker metric snapshots are merged into the parent registry.
+
+    When a telemetry sampler is installed (or ``on_frame`` is given),
+    workers stream one registry-delta frame per finished pool instead of
+    a single end-of-run snapshot; the parent merges the frames
+    incrementally — the final registry state is byte-identical either
+    way (the deltas sum to the whole-run snapshot).
     """
     if shards < 1:
         raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -300,6 +399,8 @@ def run_pool_shards(
     chunks = [pool_inputs[bounds[k]:bounds[k + 1]] for k in range(shards)]
     workers = min(jobs if jobs is not None else shards, shards)
     counter("serve.shard.workers").inc(len(chunks))
+    if on_frame is not None or timeseries.is_active():
+        return _run_streamed_shards(chunks, workers, on_frame)
     with ProcessPoolExecutor(max_workers=workers) as executor:
         futures = [executor.submit(_shard_worker, chunk) for chunk in chunks]
         outputs = [future.result() for future in futures]
@@ -315,38 +416,50 @@ def run_pool_shards(
 
 
 def _epoch_shard_worker(
-    conn, specs: list[tuple[int, int]],
+    conn, specs: list[tuple[int, int]], stream_every: int = 0,
 ) -> None:
     """Own a contiguous range of pool kernels for a whole replay.
 
     Protocol: each ``step`` message carries one epoch's event columns
-    per owned pool; the reply is that epoch's occupancy groups. ``None``
-    closes the stream, answered with the final :class:`PoolReplay`
-    results plus the worker's obs snapshot for the parent to merge.
-    The worker never sees coefficients or predictions — placement is
-    decision-driven — so parent-side model swaps need no propagation
-    beyond the caps already embedded in the next epoch's events.
+    per owned pool; the reply is ``(groups, frame)`` — that epoch's
+    occupancy groups plus, every ``stream_every`` steps (``0`` = never),
+    a registry-delta frame since the last shipped one. ``None`` closes
+    the stream, answered with the final :class:`PoolReplay` results plus
+    the residual obs delta for the parent to merge; the shipped deltas
+    always sum to the worker's whole-run snapshot, so streaming cannot
+    change the folded totals. The worker never sees coefficients or
+    predictions — placement is decision-driven — so parent-side model
+    swaps need no propagation beyond the caps already embedded in the
+    next epoch's events.
     """
     obs.reset()
     kernels = [PoolKernel(n_servers, n_states)
                for n_servers, n_states in specs]
+    last = obs.snapshot()
+    steps = 0
     with span("serve.shard.replay"):
         while True:
             message = conn.recv()
             if message is None:
                 break
             groups = []
+            events = 0
             for kernel, (is_arr, jobs, profs, caps) in zip(kernels, message):
                 groups.append(
                     kernel.step(is_arr, jobs, profs, caps, 0, len(is_arr))
                 )
-            conn.send(groups)
-    counter("serve.shard.events").inc(
-        sum(len(kernel.out_srv) for kernel in kernels)
-    )
+                events += len(is_arr)
+            counter("serve.shard.events").inc(events)
+            steps += 1
+            frame = None
+            if stream_every and steps % stream_every == 0:
+                current = obs.snapshot()
+                frame = diff_snapshots(last, current)
+                last = current
+            conn.send((groups, frame))
     conn.send({
         "results": [kernel.result() for kernel in kernels],
-        "obs": obs.snapshot(),
+        "obs": diff_snapshots(last, obs.snapshot()),
     })
     conn.close()
 
@@ -360,6 +473,12 @@ class EpochShardPool:
     long-running worker process for the whole replay (placement state
     must persist across epochs once decisions interleave with scoring).
     ``jobs`` caps the worker-process count directly.
+
+    ``stream_every`` > 0 makes each worker attach a registry-delta frame
+    to every Nth step reply (the adaptive engine picks N so frames land
+    on the telemetry cadence); the parent merges frames in a fixed
+    worker order and feeds them to ``on_frame``, keeping the fold
+    deterministic and the end-of-run totals unchanged.
     """
 
     def __init__(
@@ -368,6 +487,8 @@ class EpochShardPool:
         *,
         shards: int,
         jobs: int | None = None,
+        stream_every: int = 0,
+        on_frame: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -377,6 +498,11 @@ class EpochShardPool:
         if jobs is not None:
             shards = min(shards, jobs)
         shards = max(shards, 1)
+        if stream_every < 0:
+            raise ConfigurationError(
+                f"stream_every must be >= 0, got {stream_every}"
+            )
+        self._on_frame = on_frame
         n = len(specs)
         self._bounds = [(k * n) // shards for k in range(shards + 1)]
         counter("serve.shard.workers").inc(shards)
@@ -387,7 +513,8 @@ class EpochShardPool:
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_epoch_shard_worker,
-                args=(child_conn, specs[self._bounds[k]:self._bounds[k + 1]]),
+                args=(child_conn, specs[self._bounds[k]:self._bounds[k + 1]],
+                      stream_every),
             )
             process.start()
             child_conn.close()
@@ -405,7 +532,13 @@ class EpochShardPool:
             conn.send(epoch_inputs[self._bounds[k]:self._bounds[k + 1]])
         groups: list[list[tuple[int, int, int]]] = []
         for conn in self._conns:
-            groups.extend(conn.recv())
+            worker_groups, frame = conn.recv()
+            groups.extend(worker_groups)
+            if frame is not None:
+                obs.merge(frame)
+                counter("serve.telemetry.frames").inc()
+                if self._on_frame is not None:
+                    self._on_frame(frame)
         return groups
 
     def finish(self) -> list[PoolReplay]:

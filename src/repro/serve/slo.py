@@ -19,6 +19,7 @@ from typing import Sequence
 from repro.core.tail import TailLatencyModel
 from repro.errors import ConfigurationError, SchedulingError
 from repro.obs import PredictionAudit, counter, gauge, trace
+from repro.obs.alerts import AlertEngine
 from repro.scheduler.metrics import ViolationStats
 from repro.scheduler.qos import QosTarget
 
@@ -112,6 +113,7 @@ class WindowedSlo:
         *,
         tail_models: dict[str, TailLatencyModel] | None = None,
         audit: PredictionAudit | None = None,
+        alerts: AlertEngine | None = None,
     ) -> None:
         if window_s <= 0.0:
             raise ConfigurationError(
@@ -124,6 +126,13 @@ class WindowedSlo:
         #: drains the audit's window accumulator into the window's
         #: ``calibration_drift`` and the ``serve.audit.drift`` gauge.
         self.audit = audit
+        #: When set, each window close feeds the window's signals
+        #: (violation rate, calibration drift, shed rate) to the alert
+        #: engine — deterministically, on the simulated clock, *before*
+        #: the adaptation controller can react to the same window.
+        self.alerts = alerts
+        self._window_sheds = 0
+        self._window_requests = 0
         self._windows: list[SloWindow] = []
         self._current: int | None = None
         self._samples: list[tuple[float, ViolationStats]] = []
@@ -186,6 +195,8 @@ class WindowedSlo:
         *,
         n_servers: int,
         threads_per_server: int,
+        sheds: int = 0,
+        requests: int = 0,
     ) -> None:
         """Record one fleet sample from pre-aggregated colocation groups.
 
@@ -197,12 +208,19 @@ class WindowedSlo:
         calls it on every path (scalar, vectorized, sharded) so the
         float accumulation order, and therefore the rendered SLO series,
         is identical across them.
+
+        ``sheds``/``requests`` carry the epoch's placement-decision
+        tallies (the engine knows them per epoch on every strategy);
+        they accumulate into the open window and feed the alert
+        engine's shed-rate signal at window close.
         """
         window_index = max(0, math.ceil(time_s / self.window_s) - 1)
         if self._current is None:
             self._current = window_index
         while window_index > self._current:
             self._close_window()
+        self._window_sheds += sheds
+        self._window_requests += requests
         colocated = 0
         violated = 0
         worst = 0.0
@@ -288,9 +306,22 @@ class WindowedSlo:
             gauge("serve.audit.drift").set(drift)
             trace.counter_value("serve.audit.drift", drift,
                                 sim_time_s=window.end_s)
+        if self.alerts is not None:
+            signals: dict[str, float] = {
+                "violation_rate": window.violations.rate,
+                "shed_rate": (
+                    self._window_sheds / self._window_requests
+                    if self._window_requests else 0.0
+                ),
+            }
+            if drift is not None:
+                signals["calibration_drift"] = drift
+            self.alerts.observe_window(window.end_s, signals)
         self._current += 1
         self._samples = []
         self._app_violations = {}
+        self._window_sheds = 0
+        self._window_requests = 0
 
     def finish(self) -> tuple[SloWindow, ...]:
         """Close the open window and return the full series."""

@@ -151,3 +151,34 @@ class TestAdaptiveExperiment:
         assert m["adaptive_gain"] >= m["static_gain"]
         policies = [row[0] for row in result.rows]
         assert policies == ["static", "adaptive"]
+
+    def test_burn_rate_alert_brackets_the_recovery(self):
+        """The SLO burn-rate alert fires on the first post-shift window
+        close -- before the drift-triggered swap that answers it -- and
+        resolves after recalibration, but only under the adaptive
+        policy (ISSUE 10)."""
+        from repro.experiments.figs_adaptive import _study
+
+        result = run_experiment("figs_adaptive", FAST)
+        study = _study(FAST.fast, FAST.seed)
+        shift_s = study["shift_s"]
+        events = study["alerts"]["adaptive"]["events"]
+        burn = [e for e in events
+                if e["name"] == "serve.alert.slo_burn_rate"]
+        fired = [e["time_s"] for e in burn if e["state"] == "firing"]
+        resolved = [e["time_s"] for e in burn if e["state"] == "resolved"]
+        assert fired and resolved
+        # Fires after the phase change, before any post-shift swap.
+        post_shift_swaps = [t for t in study["swap_epochs"]
+                            if t > shift_s]
+        assert post_shift_swaps, "no drift-triggered swap after the shift"
+        assert shift_s < fired[0] <= min(post_shift_swaps)
+        # Resolves only once recalibration has taken effect.
+        assert resolved[0] > min(post_shift_swaps)
+        # The static run burns to the end of the trace: same firing,
+        # no resolve.
+        static_burn = [e for e in study["alerts"]["static"]["events"]
+                       if e["name"] == "serve.alert.slo_burn_rate"]
+        assert [e["state"] for e in static_burn] == ["firing"]
+        assert result.metrics["static_alert_resolves"] == 0.0
+        assert result.metrics["adaptive_alert_resolves"] >= 1.0

@@ -1,0 +1,157 @@
+"""The alert engine: burn-rate semantics, transitions, obs wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as obs_trace
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    burn_rate_rule,
+    default_rules,
+    drift_rule,
+    queue_saturation_rule,
+    render_alerts,
+    shed_rate_rule,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestRules:
+    def test_window_pair_validation(self):
+        with pytest.raises(ValueError):
+            AlertRule("a", "s", 0.1, fast_windows=0)
+        with pytest.raises(ValueError):
+            AlertRule("a", "s", 0.1, fast_windows=3, slow_windows=2)
+
+    def test_burn_rate_threshold_is_budget_times_factor(self):
+        rule = burn_rate_rule(budget=0.05, factor=2.0)
+        assert rule.signal == "violation_rate"
+        assert rule.threshold == pytest.approx(0.10)
+        assert rule.slow_windows >= rule.fast_windows
+
+    def test_default_rules_cover_every_builtin(self):
+        rules = default_rules()
+        assert {r.name for r in rules} == {
+            "serve.alert.slo_burn_rate",
+            "serve.alert.calibration_drift",
+            "serve.alert.shed_rate",
+            "serve.alert.queue_saturation",
+        }
+        assert {r.signal for r in rules} == {
+            "violation_rate", "calibration_drift", "shed_rate",
+            "queue_saturation",
+        }
+
+    def test_factory_defaults(self):
+        assert drift_rule(bound=0.03).threshold == 0.03
+        assert shed_rate_rule(threshold=0.2).threshold == 0.2
+        assert queue_saturation_rule().threshold == 0.90
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError):
+            AlertEngine((burn_rate_rule(), burn_rate_rule()))
+
+
+class TestBurnRateSemantics:
+    def _engine(self):
+        return AlertEngine((
+            AlertRule("serve.alert.slo_burn_rate", "violation_rate",
+                      0.10, fast_windows=1, slow_windows=3),
+        ))
+
+    def test_one_noisy_window_does_not_page(self):
+        """A single spike trips the fast mean but not the slow mean."""
+        engine = self._engine()
+        for t, rate in ((1.0, 0.0), (2.0, 0.0), (3.0, 0.25)):
+            assert engine.observe_window(t, {"violation_rate": rate}) == []
+        assert engine.active_count == 0
+
+    def test_sustained_burn_fires_and_fast_recovery_resolves(self):
+        engine = self._engine()
+        engine.observe_window(1.0, {"violation_rate": 0.0})
+        engine.observe_window(2.0, {"violation_rate": 0.0})
+        engine.observe_window(3.0, {"violation_rate": 0.25})
+        # The second sustained window pushes the slow mean over too.
+        transitions = engine.observe_window(4.0, {"violation_rate": 0.25})
+        assert [t.state for t in transitions] == ["firing"]
+        assert engine.firing_rules == ("serve.alert.slo_burn_rate",)
+        # Resolution needs only the fast window to clear, even while the
+        # slow mean is still above threshold.
+        transitions = engine.observe_window(5.0, {"violation_rate": 0.05})
+        assert [t.state for t in transitions] == ["resolved"]
+        assert engine.active_count == 0
+        assert engine.firings == 1 and engine.resolves == 1
+
+    def test_absent_signal_skips_the_rule_entirely(self):
+        engine = AlertEngine((
+            drift_rule(bound=0.1),
+            shed_rate_rule(threshold=0.5, slow_windows=1),
+        ))
+        # No calibration audit attached: only shed_rate advances.
+        transitions = engine.observe_window(1.0, {"shed_rate": 0.9})
+        assert [t.name for t in transitions] == ["serve.alert.shed_rate"]
+        # The skipped rule's history did not grow.
+        assert not engine._history["serve.alert.calibration_drift"]
+
+    def test_boundary_value_does_not_fire(self):
+        engine = AlertEngine((
+            queue_saturation_rule(threshold=0.9),
+        ))
+        assert engine.observe_window(1.0, {"queue_saturation": 0.9}) == []
+        assert engine.observe_window(2.0, {"queue_saturation": 0.91})
+
+
+class TestObsWiring:
+    def test_transitions_update_counters_gauge_and_trace(self):
+        tracer = obs_trace.install()
+        try:
+            engine = AlertEngine((drift_rule(bound=0.1),))
+            engine.observe_window(600.0, {"calibration_drift": 0.5})
+            engine.observe_window(1_200.0, {"calibration_drift": 0.01})
+        finally:
+            obs_trace.uninstall()
+        snap = obs.snapshot()
+        assert snap["counters"]["serve.alert.firings"] == 1
+        assert snap["counters"]["serve.alert.resolves"] == 1
+        assert snap["gauges"]["serve.alert.active"] == 0.0
+        names = [e.name for e in tracer.events()]
+        assert "serve.alert.fired" in names
+        assert "serve.alert.resolved" in names
+
+    def test_states_and_event_log_are_stable(self):
+        engine = AlertEngine((drift_rule(bound=0.1),))
+        engine.observe_window(600.0, {"calibration_drift": 0.5})
+        assert engine.states() == {"serve.alert.calibration_drift": 1.0}
+        assert engine.event_log() == (
+            "alert firing serve.alert.calibration_drift t=600.0 "
+            "value=0.500000 threshold=0.100000"
+        )
+
+    def test_snapshot_and_render(self):
+        engine = AlertEngine((drift_rule(bound=0.1),))
+        engine.observe_window(600.0, {"calibration_drift": 0.5})
+        snap = engine.snapshot()
+        assert snap["firing"] == ["serve.alert.calibration_drift"]
+        assert snap["firings"] == 1 and snap["resolves"] == 0
+        assert snap["rules"][0]["signal"] == "calibration_drift"
+        out = render_alerts(snap)
+        assert "1 firing / 0 resolve transition(s)" in out
+        assert "active: serve.alert.calibration_drift" in out
+        assert "t=600.0" in out
+
+    def test_render_truncates_to_the_limit(self):
+        engine = AlertEngine((drift_rule(bound=0.1),))
+        for i in range(6):
+            drift = 0.5 if i % 2 == 0 else 0.0
+            engine.observe_window(float(i), {"calibration_drift": drift})
+        out = render_alerts(engine.snapshot(), limit=2)
+        assert "earlier transition(s)" in out

@@ -16,7 +16,7 @@ def test_names_are_unique_within_a_kind():
 def test_every_spec_has_unit_and_description():
     for spec in CATALOG:
         assert spec.kind in {"counter", "gauge", "histogram", "span",
-                             "trace"}
+                             "trace", "alert"}
         assert spec.unit
         assert spec.description
 
@@ -47,7 +47,7 @@ def test_span_paths_match_per_segment():
 
 
 def test_specs_of_kind_partitions_the_catalog():
-    kinds = ("counter", "gauge", "histogram", "span", "trace")
+    kinds = ("counter", "gauge", "histogram", "span", "trace", "alert")
     assert sum(len(specs_of_kind(kind)) for kind in kinds) == len(CATALOG)
     assert all(spec.kind == "span" for spec in specs_of_kind("span"))
 

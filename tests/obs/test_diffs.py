@@ -93,6 +93,28 @@ class TestRenderDiff:
             "reports are metric-identical"
         )
 
+    def test_old_schema_reports_render_na_for_missing_sections(self):
+        """A report written before the adapt/alerts sections existed must
+        diff cleanly against a current one: 'n/a' on the old side, never a
+        KeyError (regression: ISSUE 10)."""
+        legacy = {"schema": 2, "metrics": {"counters": {}, "gauges": {},
+                                           "histograms": {}, "spans": {}},
+                  "wall_seconds": 1.0}
+        current = _report()
+        current["adapt"] = {"swaps": 2, "model_version": 3}
+        current["alerts"] = {"firings": 1, "resolves": 1, "rules": [],
+                             "firing": [], "events": []}
+        delta = diffs.diff_reports(legacy, current)
+        assert delta["adapt_swaps"] == (None, 2)
+        assert delta["alert_firings"] == (None, 1)
+        text = diffs.render_diff(legacy, current)
+        assert "swaps n/a -> 2" in text
+        assert "firings n/a -> 1" in text
+        # And both ways round, including legacy-vs-legacy.
+        assert "swaps 2 -> n/a" in diffs.render_diff(current, legacy)
+        assert "adaptation" not in diffs.render_diff(legacy, legacy)
+        assert "alerts" not in diffs.render_diff(legacy, legacy)
+
     def test_span_and_counter_tables_render(self):
         a = _report(counters={"serve.engine.arrivals": 5},
                     spans={"serve.replay": 1.0})

@@ -17,7 +17,8 @@ from repro.obs.catalog import CATALOG
 REPO = Path(__file__).resolve().parents[2]
 
 _METRIC_ROW = re.compile(
-    r"^\| `(?P<name>[^`]+)` \| (?P<kind>counter|gauge|histogram|span|trace) "
+    r"^\| `(?P<name>[^`]+)` \| "
+    r"(?P<kind>counter|gauge|histogram|span|trace|alert) "
     r"\| (?P<unit>[^|]+) \| (?P<description>[^|]+) \|$"
 )
 

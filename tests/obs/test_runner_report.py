@@ -43,7 +43,7 @@ def report(tmp_path_factory) -> dict:
 
 
 def test_report_identifies_the_run(report):
-    assert report["schema"] == 2
+    assert report["schema"] == 3
     assert report["provenance"]["python"]
     assert "platform" in report["provenance"]
     assert set(report["experiments"]) == set(IDS)

@@ -12,7 +12,7 @@ from repro.adapt.swap import ModelRegistry
 from repro.analysis.linreg import LinearModel
 from repro.core.predictor import SMiTe
 from repro.errors import ConfigurationError
-from repro.obs import snapshot
+from repro.obs import snapshot, timeseries
 from repro.scheduler.qos import QosTarget
 from repro.serve.api import ApiClient, ApiError, ApiServer, run_api_shards
 from repro.serve.api.protocol import (
@@ -295,6 +295,39 @@ class TestDrain:
                 if time.monotonic() > deadline:  # pragma: no cover
                     pytest.fail("server did not stop after shutdown op")
                 time.sleep(0.01)
+
+
+class TestMetricsOp:
+    def test_disabled_without_a_sampler(self):
+        server = ApiServer(BaselineDecider())
+        with server.background() as (host, port):
+            with ApiClient(host, port) as client:
+                assert client.metrics() == {
+                    "enabled": False, "frame": None, "frames": [],
+                }
+
+    def test_live_frame_and_recorded_tail(self):
+        timeseries.install(0.05)
+        try:
+            server = ApiServer(BaselineDecider())
+            with server.background() as (host, port):
+                with ApiClient(host, port) as client:
+                    client.ping()
+                    time.sleep(0.2)  # let at least one cadence tick land
+                    payload = client.metrics()
+        finally:
+            timeseries.uninstall()
+        assert payload["enabled"] is True
+        assert payload["interval_s"] == 0.05
+        # The live frame reflects request/queue state right now, without
+        # waiting for the next cadence boundary.
+        frame = payload["frame"]
+        assert frame["counters"]["serve.api.requests"] >= 2
+        assert frame["gauges"]["serve.api.queue_depth"] == 0.0
+        assert frame["alerts"]["serve.alert.queue_saturation"] == 0.0
+        # The recorded tail holds the periodic samples.
+        assert payload["frames"]
+        assert all(f["t"] <= frame["t"] for f in payload["frames"])
 
 
 class TestPredictionServiceIntegration:

@@ -130,6 +130,24 @@ def test_repo_rule_reference_is_two_way_complete():
 
 
 # ----------------------------------------------------------------------
+# Alert-rule reference coverage
+
+def test_alert_row_regex_matches_tables_not_prose():
+    text = (
+        "| `serve.alert.slo_burn_rate` | violation_rate | pages |\n"
+        "prose naming `serve.alert.shed_rate` without a table row\n"
+        "| `serve.slo.windows` | not an alert |\n"
+    )
+    assert check_docs._ALERT_ROW.findall(text) == [
+        "serve.alert.slo_burn_rate"
+    ]
+
+
+def test_repo_alert_reference_is_two_way_complete():
+    assert check_docs.check_alert_rule_coverage() == []
+
+
+# ----------------------------------------------------------------------
 # The repository's real documentation
 
 def test_repo_docs_have_no_dead_links():

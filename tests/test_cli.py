@@ -82,7 +82,7 @@ class TestServe:
         # The run report carries the audit section, and `obs view`
         # round-trips it including the per-pool residual table.
         report = json.loads(out_path.read_text(encoding="utf-8"))
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert report["audit"]["samples"] > 0
         assert report["audit"]["pools"]
         assert main(["obs", "view", str(out_path)]) == 0
